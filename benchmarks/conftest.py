@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Two kinds of numbers come out of these benchmarks:
+
+* **wall time** (what pytest-benchmark itself measures) — how long the
+  simulation takes to run on the host; useful for tracking the
+  reproduction's own performance;
+* **model cycles** (``extra_info``) — the cost-model metric the paper's
+  figures are expressed in.  Speedups in ``extra_info`` are the numbers
+  that regenerate Figures 4 and 5; see ``examples/fig4_report.py`` and
+  ``examples/fig5_report.py`` for the figure-shaped summaries.
+"""
+
+import pytest
+
+from repro.benchsuite.runner import build_impl, run_impl
+
+
+def measure(benchmark, spec, impl, baselines=()):
+    """Benchmark one implementation and record model-cycle metrics."""
+    module = build_impl(spec, impl)
+    result = benchmark.pedantic(
+        lambda: run_impl(spec, impl, module=module), rounds=1, iterations=1
+    )
+    benchmark.extra_info["model_cycles"] = result.cycles
+    for base_impl in baselines:
+        base = run_impl(spec, base_impl)
+        benchmark.extra_info[f"speedup_vs_{base_impl}"] = base.cycles / result.cycles
+    return result

@@ -1,0 +1,51 @@
+"""Ablation: programmer-chosen gang size vs element width (paper §1).
+
+The paper's motivating point against flag-coupled gang sizes: on a 512-bit
+machine a gang of 64 is ideal for 8-bit data while 16 is ideal for 32-bit
+data; a single compilation-unit-wide choice must be wrong for one of them.
+Parsimony lets each region choose, so an 8-bit kernel at gang 64 should
+clearly beat the same kernel forced to gang 16.
+"""
+
+import numpy as np
+import pytest
+
+from repro.driver import compile_parsimony
+from repro.vm import Interpreter
+
+N = 4096
+
+SRC_TEMPLATE = """
+void kernel(u8* a, u8* b, u8* c, u64 n) {{
+    psim (gang_size={gang}, num_threads=n) {{
+        u64 i = psim_get_thread_num();
+        c[i] = addsat(a[i], b[i]);
+    }}
+}}
+"""
+
+
+def run_gang(gang):
+    module = compile_parsimony(SRC_TEMPLATE.format(gang=gang))
+    interp = Interpreter(module)
+    rng = np.random.default_rng(0)
+    a = interp.memory.alloc_array(rng.integers(0, 256, N).astype(np.uint8))
+    b = interp.memory.alloc_array(rng.integers(0, 256, N).astype(np.uint8))
+    c = interp.memory.alloc_array(np.zeros(N, np.uint8))
+    interp.run("kernel", a, b, c, N)
+    return interp
+
+
+@pytest.mark.parametrize("gang", [8, 16, 32, 64, 128])
+@pytest.mark.benchmark(group="ablation-gang-size")
+def test_gang_size_sweep_u8(benchmark, gang):
+    interp = benchmark.pedantic(lambda: run_gang(gang), rounds=1, iterations=1)
+    benchmark.extra_info["model_cycles"] = interp.stats.cycles
+    benchmark.extra_info["gang_size"] = gang
+
+
+def test_wide_gang_wins_for_u8():
+    """Gang 64 (= 512b of u8) beats the 32-bit-coupled default of 16."""
+    cycles16 = run_gang(16).stats.cycles
+    cycles64 = run_gang(64).stats.cycles
+    assert cycles64 < 0.55 * cycles16

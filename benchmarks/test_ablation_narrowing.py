@@ -1,0 +1,84 @@
+"""Ablation: the integer-narrowing scalar cleanup (DESIGN.md).
+
+Parsimony inherits LLVM's standard scalar pipeline; the paper's near-parity
+with hand-written byte kernels depends on InstCombine undoing C's integer
+promotions before vectorization.  This ablation compiles a u8 kernel with
+the narrowing pass removed from the pipeline to quantify that dependency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_source
+from repro.driver import post_vectorize_cleanup
+from repro.ir import Module
+from repro.passes import (
+    PassManager, constant_fold, cse, dce, mem2reg, narrow_ints, simplify_cfg,
+)
+from repro.vectorizer import vectorize_module
+from repro.vm import Interpreter
+
+N = 4096
+
+SRC = """
+void kernel(u8* a, u8* b, u8* c, u64 n) {
+    psim (gang_size=64, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        c[i] = (u8)((((i32)a[i] & (i32)b[i]) + ((i32)a[i] ^ (i32)b[i])) >> 1);
+    }
+}
+"""
+
+
+def build(with_narrowing):
+    module = compile_source(SRC)
+    passes = [mem2reg, constant_fold, simplify_cfg, cse]
+    if with_narrowing:
+        passes.append(narrow_ints)
+    passes += [constant_fold, cse, dce]
+    PassManager(passes).run(module)
+    vectorize_module(module)
+    if with_narrowing:
+        post_vectorize_cleanup(module)
+    else:
+        _cleanup_without_narrowing(module)
+    return module
+
+
+def _cleanup_without_narrowing(module: Module):
+    from repro.passes import licm
+    from repro.passes.inline import inline_function_calls
+
+    for function in module.functions.values():
+        if function.spmd is not None:
+            continue
+        inline_function_calls(function, should_inline=lambda c: ".psim" in c.name)
+        constant_fold(function)
+        simplify_cfg(function)
+        cse(function)
+        licm(function)
+        dce(function)
+
+
+def run(module):
+    interp = Interpreter(module)
+    rng = np.random.default_rng(1)
+    a = interp.memory.alloc_array(rng.integers(0, 256, N).astype(np.uint8))
+    b = interp.memory.alloc_array(rng.integers(0, 256, N).astype(np.uint8))
+    c = interp.memory.alloc_array(np.zeros(N, np.uint8))
+    interp.run("kernel", a, b, c, N)
+    return interp
+
+
+@pytest.mark.parametrize("narrowing", [True, False], ids=["narrowed", "promoted-i32"])
+@pytest.mark.benchmark(group="ablation-narrowing")
+def test_narrowing_ablation(benchmark, narrowing):
+    module = build(narrowing)
+    interp = benchmark.pedantic(lambda: run(module), rounds=1, iterations=1)
+    benchmark.extra_info["model_cycles"] = interp.stats.cycles
+
+
+def test_narrowing_matters_for_u8_kernels():
+    with_cycles = run(build(True)).stats.cycles
+    without_cycles = run(build(False)).stats.cycles
+    assert with_cycles < 0.8 * without_cycles

@@ -1,0 +1,24 @@
+"""Figure 5: 72 Simd Library kernels — hand-written AVX-512, Parsimony,
+and LLVM auto-vectorization, as speedup over un-vectorized scalar code
+(paper §6: geomeans 7.91× / 7.70× / 3.46×; Parsimony reaches 0.97× of
+hand-written).
+
+Each benchmark measures the Parsimony build of one kernel and records its
+speedup over the scalar, auto-vectorized, and hand-written builds in
+``extra_info``.  Run ``examples/fig5_report.py`` for the full
+figure-shaped series and geomeans.
+"""
+
+import pytest
+
+from conftest import measure
+from repro.benchsuite.simdlib import KERNELS
+
+_IDS = [k.name for k in KERNELS]
+
+
+@pytest.mark.parametrize("spec", KERNELS, ids=_IDS)
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_kernel(benchmark, spec):
+    measure(benchmark, spec, "parsimony",
+            baselines=("scalar", "autovec", "handwritten"))

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""A realistic multi-stage image pipeline written against the public API.
+
+Chains three Simd-Library-style stages — BGRA→gray conversion, 3x3
+Gaussian blur, and binarization — each as a ``psim`` region with the gang
+size matched to its element width, and compares the whole pipeline's
+cycle cost against the scalar build.  This is the §1 use case: one
+compilation unit, multiple SPMD regions, different ideal gang sizes.
+
+    python examples/image_pipeline.py
+"""
+
+import numpy as np
+
+from repro import Interpreter, compile_parsimony, compile_scalar
+
+W, H = 128, 64
+
+PIPELINE = """
+void to_gray(u8* bgra, u8* gray, u64 n) {
+    psim (gang_size=64, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        i32 b = (i32)bgra[4 * i];
+        i32 g = (i32)bgra[4 * i + 1];
+        i32 r = (i32)bgra[4 * i + 2];
+        gray[i] = (u8)((28 * b + 151 * g + 77 * r + 128) >> 8);
+    }
+}
+
+void blur(u8* src, u8* dst, u64 w, u64 h) {
+    for (u64 y = 0; y < h - 2; y++) {
+        u64 row = y * w;
+        psim (gang_size=64, num_threads=w - 2) {
+            u64 x = psim_get_thread_num();
+            u64 p = row + x;
+            i32 s = (i32)src[p] + 2 * (i32)src[p + 1] + (i32)src[p + 2]
+                  + 2 * (i32)src[p + w] + 4 * (i32)src[p + w + 1] + 2 * (i32)src[p + w + 2]
+                  + (i32)src[p + 2 * w] + 2 * (i32)src[p + 2 * w + 1] + (i32)src[p + 2 * w + 2];
+            dst[p + w + 1] = (u8)((s + 8) >> 4);
+        }
+    }
+}
+
+void binarize(u8* src, u8* dst, u8 threshold, u64 n) {
+    psim (gang_size=64, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        dst[i] = src[i] > threshold ? (u8)255 : (u8)0;
+    }
+}
+
+void pipeline(u8* bgra, u8* gray, u8* blurred, u8* mask,
+              u8 threshold, u64 w, u64 h) {
+    to_gray(bgra, gray, w * h);
+    blur(gray, blurred, w, h);
+    binarize(blurred, mask, threshold, w * h);
+}
+"""
+
+
+def scalar_source() -> str:
+    """The same pipeline with plain loops instead of psim regions."""
+    src = PIPELINE
+    src = src.replace(
+        "psim (gang_size=64, num_threads=n) {\n        u64 i = psim_get_thread_num();",
+        "for (u64 i = 0; i < n; i++) {",
+    )
+    src = src.replace(
+        "psim (gang_size=64, num_threads=w - 2) {\n            u64 x = psim_get_thread_num();",
+        "for (u64 x = 0; x < w - 2; x++) {",
+    )
+    return src
+
+
+def run(module):
+    interp = Interpreter(module)
+    rng = np.random.default_rng(42)
+    bgra = interp.memory.alloc_array(rng.integers(0, 256, W * H * 4).astype(np.uint8))
+    gray = interp.memory.alloc_array(np.zeros(W * H, np.uint8))
+    blurred = interp.memory.alloc_array(np.zeros(W * H, np.uint8))
+    mask = interp.memory.alloc_array(np.zeros(W * H, np.uint8))
+    interp.run("pipeline", bgra, gray, blurred, mask, 100, W, H)
+    return interp.memory.read_array(mask, np.uint8, W * H), interp.stats
+
+
+def main():
+    scalar_mask, scalar_stats = run(compile_scalar(scalar_source()))
+    vector_mask, vector_stats = run(compile_parsimony(PIPELINE))
+    np.testing.assert_array_equal(scalar_mask, vector_mask)
+
+    fg = int((vector_mask == 255).sum())
+    print(f"{W}x{H} BGRA image -> gray -> 3x3 blur -> binarize")
+    print(f"  mask foreground pixels: {fg} / {W * H}")
+    print(f"  scalar build:    {scalar_stats.cycles:10.0f} cycles")
+    print(f"  Parsimony build: {vector_stats.cycles:10.0f} cycles")
+    print(f"  pipeline speedup: {scalar_stats.cycles / vector_stats.cycles:8.1f}x")
+    print("  (outputs are bit-identical between the two builds)")
+
+
+if __name__ == "__main__":
+    main()

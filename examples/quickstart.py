@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: compile an SPMD kernel with Parsimony and run it.
+
+Walks the whole flow of the paper in ~40 lines: write a PsimC kernel with
+a ``psim`` region (§3), compile it through the standard pipeline plus the
+Parsimony IR-to-IR pass (§4), run it on the simulated 512-bit machine,
+and compare the cycle cost against the un-vectorized build.
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Interpreter, compile_parsimony, compile_scalar
+
+SAXPY_SPMD = """
+void saxpy(f32* x, f32* y, f32 a, u64 n) {
+    psim (gang_size=16, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        y[i] = a * x[i] + y[i];
+    }
+}
+"""
+
+SAXPY_SERIAL = """
+void saxpy(f32* x, f32* y, f32 a, u64 n) {
+    for (u64 i = 0; i < n; i++) {
+        y[i] = a * x[i] + y[i];
+    }
+}
+"""
+
+
+def run(module, n=1024):
+    interp = Interpreter(module)
+    x = np.linspace(0.0, 1.0, n, dtype=np.float32)
+    y = np.ones(n, dtype=np.float32)
+    x_addr = interp.memory.alloc_array(x)
+    y_addr = interp.memory.alloc_array(y)
+    interp.run("saxpy", x_addr, y_addr, 2.0, n)
+    result = interp.memory.read_array(y_addr, np.float32, n)
+    expected = np.float32(2.0) * x + 1.0
+    np.testing.assert_array_equal(result, expected)
+    return interp.stats
+
+
+def main():
+    scalar = run(compile_scalar(SAXPY_SERIAL))
+    vector = run(compile_parsimony(SAXPY_SPMD))
+
+    print("saxpy over 1024 f32 elements on the 512-bit machine model")
+    print(f"  scalar build:    {scalar.cycles:10.0f} cycles")
+    print(f"  Parsimony build: {vector.cycles:10.0f} cycles")
+    print(f"  speedup:         {scalar.cycles / vector.cycles:10.1f}x")
+    print()
+    print("vector instruction mix of the Parsimony build:")
+    for op in ("vload", "vstore", "fmul", "fadd", "gather"):
+        print(f"  {op:8s} {vector.counts.get(op, 0)}")
+    print("\n(no gathers: shape analysis proved every access unit-stride)")
+
+
+if __name__ == "__main__":
+    main()

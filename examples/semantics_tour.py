@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""A tour of the paper's §2.2 semantics arguments, executed.
+
+Reproduces the adjacent-copy example of Listings 1–3 in three settings:
+
+1. serial semantics (the OpenMP interpretation without the pragma): the
+   loop-carried dependency makes every element a copy of ``a[0]`` — and
+   the auto-vectorizer correctly *refuses* to vectorize it;
+2. ispc's gang-synchronous model, where the answer silently depends on
+   the gang-size compiler flag (Listing 2);
+3. Parsimony, where the gang size is in the program and an explicit
+   ``psim_gang_sync()`` makes the intended shift well-defined on every
+   target (Listing 3).
+
+    python examples/semantics_tour.py
+"""
+
+import numpy as np
+
+from repro import AVX512, SSE4, Interpreter, compile_autovec, compile_parsimony
+from repro.ispc import ispc_compile
+
+N = 16
+
+SERIAL = """
+void foo(u32* a, u64 n) {
+    for (u64 i = 0; i < n; i++) {
+        u32 tmp = a[i];
+        a[i + 1] = tmp;      // loop-carried dependency!
+    }
+}
+"""
+
+SPMD = """
+void foo(u32* a, u64 n) {
+    psim (gang_size=16, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        u32 tmp = a[i];
+        psim_gang_sync();    // explicit horizontal synchronization (§3)
+        a[i + 1] = tmp;
+    }
+}
+"""
+
+
+def run(module, machine=AVX512):
+    interp = Interpreter(module, machine=machine)
+    a = np.arange(N + 1, dtype=np.uint32)
+    addr = interp.memory.alloc_array(a)
+    interp.run("foo", addr, N)
+    return interp.memory.read_array(addr, np.uint32, N + 1), interp.stats
+
+
+def show(title, out, note=""):
+    print(f"{title:34s} {out.tolist()}  {note}")
+
+
+def main():
+    print(f"input: a = {list(range(N + 1))}; every version runs a[i+1] = a[i]\n")
+
+    out, stats = run(compile_autovec(SERIAL))
+    show("serial (auto-vec baseline):", out,
+         "<- serial semantics: all a[0]; vectorizer refused "
+         f"(vloads executed: {stats.count('vload')})")
+
+    out, _ = run(ispc_compile(SPMD.replace("gang_size=16", "gang_size=1")), AVX512)
+    show("ispc mode, AVX-512 flag (gang 16):", out, "<- 'correct' shift")
+
+    out, _ = run(ispc_compile(SPMD.replace("gang_size=16", "gang_size=1"), SSE4), SSE4)
+    show("ispc mode, SSE4 flag (gang 4):", out,
+         "<- same program, different target, different answer!")
+
+    for machine, name in ((AVX512, "AVX-512"), (SSE4, "SSE4")):
+        out, _ = run(compile_parsimony(SPMD), machine)
+        show(f"Parsimony on {name}:", out, "<- gang size is in the program")
+
+    print("\nParsimony's answer is the program's answer on every machine —")
+    print("the paper's Listing 2/3 contrast, reproduced end to end.")
+
+
+if __name__ == "__main__":
+    main()

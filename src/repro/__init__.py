@@ -1,0 +1,57 @@
+"""Parsimony (CGO 2023) reproduction.
+
+A pure-Python reimplementation of the full system stack from
+*"Parsimony: Enabling SIMD/Vector Programming in Standard Compiler
+Flows"* (Kandiah, Lustig, Villa, Nellans, Hardavellas):
+
+* ``repro.ir`` / ``repro.passes`` — typed SSA IR + scalar middle-end
+  (substitutes for LLVM);
+* ``repro.frontend`` — *PsimC*, a C-like language with ``psim`` SPMD
+  regions (substitutes for Parsimony-enabled C++/Clang);
+* ``repro.vectorizer`` — **the Parsimony IR-to-IR vectorization pass**
+  (the paper's contribution): shape analysis with SMT-verified rules,
+  mask-based linearization, shape-directed instruction selection;
+* ``repro.autovec`` — classical loop auto-vectorization baseline;
+* ``repro.ispc`` — gang-synchronous, flag-coupled SPMD baseline;
+* ``repro.simd`` — hand-written intrinsics kernel authoring;
+* ``repro.backend`` / ``repro.vm`` — SIMD machine model + cycle-accounting
+  VM (substitutes for the paper's AVX-512 Xeon);
+* ``repro.benchsuite`` — the two evaluation suites (7 ispc benchmarks for
+  Figure 4, 72 Simd Library kernels for Figure 5).
+
+Quick start::
+
+    from repro import compile_parsimony, Interpreter
+    module = compile_parsimony('''
+        void axpy(f32* x, f32* y, f32 a, u64 n) {
+            psim (gang_size=16, num_threads=n) {
+                u64 i = psim_get_thread_num();
+                y[i] = a * x[i] + y[i];
+            }
+        }
+    ''')
+    # allocate arrays via Interpreter(module).memory; see examples/.
+"""
+
+from .backend import AVX2, AVX512, SSE4, CostModel, ExecStats, Machine
+from .driver import (
+    compile_autovec,
+    compile_ispc,
+    compile_parsimony,
+    compile_scalar,
+    execute,
+)
+from .frontend import compile_source
+from .vectorizer import VectorizeConfig, vectorize_module
+from .vm import Interpreter, Memory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AVX512", "AVX2", "SSE4", "Machine", "CostModel", "ExecStats",
+    "compile_source", "compile_scalar", "compile_autovec",
+    "compile_parsimony", "compile_ispc", "execute",
+    "VectorizeConfig", "vectorize_module",
+    "Interpreter", "Memory",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""``repro.autovec`` — classical loop auto-vectorization, the baseline
+the paper's Figures 4 and 5 normalize against ("LLVM Auto-vectorization",
+loop + SLP pipeline; we implement the loop vectorizer, which dominates on
+these workloads)."""
+
+from .affine import Affine, AffineAnalysis
+from .ifconvert import if_convert, speculatable
+from .loopvec import (
+    AutoVecConfig,
+    LoopVecReport,
+    auto_vectorize_function,
+    auto_vectorize_module,
+)
+
+__all__ = [
+    "Affine",
+    "AffineAnalysis",
+    "if_convert",
+    "speculatable",
+    "AutoVecConfig",
+    "LoopVecReport",
+    "auto_vectorize_function",
+    "auto_vectorize_module",
+]

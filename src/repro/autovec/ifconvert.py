@@ -1,0 +1,206 @@
+"""If-conversion: flatten simple diamonds/triangles into selects.
+
+The classical loop vectorizer cannot vectorize control flow, so it first
+if-converts acyclic single-entry/single-exit conditionals whose sides are
+safe to speculate.  Applied innermost-first, nested conditionals flatten
+iteratively.  A store is allowed only when *both* sides store the same
+type to the same address (merged into one unconditional store of a
+selected value) — mirroring LLVM's conservative default rather than
+masked-store if-conversion.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ir.instructions import Instruction
+from ..ir.module import BasicBlock, Function
+from ..ir.types import VOID
+from ..ir.values import Value
+from ..passes.simplify_cfg import simplify_cfg
+
+__all__ = ["if_convert", "speculatable"]
+
+_SAFE_OPS = frozenset(
+    """add sub mul and or xor not shl lshr ashr smin smax umin umax
+       addsat_s addsat_u subsat_s subsat_u mulhi_s mulhi_u avg_u abd_u
+       iabs fneg fabs fsqrt fadd fsub fmul fmin fmax fma
+       icmp fcmp select gep trunc zext sext fptrunc fpext fptosi fptoui
+       sitofp uitofp bitcast ptrtoint inttoptr""".split()
+)
+
+
+def speculatable(instr: Instruction) -> bool:
+    """Safe to execute regardless of the branch outcome."""
+    return instr.opcode in _SAFE_OPS
+
+
+def if_convert(function: Function, within: Optional[set] = None) -> bool:
+    """Iteratively flatten convertible diamonds; returns True if changed."""
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        for block in list(function.blocks):
+            if within is not None and block not in within:
+                continue
+            if _convert_one(function, block):
+                progress = True
+                changed = True
+                break
+    if changed:
+        simplify_cfg(function)
+    return changed
+
+
+def _convert_one(function: Function, head: BasicBlock) -> bool:
+    term = head.terminator
+    if term is None or term.opcode != "condbr":
+        return False
+    cond, then_b, else_b = term.operands
+    if then_b is else_b:
+        return False
+
+    # Triangle: head -> {then, join}, then -> join.
+    if _is_side(then_b, head) and then_b.successors == [else_b]:
+        return _flatten(function, head, cond, then_b, None, else_b)
+    if _is_side(else_b, head) and else_b.successors == [then_b]:
+        return _flatten(function, head, cond, None, else_b, then_b)
+    # Diamond: head -> {then, else} -> join.
+    if (
+        _is_side(then_b, head)
+        and _is_side(else_b, head)
+        and then_b.successors == else_b.successors
+        and len(then_b.successors) == 1
+    ):
+        join = then_b.successors[0]
+        return _flatten(function, head, cond, then_b, else_b, join)
+    return False
+
+
+def _is_side(block: BasicBlock, head: BasicBlock) -> bool:
+    return block.predecessors == [head] and not block.phis()
+
+
+def _same_address(a: Value, b: Value, depth: int = 8) -> bool:
+    """Structural equality of address expressions (the two sides of a
+    diamond compute their geps separately, so identity is not enough)."""
+    if a is b:
+        return True
+    if depth == 0:
+        return False
+    if not (isinstance(a, Instruction) and isinstance(b, Instruction)):
+        return False
+    if a.opcode != b.opcode or a.type != b.type or a.attrs != b.attrs:
+        return False
+    if a.opcode in ("load", "call", "phi", "alloca", "atomicrmw"):
+        return False  # not pure / not position-independent
+    if len(a.operands) != len(b.operands):
+        return False
+    return all(
+        _same_address(x, y, depth - 1) for x, y in zip(a.operands, b.operands)
+    )
+
+
+def _merged_stores(then_b, else_b) -> Optional[List]:
+    """Pair up stores if both sides store to identical addresses in order."""
+    then_stores = [i for i in (then_b.instructions if then_b else []) if i.opcode == "store"]
+    else_stores = [i for i in (else_b.instructions if else_b else []) if i.opcode == "store"]
+    if not then_stores and not else_stores:
+        return []
+    if len(then_stores) != len(else_stores):
+        return None
+    pairs = []
+    for s1, s2 in zip(then_stores, else_stores):
+        if not _same_address(s1.operands[1], s2.operands[1]):
+            return None
+        pairs.append((s1, s2))
+    return pairs
+
+
+def _flatten(function, head, cond, then_b, else_b, join) -> bool:
+    store_pairs = _merged_stores(then_b, else_b)
+    if store_pairs is None:
+        return False
+    paired = {s for pair in store_pairs for s in pair}
+    for side in (then_b, else_b):
+        if side is None:
+            continue
+        for instr in side.instructions[:-1]:
+            if instr in paired:
+                continue
+            if not speculatable(instr):
+                return False
+
+    # Splice side instructions into head (before the terminator).
+    insert_at = head.instructions.index(head.terminator)
+    moved: List[Instruction] = []
+    for side in (then_b, else_b):
+        if side is None:
+            continue
+        for instr in side.instructions[:-1]:
+            if instr in paired:
+                continue
+            side.instructions.remove(instr)
+            instr.parent = head
+            head.instructions.insert(insert_at, instr)
+            insert_at += 1
+            moved.append(instr)
+
+    # Merge paired stores into one store of a selected value.
+    for s_then, s_else in store_pairs:
+        sel = Instruction(
+            "select",
+            s_then.operands[0].type,
+            [cond, s_then.operands[0], s_else.operands[0]],
+            function.unique_name("ifsel"),
+        )
+        head.instructions.insert(insert_at, sel)
+        sel.parent = head
+        insert_at += 1
+        store = Instruction("store", VOID, [sel, s_then.operands[1]])
+        head.instructions.insert(insert_at, store)
+        store.parent = head
+        insert_at += 1
+        for old in (s_then, s_else):
+            old.parent.instructions.remove(old)
+            old.parent = None
+            old.drop_operands()
+
+    # Rewrite join phis into selects.
+    for phi in list(join.phis()):
+        incoming = {b: v for v, b in phi.phi_incoming()}
+        then_v = incoming.get(then_b if then_b is not None else head)
+        else_v = incoming.get(else_b if else_b is not None else head)
+        if then_b is None:
+            then_v = incoming.get(head)
+        if else_b is None:
+            else_v = incoming.get(head)
+        others = {
+            b: v for b, v in incoming.items() if b not in (then_b, else_b, head)
+        }
+        sel = Instruction(
+            "select", phi.type, [cond, then_v, else_v], function.unique_name(phi.name)
+        )
+        head.instructions.insert(head.instructions.index(head.terminator), sel)
+        sel.parent = head
+        if not others:
+            phi.replace_all_uses_with(sel)
+            phi.erase()
+        else:
+            phi.drop_operands()
+            for b, v in others.items():
+                phi.append_operand(v)
+                phi.append_operand(b)
+            phi.append_operand(sel)
+            phi.append_operand(head)
+
+    # Collapse control flow: head branches straight to join.
+    old_term = head.instructions.pop()
+    old_term.drop_operands()
+    old_term.parent = None
+    head.append(Instruction("br", VOID, [join]))
+    for side in (then_b, else_b):
+        if side is not None:
+            function.remove_block(side)
+    return True

@@ -1,0 +1,27 @@
+"""The ispc benchmark suite (paper §5, Figure 4).
+
+Seven benchmarks ported between three implementations:
+
+* a **serial** PsimC version, compiled un-vectorized and through the
+  auto-vectorizer ("LLVM Auto-vectorization", the figure's baseline);
+* a **Parsimony** PsimC version with ``psim`` regions (SLEEF math);
+* the *same* SPMD source compiled in **ispc mode** (flag-coupled gang
+  size, built-in math) — the paper ported between the two languages
+  keeping the same algorithms (§5); our two SPMD configurations share the
+  source by construction.
+
+Figure 4 reports speedup over the auto-vectorized serial version.
+"""
+
+from typing import Dict, List
+
+from ..kernelspec import KernelSpec
+
+from . import aobench, binomial, black_scholes, mandelbrot, noise, stencil, volume
+
+_MODULES = [mandelbrot, black_scholes, binomial, noise, stencil, aobench, volume]
+
+BENCHMARKS: List[KernelSpec] = [m.BENCH for m in _MODULES]
+BY_NAME: Dict[str, KernelSpec] = {b.name: b for b in BENCHMARKS}
+
+__all__ = ["BENCHMARKS", "BY_NAME"]

@@ -1,0 +1,147 @@
+"""ispc suite: aobench — ambient occlusion renderer (spheres + plane).
+
+A compact port of the classic aobench: orthographic primary rays against
+three spheres and a ground plane, with ambient occlusion estimated from a
+fixed table of sample directions.  Heavy divergent control flow and
+``sqrt``-rich arithmetic, like the original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernelspec import KernelSpec
+from ..workloads import Workload
+
+W, H = 32, 24
+NSAMPLES = 8
+
+_DECL = """
+f32 sphere_hit(f32 ox, f32 oy, f32 oz, f32 dx, f32 dy, f32 dz,
+               f32 cx, f32 cy, f32 cz, f32 radius) {
+    f32 rx = ox - cx;
+    f32 ry = oy - cy;
+    f32 rz = oz - cz;
+    f32 b = rx * dx + ry * dy + rz * dz;
+    f32 c = rx * rx + ry * ry + rz * rz - radius * radius;
+    f32 disc = b * b - c;
+    if (disc <= 0.0f) { return -1.0f; }
+    f32 t = -b - sqrt(disc);
+    if (t <= 0.0f) { return -1.0f; }
+    return t;
+}
+"""
+
+_SPHERES = (
+    (-1.0, 0.0, -2.2, 0.5),
+    (0.0, 0.0, -2.0, 0.5),
+    (1.0, 0.0, -2.2, 0.5),
+)
+
+
+def _closest_hit(ox, oy, oz, dx, dy, dz) -> str:
+    """PsimC snippet: nearest sphere/plane hit -> tbest, normal, hit flag."""
+    lines = [
+        "f32 tbest = 1.0e30f;",
+        "f32 nx = 0.0f; f32 ny = 0.0f; f32 nz = 0.0f;",
+        "bool hit = false;",
+    ]
+    for sx, sy, sz, sr in _SPHERES:
+        lines.append(
+            f"{{ f32 ts = sphere_hit({ox}, {oy}, {oz}, {dx}, {dy}, {dz}, "
+            f"{sx}f, {sy}f, {sz}f, {sr}f); "
+            "if (ts > 0.0f && ts < tbest) { tbest = ts; hit = true; "
+            f"f32 px = {ox} + {dx} * ts; f32 py = {oy} + {dy} * ts; "
+            f"f32 pz = {oz} + {dz} * ts; "
+            f"nx = (px - ({sx}f)) * {1.0 / sr}f; ny = (py - ({sy}f)) * {1.0 / sr}f; "
+            f"nz = (pz - ({sz}f)) * {1.0 / sr}f; }} }}"
+        )
+    # ground plane y = -0.5
+    lines.append(
+        f"if ({dy} < -1.0e-6f) {{ f32 tp = (-0.5f - {oy}) / {dy}; "
+        "if (tp > 0.0f && tp < tbest) { tbest = tp; hit = true; "
+        "nx = 0.0f; ny = 1.0f; nz = 0.0f; } }"
+    )
+    return " ".join(lines)
+
+
+def _occluder_probe() -> str:
+    probes = []
+    for sx, sy, sz, sr in _SPHERES:
+        probes.append(
+            f"{{ f32 tp = sphere_hit(sox, soy, soz, ax, ay, az, "
+            f"{sx}f, {sy}f, {sz}f, {sr}f); "
+            "if (tp > 0.0f && (tocc < 0.0f || tp < tocc)) { tocc = tp; } }"
+        )
+    return " ".join(probes)
+
+
+_BODY = f"""
+    f32 px = -1.0f + 2.0f * (f32)(i % width) / (f32)width;
+    f32 py = 1.0f - 2.0f * (f32)(i / width) / (f32)height;
+    f32 ox = px; f32 oy = py; f32 oz = 0.0f;
+    f32 dx = 0.0f; f32 dy = 0.0f; f32 dz = -1.0f;
+    {_closest_hit('ox', 'oy', 'oz', 'dx', 'dy', 'dz')}
+    f32 occlusion = 0.0f;
+    if (hit) {{
+        f32 hx = ox + dx * tbest + nx * 0.001f;
+        f32 hy = oy + dy * tbest + ny * 0.001f;
+        f32 hz = oz + dz * tbest + nz * 0.001f;
+        for (i32 s = 0; s < nsamples; s++) {{
+            f32 ax = dirs[3 * s];
+            f32 ay = dirs[3 * s + 1];
+            f32 az = dirs[3 * s + 2];
+            f32 cosn = ax * nx + ay * ny + az * nz;
+            if (cosn < 0.0f) {{ ax = -ax; ay = -ay; az = -az; cosn = -cosn; }}
+            f32 tocc = -1.0f;
+            f32 sox = hx; f32 soy = hy; f32 soz = hz;
+            {_occluder_probe()}
+            if (tocc > 0.0f) {{ occlusion = occlusion + cosn; }}
+        }}
+        occlusion = 1.0f - occlusion / (f32)nsamples;
+    }}
+    img[i] = occlusion;
+"""
+
+SERIAL_SRC = f"""
+{_DECL}
+void kernel(f32* img, f32* dirs, u64 width, u64 height, i32 nsamples, u64 n) {{
+    for (u64 i = 0; i < n; i++) {{
+        {_BODY}
+    }}
+}}
+"""
+
+PSIM_SRC = f"""
+{_DECL}
+void kernel(f32* img, f32* dirs, u64 width, u64 height, i32 nsamples, u64 n) {{
+    psim (gang_size=16, num_threads=n) {{
+        u64 i = psim_get_thread_num();
+        {_BODY}
+    }}
+}}
+"""
+
+
+def _workload() -> Workload:
+    rng = np.random.default_rng(7)
+    dirs = rng.normal(size=(NSAMPLES, 3))
+    dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+    img = np.zeros(W * H, np.float32)
+    return Workload(
+        [img, dirs.astype(np.float32).reshape(-1)],
+        [W, H, NSAMPLES, img.size],
+        outputs=[0],
+        rtol=1e-5,
+    )
+
+
+BENCH = KernelSpec(
+    name="aobench",
+    group="ispc",
+    doc="ambient occlusion renderer over spheres and a ground plane",
+    scalar_src=SERIAL_SRC,
+    psim_src=PSIM_SRC,
+    hand_build=None,
+    workload=_workload,
+)

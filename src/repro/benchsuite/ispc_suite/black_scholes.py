@@ -1,0 +1,74 @@
+"""ispc suite: options (Black-Scholes) — math-library-heavy elementwise."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernelspec import KernelSpec
+from ..workloads import Workload, rng_for
+
+N = 1024
+
+# Polynomial CND approximation, exactly the ispc example's formulation.
+_BODY = """
+    f32 S = Sa[i];
+    f32 X = Xa[i];
+    f32 T = Ta[i];
+    f32 d1 = (log(S / X) + (r + 0.5f * v * v) * T) / (v * sqrt(T));
+    f32 d2 = d1 - v * sqrt(T);
+
+    f32 k1 = 1.0f / (1.0f + 0.2316419f * abs(d1));
+    f32 w1 = 0.31938153f * k1 - 0.356563782f * k1 * k1
+           + 1.781477937f * k1 * k1 * k1
+           - 1.821255978f * k1 * k1 * k1 * k1
+           + 1.330274429f * k1 * k1 * k1 * k1 * k1;
+    f32 cnd1 = 1.0f - 0.39894228f * exp(-0.5f * d1 * d1) * w1;
+    if (d1 < 0.0f) { cnd1 = 1.0f - cnd1; }
+
+    f32 k2 = 1.0f / (1.0f + 0.2316419f * abs(d2));
+    f32 w2 = 0.31938153f * k2 - 0.356563782f * k2 * k2
+           + 1.781477937f * k2 * k2 * k2
+           - 1.821255978f * k2 * k2 * k2 * k2
+           + 1.330274429f * k2 * k2 * k2 * k2 * k2;
+    f32 cnd2 = 1.0f - 0.39894228f * exp(-0.5f * d2 * d2) * w2;
+    if (d2 < 0.0f) { cnd2 = 1.0f - cnd2; }
+
+    result[i] = S * cnd1 - X * exp(-r * T) * cnd2;
+"""
+
+SERIAL_SRC = f"""
+void kernel(f32* Sa, f32* Xa, f32* Ta, f32* result, f32 r, f32 v, u64 n) {{
+    for (u64 i = 0; i < n; i++) {{
+        {_BODY}
+    }}
+}}
+"""
+
+PSIM_SRC = f"""
+void kernel(f32* Sa, f32* Xa, f32* Ta, f32* result, f32 r, f32 v, u64 n) {{
+    psim (gang_size=16, num_threads=n) {{
+        u64 i = psim_get_thread_num();
+        {_BODY}
+    }}
+}}
+"""
+
+
+def _workload() -> Workload:
+    rng = rng_for("black_scholes")
+    S = (rng.random(N) * 100 + 5).astype(np.float32)
+    X = (rng.random(N) * 100 + 5).astype(np.float32)
+    T = (rng.random(N) * 2 + 0.25).astype(np.float32)
+    out = np.zeros(N, np.float32)
+    return Workload([S, X, T, out], [0.02, 0.3, N], outputs=[3], rtol=1e-5)
+
+
+BENCH = KernelSpec(
+    name="options",
+    group="ispc",
+    doc="Black-Scholes European call pricing (ispc 'options')",
+    scalar_src=SERIAL_SRC,
+    psim_src=PSIM_SRC,
+    hand_build=None,
+    workload=_workload,
+)

@@ -1,0 +1,82 @@
+"""ispc suite: mandelbrot — the canonical divergent-loop SPMD benchmark."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernelspec import KernelSpec
+from ..workloads import Workload
+
+W, H = 64, 32
+MAX_ITER = 24
+X0, X1 = -2.0, 1.0
+Y0, Y1 = -1.0, 1.0
+
+_BODY = """
+    f32 cx = x0 + (f32)(i %% width) * dx;
+    f32 cy = y0 + (f32)(i / width) * dy;
+    f32 zx = 0.0f;
+    f32 zy = 0.0f;
+    i32 iter = 0;
+    while (iter < %(max_iter)d && zx * zx + zy * zy < 4.0f) {
+        f32 nzx = zx * zx - zy * zy + cx;
+        zy = 2.0f * zx * zy + cy;
+        zx = nzx;
+        iter = iter + 1;
+    }
+    counts[i] = iter;
+""" % {"max_iter": MAX_ITER}
+
+SERIAL_SRC = f"""
+void kernel(i32* counts, u64 width, f32 x0, f32 y0, f32 dx, f32 dy, u64 n) {{
+    for (u64 i = 0; i < n; i++) {{
+        {_BODY}
+    }}
+}}
+"""
+
+PSIM_SRC = f"""
+void kernel(i32* counts, u64 width, f32 x0, f32 y0, f32 dx, f32 dy, u64 n) {{
+    psim (gang_size=16, num_threads=n) {{
+        u64 i = psim_get_thread_num();
+        {_BODY}
+    }}
+}}
+"""
+
+
+def _workload() -> Workload:
+    counts = np.zeros(W * H, np.int32)
+    dx = np.float32((X1 - X0) / W)
+    dy = np.float32((Y1 - Y0) / H)
+    return Workload([counts], [W, X0, Y0, dx, dy, counts.size], outputs=[0])
+
+
+def _ref(w: Workload):
+    dx = np.float32((X1 - X0) / W)
+    dy = np.float32((Y1 - Y0) / H)
+    xs = np.float32(X0) + (np.arange(W * H, dtype=np.int64) % W).astype(np.float32) * dx
+    ys = np.float32(Y0) + (np.arange(W * H, dtype=np.int64) // W).astype(np.float32) * dy
+    zx = np.zeros(W * H, np.float32)
+    zy = np.zeros(W * H, np.float32)
+    iters = np.zeros(W * H, np.int32)
+    for _ in range(MAX_ITER):
+        active = zx * zx + zy * zy < np.float32(4.0)
+        nzx = zx * zx - zy * zy + xs
+        nzy = np.float32(2.0) * zx * zy + ys
+        zx = np.where(active, nzx, zx).astype(np.float32)
+        zy = np.where(active, nzy, zy).astype(np.float32)
+        iters += active.astype(np.int32)
+    return [iters]
+
+
+BENCH = KernelSpec(
+    name="mandelbrot",
+    group="ispc",
+    doc="Mandelbrot escape-iteration counts over a pixel grid",
+    scalar_src=SERIAL_SRC,
+    psim_src=PSIM_SRC,
+    hand_build=None,
+    workload=_workload,
+    ref=_ref,
+)

@@ -1,0 +1,74 @@
+"""ispc suite: noise — gradient value noise over a 2-D grid (arithmetic
+lattice hash, smoothstep interpolation)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernelspec import KernelSpec
+from ..workloads import Workload
+
+W, H = 64, 24
+SCALE = 0.17
+
+_DECL = """
+f32 latticehash(i32 ix, i32 iy) {
+    i32 h = ix * 374761393 + iy * 668265263;
+    h = (h ^ (h >> 13)) * 1274126177;
+    h = h ^ (h >> 16);
+    return (f32)(h & 1023) * 0.001953125f - 1.0f;
+}
+"""
+
+_BODY = """
+    f32 x = (f32)(i % width) * scale;
+    f32 y = (f32)(i / width) * scale;
+    i32 ix = (i32)floor(x);
+    i32 iy = (i32)floor(y);
+    f32 fx = x - (f32)ix;
+    f32 fy = y - (f32)iy;
+    f32 sx = fx * fx * (3.0f - 2.0f * fx);
+    f32 sy = fy * fy * (3.0f - 2.0f * fy);
+    f32 v00 = latticehash(ix, iy);
+    f32 v10 = latticehash(ix + 1, iy);
+    f32 v01 = latticehash(ix, iy + 1);
+    f32 v11 = latticehash(ix + 1, iy + 1);
+    f32 vx0 = v00 + sx * (v10 - v00);
+    f32 vx1 = v01 + sx * (v11 - v01);
+    out[i] = vx0 + sy * (vx1 - vx0);
+"""
+
+SERIAL_SRC = f"""
+{_DECL}
+void kernel(f32* out, u64 width, f32 scale, u64 n) {{
+    for (u64 i = 0; i < n; i++) {{
+        {_BODY}
+    }}
+}}
+"""
+
+PSIM_SRC = f"""
+{_DECL}
+void kernel(f32* out, u64 width, f32 scale, u64 n) {{
+    psim (gang_size=16, num_threads=n) {{
+        u64 i = psim_get_thread_num();
+        {_BODY}
+    }}
+}}
+"""
+
+
+def _workload() -> Workload:
+    out = np.zeros(W * H, np.float32)
+    return Workload([out], [W, np.float32(SCALE), out.size], outputs=[0])
+
+
+BENCH = KernelSpec(
+    name="noise",
+    group="ispc",
+    doc="value noise with an arithmetic lattice hash",
+    scalar_src=SERIAL_SRC,
+    psim_src=PSIM_SRC,
+    hand_build=None,
+    workload=_workload,
+)

@@ -1,0 +1,72 @@
+"""ispc suite: stencil — iterated 2-D 5-point diffusion stencil."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernelspec import KernelSpec
+from ..workloads import Workload, rng_for
+
+W, H = 64, 24
+TSTEPS = 4
+
+_BODY = """
+    u64 p = row + w + x + 1;
+    dst[p] = c0 * src[p]
+           + c1 * (src[p - 1] + src[p + 1] + src[p - w] + src[p + w]);
+"""
+
+SERIAL_SRC = f"""
+void kernel(f32* a, f32* b, f32 c0, f32 c1, u64 w, u64 h, u64 tsteps) {{
+    for (u64 t = 0; t < tsteps; t++) {{
+        f32* src = a;
+        f32* dst = b;
+        if (t % 2 == 1) {{ src = b; dst = a; }}
+        for (u64 y = 0; y < h - 2; y++) {{
+            u64 row = y * w;
+            for (u64 x = 0; x < w - 2; x++) {{
+                {_BODY}
+            }}
+        }}
+    }}
+}}
+"""
+
+PSIM_SRC = f"""
+void kernel(f32* a, f32* b, f32 c0, f32 c1, u64 w, u64 h, u64 tsteps) {{
+    for (u64 t = 0; t < tsteps; t++) {{
+        f32* src = a;
+        f32* dst = b;
+        if (t % 2 == 1) {{ src = b; dst = a; }}
+        for (u64 y = 0; y < h - 2; y++) {{
+            u64 row = y * w;
+            psim (gang_size=16, num_threads=w - 2) {{
+                u64 x = psim_get_thread_num();
+                {_BODY}
+            }}
+        }}
+    }}
+}}
+"""
+
+
+def _workload() -> Workload:
+    rng = rng_for("stencil")
+    a = rng.random(W * H).astype(np.float32)
+    b = a.copy()
+    return Workload(
+        [a, b],
+        [np.float32(0.6), np.float32(0.1), W, H, TSTEPS],
+        outputs=[0, 1],
+    )
+
+
+BENCH = KernelSpec(
+    name="stencil",
+    group="ispc",
+    doc="time-iterated 5-point diffusion stencil",
+    scalar_src=SERIAL_SRC,
+    psim_src=PSIM_SRC,
+    hand_build=None,
+    workload=_workload,
+)

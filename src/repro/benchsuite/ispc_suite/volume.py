@@ -1,0 +1,71 @@
+"""ispc suite: volume rendering — ray-march accumulation through a 3-D
+density volume (data-dependent trilinear-free nearest lookups → gathers)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernelspec import KernelSpec
+from ..workloads import Workload, rng_for
+
+W, H = 32, 24
+VOL = 16  # volume is VOL^3 voxels
+STEPS = 24
+
+_BODY = """
+    f32 px = (f32)(i %% width) / (f32)width;
+    f32 py = (f32)(i / width) / (f32)height;
+    // ray enters at (px, py, 0) and marches straight in +z
+    f32 fx = px * (f32)(vol - 1);
+    f32 fy = py * (f32)(vol - 1);
+    i32 vx = (i32)fx;
+    i32 vy = (i32)fy;
+    f32 transmit = 1.0f;
+    f32 light = 0.0f;
+    for (i32 s = 0; s < %(steps)d; s++) {
+        f32 fz = (f32)s * (f32)(vol - 1) / %(steps)d.0f;
+        i32 vz = (i32)fz;
+        u64 idx = (u64)((vz * vol + vy) * vol + vx);
+        f32 density = volume[idx];
+        f32 absorbed = density * 0.08f;
+        light = light + transmit * absorbed;
+        transmit = transmit * (1.0f - absorbed);
+        if (transmit < 0.01f) { break; }
+    }
+    img[i] = light;
+""" % {"steps": STEPS}
+
+SERIAL_SRC = f"""
+void kernel(f32* img, f32* volume, u64 width, u64 height, i32 vol, u64 n) {{
+    for (u64 i = 0; i < n; i++) {{
+        {_BODY}
+    }}
+}}
+"""
+
+PSIM_SRC = f"""
+void kernel(f32* img, f32* volume, u64 width, u64 height, i32 vol, u64 n) {{
+    psim (gang_size=16, num_threads=n) {{
+        u64 i = psim_get_thread_num();
+        {_BODY}
+    }}
+}}
+"""
+
+
+def _workload() -> Workload:
+    rng = rng_for("volume")
+    density = rng.random(VOL * VOL * VOL).astype(np.float32)
+    img = np.zeros(W * H, np.float32)
+    return Workload([img, density], [W, H, VOL, img.size], outputs=[0], rtol=1e-5)
+
+
+BENCH = KernelSpec(
+    name="volume_rendering",
+    group="ispc",
+    doc="front-to-back ray-march through a random density volume",
+    scalar_src=SERIAL_SRC,
+    psim_src=PSIM_SRC,
+    hand_build=None,
+    workload=_workload,
+)

@@ -1,0 +1,149 @@
+"""Kernel specification: one benchmark in N implementations.
+
+Each Simd-Library-style kernel provides a serial PsimC source (compiled
+both unvectorized — "LLVM scalar" — and through the loop auto-vectorizer),
+a Parsimony PsimC source with a ``psim`` region, and a hand-written
+intrinsics builder, mirroring the four configurations of the paper's
+Figure 5.  Every implementation defines a function named ``kernel`` whose
+parameters are all pointers first, then all scalars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..ir.module import Module
+from .workloads import Workload
+
+__all__ = ["KernelSpec", "elementwise_sources", "reduction_sources", "rowwise_sources"]
+
+
+@dataclass
+class KernelSpec:
+    """A benchmark kernel and everything needed to build/run/check it."""
+
+    name: str
+    group: str
+    scalar_src: str
+    psim_src: str
+    #: None for suites without a hand-written configuration (ispc suite).
+    hand_build: Optional[Callable[[Module], None]]
+    workload: Callable[[], Workload]
+    #: Optional independent numpy reference: ``ref(workload) -> list`` of
+    #: expected output arrays (or the expected return value).
+    ref: Optional[Callable] = None
+    #: Documentation: what the kernel computes.
+    doc: str = ""
+
+    def __post_init__(self):
+        if "void kernel(" not in self.scalar_src and " kernel(" not in self.scalar_src:
+            raise ValueError(f"{self.name}: scalar source must define kernel()")
+
+
+# ---------------------------------------------------------------------------
+# source templates — the scalar and psim variants share the body text, so
+# the two implementations are the same algorithm by construction (§5: "we
+# adapted the ispc versions into Parsimony maintaining the same algorithms")
+# ---------------------------------------------------------------------------
+
+
+def elementwise_sources(params: str, body: str, gang: int = 64,
+                        decl: str = "", psim_body: Optional[str] = None) -> tuple:
+    """(scalar_src, psim_src) for a flat per-element kernel.
+
+    ``body`` may use ``i`` (the element index, u64) and the parameters.
+    ``psim_body`` lets the Parsimony port use the SPMD API's narrow
+    operations (saturating math etc., §3) while the serial version stays
+    idiomatic C — matching how the paper's ports differ from the Simd
+    Library's "Base" implementations.
+    """
+    scalar = f"""
+    {decl}
+    void kernel({params}, u64 n) {{
+        for (u64 i = 0; i < n; i++) {{
+            {body}
+        }}
+    }}
+    """
+    psim = f"""
+    {decl}
+    void kernel({params}, u64 n) {{
+        psim (gang_size={gang}, num_threads=n) {{
+            u64 i = psim_get_thread_num();
+            {psim_body or body}
+        }}
+    }}
+    """
+    return scalar, psim
+
+
+def reduction_sources(params: str, init: str, accum_body: str, result_type: str,
+                      result_expr: str = "acc", gang: int = 64,
+                      psim_reduce: str = "psim_reduce_add_sync") -> tuple:
+    """(scalar_src, psim_src) for a whole-array reduction.
+
+    The scalar variant is a serial accumulation loop; the Parsimony variant
+    accumulates per-gang with an explicit horizontal reduction and one
+    atomic-free store per gang into a partials array combined on the host —
+    here simplified to an atomic add on the result cell, the idiomatic
+    SPMD reduction.
+    """
+    scalar = f"""
+    void kernel({params}, {result_type}* out, u64 n) {{
+        {result_type} acc = {init};
+        for (u64 i = 0; i < n; i++) {{
+            {accum_body}
+        }}
+        out[0] = {result_expr};
+    }}
+    """
+    psim = f"""
+    void kernel({params}, {result_type}* out, u64 n) {{
+        out[0] = 0;
+        psim (gang_size={gang}, num_threads=n) {{
+            u64 i = psim_get_thread_num();
+            {result_type} acc = 0;
+            {accum_body}
+            {result_type} gang_total = {psim_reduce}(acc);
+            if (psim_get_lane_num() == 0) {{
+                psim_atomic_add(out, gang_total);
+            }}
+        }}
+    }}
+    """
+    return scalar, psim
+
+
+def rowwise_sources(params: str, body: str, gang: int = 64,
+                    xspan: str = "w", decl: str = "") -> tuple:
+    """(scalar_src, psim_src) for a 2-D kernel: serial over rows ``y``,
+    parallel over columns ``x`` (how the Simd Library structures filters).
+
+    ``body`` may use ``x``, ``y``, ``row`` (= y*w) and the parameters.
+    ``xspan`` is the number of columns processed per row.
+    """
+    scalar = f"""
+    {decl}
+    void kernel({params}, u64 w, u64 h) {{
+        for (u64 y = 0; y < h; y++) {{
+            u64 row = y * w;
+            for (u64 x = 0; x < {xspan}; x++) {{
+                {body}
+            }}
+        }}
+    }}
+    """
+    psim = f"""
+    {decl}
+    void kernel({params}, u64 w, u64 h) {{
+        for (u64 y = 0; y < h; y++) {{
+            u64 row = y * w;
+            psim (gang_size={gang}, num_threads={xspan}) {{
+                u64 x = psim_get_thread_num();
+                {body}
+            }}
+        }}
+    }}
+    """
+    return scalar, psim

@@ -1,0 +1,151 @@
+"""Benchmark runner: builds, checks, and measures kernel implementations.
+
+Implements the paper's measurement methodology (§5): every kernel runs in
+up to four configurations — un-vectorized scalar, auto-vectorized,
+Parsimony, hand-written — on the same machine model with the same seeded
+workload, and reports cost-model cycles.  Cross-implementation output
+equality is checked before any number is reported.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..backend.machine import AVX512, ExecStats, Machine
+from ..driver import compile_autovec, compile_ispc, compile_parsimony, compile_scalar
+from ..ir.module import Module
+from ..vm import Interpreter
+from .kernelspec import KernelSpec
+from .workloads import Workload
+
+__all__ = [
+    "IMPLEMENTATIONS",
+    "KernelResult",
+    "build_impl",
+    "run_impl",
+    "check_kernel",
+    "measure_kernel",
+    "geomean",
+]
+
+IMPLEMENTATIONS = ("scalar", "autovec", "parsimony", "handwritten")
+
+#: Guard space after each array so bounded-window over-reads (§4.2.3's
+#: packed+shuffle accesses) stay in-bounds, as intrinsics code assumes.
+_GUARD_BYTES = 4096
+
+
+@dataclass
+class KernelResult:
+    impl: str
+    cycles: float
+    stats: ExecStats
+    outputs: List[np.ndarray]
+    returned: object = None
+
+    def output_signature(self):
+        sig = [np.asarray(o) for o in self.outputs]
+        if self.returned is not None:
+            sig.append(np.asarray(self.returned))
+        return sig
+
+
+def build_impl(spec: KernelSpec, impl: str, machine: Machine = AVX512) -> Module:
+    """Compile one implementation of a kernel to an IR module."""
+    if impl == "scalar":
+        return compile_scalar(spec.scalar_src, f"{spec.name}.scalar")
+    if impl == "autovec":
+        return compile_autovec(spec.scalar_src, machine, f"{spec.name}.autovec")
+    if impl == "parsimony":
+        return compile_parsimony(spec.psim_src, module_name=f"{spec.name}.parsimony")
+    if impl == "ispc":
+        return compile_ispc(spec.psim_src, machine, f"{spec.name}.ispc")
+    if impl == "handwritten":
+        module = Module(f"{spec.name}.hand")
+        spec.hand_build(module)
+        # Intrinsics code still goes through the compiler's -O pipeline.
+        from ..passes import constant_fold, cse, dce, licm
+
+        for function in module.functions.values():
+            constant_fold(function)
+            cse(function)
+            licm(function)
+            dce(function)
+        return module
+    raise ValueError(f"unknown implementation {impl!r}")
+
+
+def run_impl(spec: KernelSpec, impl: str, machine: Machine = AVX512,
+             module: Optional[Module] = None,
+             workload: Optional[Workload] = None) -> KernelResult:
+    """Execute one implementation on the kernel's seeded workload."""
+    module = module or build_impl(spec, impl, machine)
+    workload = workload or spec.workload()
+    interp = Interpreter(module, machine=machine)
+    addrs = []
+    for array in workload.arrays:
+        addrs.append(interp.memory.alloc_array(array))
+        interp.memory.alloc(_GUARD_BYTES)
+    returned = interp.run("kernel", *addrs, *workload.scalars)
+    outputs = [
+        interp.memory.read_array(addrs[idx], workload.arrays[idx].dtype,
+                                 workload.arrays[idx].size)
+        for idx in workload.outputs
+    ]
+    return KernelResult(
+        impl=impl,
+        cycles=interp.stats.cycles,
+        stats=interp.stats,
+        outputs=outputs,
+        returned=returned if workload.returns_value else None,
+    )
+
+
+def check_kernel(spec: KernelSpec, machine: Machine = AVX512,
+                 impls: Sequence[str] = IMPLEMENTATIONS) -> Dict[str, KernelResult]:
+    """Run every implementation and assert identical outputs (and, when a
+    numpy reference exists, agreement with it)."""
+    results = {impl: run_impl(spec, impl, machine) for impl in impls}
+    workload = spec.workload()
+    rtol = workload.rtol
+
+    def compare(got, want, message):
+        if rtol is None:
+            np.testing.assert_array_equal(got, want, err_msg=message)
+        else:
+            np.testing.assert_allclose(got, want, rtol=rtol, err_msg=message)
+
+    baseline = results[impls[0]]
+    base_sig = baseline.output_signature()
+    for impl, result in results.items():
+        sig = result.output_signature()
+        assert len(sig) == len(base_sig), f"{spec.name}/{impl}: output arity differs"
+        for got, want in zip(sig, base_sig):
+            compare(got, want, f"{spec.name}: {impl} output differs from {impls[0]}")
+    if spec.ref is not None:
+        expected = spec.ref(workload)
+        for got, want in zip(base_sig, expected):
+            compare(
+                np.asarray(got), np.asarray(want),
+                f"{spec.name}: {impls[0]} disagrees with numpy reference",
+            )
+    return results
+
+
+def measure_kernel(spec: KernelSpec, machine: Machine = AVX512,
+                   impls: Sequence[str] = IMPLEMENTATIONS) -> Dict[str, float]:
+    """Speedup of every implementation relative to scalar."""
+    results = {impl: run_impl(spec, impl, machine) for impl in impls}
+    scalar = results["scalar"].cycles
+    return {impl: scalar / r.cycles for impl, r in results.items()}
+
+
+def geomean(values: Sequence[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,22 @@
+"""The 72-kernel Simd Library benchmark suite (paper §5, Figure 5).
+
+Each kernel ports one benchmark from the Simd Library in four
+implementations (see ``repro.benchsuite.kernelspec``).  Families mirror
+the library's own grouping.
+"""
+
+from typing import Dict, List
+
+from ..kernelspec import KernelSpec
+
+from . import arith, background, blend, convert, copyfill, filter as filter_, misc, stat
+
+_FAMILIES = [copyfill, arith, blend, convert, filter_, background, stat, misc]
+
+KERNELS: List[KernelSpec] = []
+for _family in _FAMILIES:
+    KERNELS.extend(_family.KERNELS)
+
+BY_NAME: Dict[str, KernelSpec] = {k.name: k for k in KERNELS}
+
+__all__ = ["KERNELS", "BY_NAME"]

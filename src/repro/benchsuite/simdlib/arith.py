@@ -1,0 +1,236 @@
+"""Simd Library kernels: per-pixel arithmetic operations family."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir import I8, I16, I64, PointerType
+from ..kernelspec import KernelSpec, elementwise_sources
+from ..workloads import Workload, gray_image, rng_for
+from .handutil import P8, P16, simple_hand
+
+KERNELS = []
+
+
+def _spec(**kwargs):
+    spec = KernelSpec(group="arith", **kwargs)
+    KERNELS.append(spec)
+    return spec
+
+
+def _two_in_one_out_workload(name, dtype=np.uint8):
+    def make():
+        rng = rng_for(name)
+        a = gray_image(rng, dtype=dtype)
+        b = gray_image(rng, dtype=dtype)
+        return Workload([a, b, np.zeros_like(a)], [a.size], outputs=[2])
+
+    return make
+
+
+def _binary_u8(name, doc, scalar_body, psim_body, hand_op, ref):
+    """An (a[i], b[i]) -> c[i] u8 kernel in all four implementations."""
+    scalar_src, psim_src = elementwise_sources(
+        "u8* a, u8* b, u8* c", scalar_body, psim_body=psim_body
+    )
+
+    def hand(module):
+        def body(k, i):
+            va = k.load(k.p.a, i, 64)
+            vb = k.load(k.p.b, i, 64)
+            k.store(hand_op(k, va, vb), k.p.c, i)
+
+        simple_hand(module, [("a", P8), ("b", P8), ("c", P8), ("n", I64)], 64, body)
+
+    return _spec(
+        name=name,
+        doc=doc,
+        scalar_src=scalar_src,
+        psim_src=psim_src,
+        hand_build=hand,
+        workload=_two_in_one_out_workload(name),
+        ref=lambda w: [ref(w.arrays[0], w.arrays[1])],
+    )
+
+
+_binary_u8(
+    "AbsDifference",
+    "per-pixel absolute difference",
+    "c[i] = (u8)abs((i32)a[i] - (i32)b[i]);",
+    "c[i] = absdiff(a[i], b[i]);",
+    lambda k, va, vb: k.abs_diff_u8(va, vb),
+    lambda a, b: np.abs(a.astype(np.int16) - b).astype(np.uint8),
+)
+
+_sqdiff_scalar, _sqdiff_psim = elementwise_sources(
+    "u8* a, u8* b, u8* c",
+    "i32 d = (i32)a[i] - (i32)b[i]; c[i] = (u8)min(d * d, 255);",
+    psim_body=(
+        "u16 d = (u16)absdiff(a[i], b[i]); u16 s = d * d; "
+        "c[i] = (u8)min(s, (u16)255);"
+    ),
+)
+
+
+def _sqdiff_hand(module):
+    def body(k, i):
+        va = k.load(k.p.a, i, 64)
+        vb = k.load(k.p.b, i, 64)
+        d = k.widen_u8_u16(k.abs_diff_u8(va, vb))
+        sq = k.mul(d, d)
+        k.store(k.narrow_to_u8(k.umin(sq, k.splat(I16, 255, 64))), k.p.c, i)
+
+    simple_hand(module, [("a", P8), ("b", P8), ("c", P8), ("n", I64)], 64, body)
+
+
+_spec(
+    name="SquaredDifference",
+    doc="per-pixel squared difference, saturated to u8",
+    scalar_src=_sqdiff_scalar,
+    psim_src=_sqdiff_psim,
+    hand_build=_sqdiff_hand,
+    workload=_two_in_one_out_workload("SquaredDifference"),
+    ref=lambda w: [
+        np.minimum(
+            (w.arrays[0].astype(np.int32) - w.arrays[1].astype(np.int32)) ** 2, 255
+        ).astype(np.uint8)
+    ],
+)
+
+_binary_u8(
+    "OperationBinary8uAnd",
+    "bitwise and of two images",
+    "c[i] = a[i] & b[i];",
+    None,
+    lambda k, va, vb: k.and_(va, vb),
+    lambda a, b: a & b,
+)
+
+_binary_u8(
+    "OperationBinary8uOr",
+    "bitwise or of two images",
+    "c[i] = a[i] | b[i];",
+    None,
+    lambda k, va, vb: k.or_(va, vb),
+    lambda a, b: a | b,
+)
+
+_binary_u8(
+    "OperationBinary8uMaximum",
+    "per-pixel maximum",
+    "c[i] = max(a[i], b[i]);",
+    None,
+    lambda k, va, vb: k.umax(va, vb),
+    lambda a, b: np.maximum(a, b),
+)
+
+_binary_u8(
+    "OperationBinary8uMinimum",
+    "per-pixel minimum",
+    "c[i] = min(a[i], b[i]);",
+    None,
+    lambda k, va, vb: k.umin(va, vb),
+    lambda a, b: np.minimum(a, b),
+)
+
+_binary_u8(
+    "OperationBinary8uSaturatedAddition",
+    "per-pixel saturating add",
+    "c[i] = (u8)min((i32)a[i] + (i32)b[i], 255);",
+    "c[i] = addsat(a[i], b[i]);",
+    lambda k, va, vb: k.sat_add_u8(va, vb),
+    lambda a, b: np.minimum(a.astype(np.int32) + b, 255).astype(np.uint8),
+)
+
+_binary_u8(
+    "OperationBinary8uSaturatedSubtraction",
+    "per-pixel saturating subtract",
+    "c[i] = (u8)max((i32)a[i] - (i32)b[i], 0);",
+    "c[i] = subsat(a[i], b[i]);",
+    lambda k, va, vb: k.sat_sub_u8(va, vb),
+    lambda a, b: np.maximum(a.astype(np.int32) - b.astype(np.int32), 0).astype(np.uint8),
+)
+
+_binary_u8(
+    "OperationBinary8uAverage",
+    "per-pixel rounding average",
+    "c[i] = (u8)(((i32)a[i] + (i32)b[i] + 1) >> 1);",
+    "c[i] = avgr(a[i], b[i]);",
+    lambda k, va, vb: k.avg_u8(va, vb),
+    lambda a, b: ((a.astype(np.int32) + b + 1) >> 1).astype(np.uint8),
+)
+
+
+# -- OperationBinary16iAddition (wrapping i16 add) -----------------------------------
+
+_add16_scalar, _add16_psim = elementwise_sources(
+    "i16* a, i16* b, i16* c", "c[i] = a[i] + b[i];", gang=32
+)
+
+
+def _add16_hand(module):
+    def body(k, i):
+        va = k.load(k.p.a, i, 32)
+        vb = k.load(k.p.b, i, 32)
+        k.store(k.add(va, vb), k.p.c, i)
+
+    simple_hand(module, [("a", P16), ("b", P16), ("c", P16), ("n", I64)], 32, body)
+
+
+def _add16_workload():
+    rng = rng_for("OperationBinary16iAddition")
+    a = gray_image(rng, dtype=np.int16).view(np.int16)
+    b = gray_image(rng, dtype=np.int16).view(np.int16)
+    return Workload([a, b, np.zeros_like(a)], [a.size], outputs=[2])
+
+
+_spec(
+    name="OperationBinary16iAddition",
+    doc="wrapping 16-bit addition",
+    scalar_src=_add16_scalar,
+    psim_src=_add16_psim,
+    hand_build=_add16_hand,
+    workload=_add16_workload,
+    ref=lambda w: [(w.arrays[0] + w.arrays[1])],
+)
+
+# -- SaturatedSubtraction16i ----------------------------------------------------------
+
+_sub16_scalar, _sub16_psim = elementwise_sources(
+    "i16* a, i16* b, i16* c",
+    "i32 d = (i32)a[i] - (i32)b[i]; c[i] = (i16)max(min(d, 32767), -32768);",
+    gang=32,
+    psim_body="c[i] = subsat(a[i], b[i]);",
+)
+
+
+def _sub16_hand(module):
+    def body(k, i):
+        va = k.load(k.p.a, i, 32)
+        vb = k.load(k.p.b, i, 32)
+        k.store(k.subsat_s(va, vb), k.p.c, i)
+
+    simple_hand(module, [("a", P16), ("b", P16), ("c", P16), ("n", I64)], 32, body)
+
+
+def _sub16_workload():
+    rng = rng_for("OperationBinary16iSaturatedSubtraction")
+    a = rng.integers(-32768, 32768, 64 * 48).astype(np.int16)
+    b = rng.integers(-32768, 32768, 64 * 48).astype(np.int16)
+    return Workload([a, b, np.zeros_like(a)], [a.size], outputs=[2])
+
+
+_spec(
+    name="OperationBinary16iSaturatedSubtraction",
+    doc="saturating 16-bit subtraction",
+    scalar_src=_sub16_scalar,
+    psim_src=_sub16_psim,
+    hand_build=_sub16_hand,
+    workload=_sub16_workload,
+    ref=lambda w: [
+        np.clip(
+            w.arrays[0].astype(np.int32) - w.arrays[1].astype(np.int32),
+            -32768, 32767,
+        ).astype(np.int16)
+    ],
+)

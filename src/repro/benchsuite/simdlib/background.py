@@ -1,0 +1,286 @@
+"""Simd Library kernels: background-model maintenance family.
+
+Per-pixel state updates driven by comparisons — the family is rich in
+data-dependent control flow, which the serial versions express as
+branches/ternaries and the Parsimony versions as saturating API ops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir import I8, I64
+from ..kernelspec import KernelSpec, elementwise_sources
+from ..workloads import Workload, gray_image, rng_for
+from .handutil import P8, simple_hand
+
+KERNELS = []
+
+
+def _spec(**kwargs):
+    spec = KernelSpec(group="background", **kwargs)
+    KERNELS.append(spec)
+    return spec
+
+
+def _make(name, doc, params, body, psim_body, hand_body, arrays_fn, scalars_fn,
+          outputs, ref=None):
+    scalar_src, psim_src = elementwise_sources(params, body, psim_body=psim_body)
+
+    def workload():
+        rng = rng_for(name)
+        arrays = arrays_fn(rng)
+        return Workload(arrays, scalars_fn(arrays), outputs=outputs)
+
+    def hand(module):
+        sig = []
+        for part in params.split(","):
+            t, pname = part.split()
+            sig.append((pname, P8 if t.endswith("*") else I8))
+        sig.append(("n", I64))
+        simple_hand(module, sig, 64, hand_body)
+
+    _spec(
+        name=name,
+        doc=doc,
+        scalar_src=scalar_src,
+        psim_src=psim_src,
+        hand_build=hand,
+        workload=workload,
+        ref=ref,
+    )
+
+
+# -- BackgroundGrowRangeSlow -----------------------------------------------------------
+
+_make(
+    "BackgroundGrowRangeSlow",
+    "grow [lo, hi] toward each pixel by one step",
+    "u8* value, u8* lo, u8* hi",
+    "u8 v = value[i]; "
+    "if (v < lo[i]) { lo[i] = lo[i] - 1; } "
+    "if (v > hi[i]) { hi[i] = (u8)min((i32)hi[i] + 1, 255); }",
+    "u8 v = value[i]; "
+    "lo[i] = v < lo[i] ? lo[i] - 1 : lo[i]; "
+    "hi[i] = v > hi[i] ? addsat(hi[i], (u8)1) : hi[i];",
+    lambda k, i: _grow_slow_hand(k, i),
+    lambda rng: [gray_image(rng), gray_image(rng), gray_image(rng)],
+    lambda arrays: [arrays[0].size],
+    outputs=[1, 2],
+    ref=lambda w: [
+        np.where(w.arrays[0] < w.arrays[1], w.arrays[1] - 1, w.arrays[1]),
+        np.where(
+            w.arrays[0] > w.arrays[2],
+            np.minimum(w.arrays[2].astype(np.int32) + 1, 255).astype(np.uint8),
+            w.arrays[2],
+        ),
+    ],
+)
+
+
+def _grow_slow_hand(k, i):
+    v = k.load(k.p.value, i, 64)
+    lo = k.load(k.p.lo, i, 64)
+    hi = k.load(k.p.hi, i, 64)
+    one = k.splat(I8, 1, 64)
+    lo2 = k.blend(k.icmp("ult", v, lo), k.sub(lo, one), lo)
+    hi2 = k.blend(k.icmp("ugt", v, hi), k.sat_add_u8(hi, one), hi)
+    k.store(lo2, k.p.lo, i)
+    k.store(hi2, k.p.hi, i)
+
+
+# -- BackgroundGrowRangeFast ------------------------------------------------------------
+
+_make(
+    "BackgroundGrowRangeFast",
+    "grow [lo, hi] to include each pixel",
+    "u8* value, u8* lo, u8* hi",
+    "u8 v = value[i]; lo[i] = min(v, lo[i]); hi[i] = max(v, hi[i]);",
+    None,
+    lambda k, i: _grow_fast_hand(k, i),
+    lambda rng: [gray_image(rng), gray_image(rng), gray_image(rng)],
+    lambda arrays: [arrays[0].size],
+    outputs=[1, 2],
+    ref=lambda w: [
+        np.minimum(w.arrays[0], w.arrays[1]),
+        np.maximum(w.arrays[0], w.arrays[2]),
+    ],
+)
+
+
+def _grow_fast_hand(k, i):
+    v = k.load(k.p.value, i, 64)
+    k.store(k.umin(v, k.load(k.p.lo, i, 64)), k.p.lo, i)
+    k.store(k.umax(v, k.load(k.p.hi, i, 64)), k.p.hi, i)
+
+
+# -- BackgroundIncrementCount --------------------------------------------------------------
+
+_make(
+    "BackgroundIncrementCount",
+    "count pixels outside the model range (saturating counters)",
+    "u8* value, u8* lo, u8* hi, u8* loCount, u8* hiCount",
+    "u8 v = value[i]; "
+    "if (v < lo[i]) { loCount[i] = (u8)min((i32)loCount[i] + 1, 255); } "
+    "if (v > hi[i]) { hiCount[i] = (u8)min((i32)hiCount[i] + 1, 255); }",
+    "u8 v = value[i]; "
+    "loCount[i] = v < lo[i] ? addsat(loCount[i], (u8)1) : loCount[i]; "
+    "hiCount[i] = v > hi[i] ? addsat(hiCount[i], (u8)1) : hiCount[i];",
+    lambda k, i: _inc_count_hand(k, i),
+    lambda rng: [gray_image(rng) for _ in range(5)],
+    lambda arrays: [arrays[0].size],
+    outputs=[3, 4],
+)
+
+
+def _inc_count_hand(k, i):
+    v = k.load(k.p.value, i, 64)
+    one = k.splat(I8, 1, 64)
+    for bound, count, pred in (("lo", "loCount", "ult"), ("hi", "hiCount", "ugt")):
+        limit = k.load(getattr(k.p, bound), i, 64)
+        cnt = k.load(getattr(k.p, count), i, 64)
+        updated = k.blend(k.icmp(pred, v, limit), k.sat_add_u8(cnt, one), cnt)
+        k.store(updated, getattr(k.p, count), i)
+
+
+# -- BackgroundAdjustRange --------------------------------------------------------------------
+
+_make(
+    "BackgroundAdjustRange",
+    "widen/narrow the model range from the outlier counters",
+    "u8* loCount, u8* loValue, u8* hiCount, u8* hiValue, u8 threshold",
+    "if (loCount[i] > threshold) { loValue[i] = (u8)max((i32)loValue[i] - 1, 0); } "
+    "if (hiCount[i] > threshold) { hiValue[i] = (u8)min((i32)hiValue[i] + 1, 255); } "
+    "loCount[i] = 0; hiCount[i] = 0;",
+    "loValue[i] = loCount[i] > threshold ? subsat(loValue[i], (u8)1) : loValue[i]; "
+    "hiValue[i] = hiCount[i] > threshold ? addsat(hiValue[i], (u8)1) : hiValue[i]; "
+    "loCount[i] = 0; hiCount[i] = 0;",
+    lambda k, i: _adjust_hand(k, i),
+    lambda rng: [gray_image(rng) for _ in range(4)],
+    lambda arrays: [64, arrays[0].size],
+    outputs=[0, 1, 2, 3],
+)
+
+
+def _adjust_hand(k, i):
+    thr = k.broadcast(k.p.threshold, 64)
+    one = k.splat(I8, 1, 64)
+    zero = k.splat(I8, 0, 64)
+    lc = k.load(k.p.loCount, i, 64)
+    lv = k.load(k.p.loValue, i, 64)
+    k.store(k.blend(k.icmp("ugt", lc, thr), k.sat_sub_u8(lv, one), lv), k.p.loValue, i)
+    hc = k.load(k.p.hiCount, i, 64)
+    hv = k.load(k.p.hiValue, i, 64)
+    k.store(k.blend(k.icmp("ugt", hc, thr), k.sat_add_u8(hv, one), hv), k.p.hiValue, i)
+    k.store(zero, k.p.loCount, i)
+    k.store(zero, k.p.hiCount, i)
+
+
+# -- BackgroundShiftRange ----------------------------------------------------------------------
+
+_make(
+    "BackgroundShiftRange",
+    "shift the model range toward the current pixel",
+    "u8* value, u8* lo, u8* hi",
+    "i32 mid = ((i32)lo[i] + (i32)hi[i]) >> 1; "
+    "i32 d = (i32)value[i] - mid; "
+    "lo[i] = (u8)max(min((i32)lo[i] + d, 255), 0); "
+    "hi[i] = (u8)max(min((i32)hi[i] + d, 255), 0);",
+    "i32 mid = ((i32)lo[i] + (i32)hi[i]) >> 1; "
+    "i32 d = (i32)value[i] - mid; "
+    "lo[i] = (u8)max(min((i32)lo[i] + d, 255), 0); "
+    "hi[i] = (u8)max(min((i32)hi[i] + d, 255), 0);",
+    lambda k, i: _shift_hand(k, i),
+    lambda rng: [gray_image(rng), gray_image(rng), gray_image(rng)],
+    lambda arrays: [arrays[0].size],
+    outputs=[1, 2],
+)
+
+
+def _shift_hand(k, i):
+    from ...ir import I16
+
+    v = k.widen_u8_u16(k.load(k.p.value, i, 64))
+    lo = k.widen_u8_u16(k.load(k.p.lo, i, 64))
+    hi = k.widen_u8_u16(k.load(k.p.hi, i, 64))
+    mid = k.lshr(k.add(lo, hi), k.splat(I16, 1, 64))
+    # d can be negative: work in i16, clamp via smin/smax.
+    d = k.sub(v, mid)
+    z = k.splat(I16, 0, 64)
+    cap = k.splat(I16, 255, 64)
+    lo2 = k.smax(k.smin(k.add(lo, d), cap), z)
+    hi2 = k.smax(k.smin(k.add(hi, d), cap), z)
+    k.store(k.narrow_to_u8(lo2), k.p.lo, i)
+    k.store(k.narrow_to_u8(hi2), k.p.hi, i)
+
+
+# -- BackgroundInitMask --------------------------------------------------------------------------
+
+_make(
+    "BackgroundInitMask",
+    "initialize a mask where the source matches an index",
+    "u8* src, u8* dst, u8 index, u8 value",
+    "if (src[i] == index) { dst[i] = value; }",
+    "dst[i] = src[i] == index ? value : dst[i];",
+    lambda k, i: _initmask_hand(k, i),
+    lambda rng: [
+        (rng.integers(0, 4, 64 * 48)).astype(np.uint8),
+        gray_image(rng, dtype=np.uint8),
+    ],
+    lambda arrays: [2, 0xCC, arrays[0].size],
+    outputs=[1],
+    ref=lambda w: [np.where(w.arrays[0] == 2, 0xCC, w.arrays[1]).astype(np.uint8)],
+)
+
+
+def _initmask_hand(k, i):
+    v = k.load(k.p.src, i, 64)
+    d = k.load(k.p.dst, i, 64)
+    mask = k.icmp("eq", v, k.broadcast(k.p.index, 64))
+    k.store(k.blend(mask, k.broadcast(k.p.value, 64), d), k.p.dst, i)
+
+
+# -- EdgeBackgroundGrowRangeSlow -------------------------------------------------------------------
+
+_make(
+    "EdgeBackgroundGrowRangeSlow",
+    "grow the edge background upward by one step",
+    "u8* value, u8* background",
+    "if (value[i] > background[i]) { "
+    "background[i] = (u8)min((i32)background[i] + 1, 255); }",
+    "background[i] = value[i] > background[i] ? addsat(background[i], (u8)1) "
+    ": background[i];",
+    lambda k, i: _edge_slow_hand(k, i),
+    lambda rng: [gray_image(rng), gray_image(rng)],
+    lambda arrays: [arrays[0].size],
+    outputs=[1],
+)
+
+
+def _edge_slow_hand(k, i):
+    v = k.load(k.p.value, i, 64)
+    bg = k.load(k.p.background, i, 64)
+    grown = k.blend(k.icmp("ugt", v, bg), k.sat_add_u8(bg, k.splat(I8, 1, 64)), bg)
+    k.store(grown, k.p.background, i)
+
+
+# -- EdgeBackgroundGrowRangeFast --------------------------------------------------------------------
+
+_make(
+    "EdgeBackgroundGrowRangeFast",
+    "grow the edge background to the pixel maximum",
+    "u8* value, u8* background",
+    "background[i] = max(value[i], background[i]);",
+    None,
+    lambda k, i: _edge_fast_hand(k, i),
+    lambda rng: [gray_image(rng), gray_image(rng)],
+    lambda arrays: [arrays[0].size],
+    outputs=[1],
+    ref=lambda w: [np.maximum(w.arrays[0], w.arrays[1])],
+)
+
+
+def _edge_fast_hand(k, i):
+    v = k.load(k.p.value, i, 64)
+    bg = k.load(k.p.background, i, 64)
+    k.store(k.umax(v, bg), k.p.background, i)

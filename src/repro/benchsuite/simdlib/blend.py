@@ -1,0 +1,266 @@
+"""Simd Library kernels: alpha blending / thresholding family."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir import I8, I16, I64
+from ..kernelspec import KernelSpec, elementwise_sources
+from ..workloads import Workload, gray_image, rng_for
+from .handutil import P8, simple_hand
+
+KERNELS = []
+
+
+def _spec(**kwargs):
+    spec = KernelSpec(group="blend", **kwargs)
+    KERNELS.append(spec)
+    return spec
+
+
+def _div255_expr(var: str) -> str:
+    # Simd's exact divide-by-255: (x + 1 + (x >> 8)) >> 8
+    return f"(({var} + 1 + ({var} >> 8)) >> 8)"
+
+
+def _hand_div255(k, wide16):
+    one = k.splat(I16, 1, 32)
+    eight = k.splat(I16, 8, 32)
+    t = k.add(k.add(wide16, one), k.lshr(wide16, eight))
+    return k.lshr(t, eight)
+
+
+# -- AlphaBlending --------------------------------------------------------------------
+
+_ab_body = (
+    "i32 t = (i32)a[i] * (i32)alpha[i] + (i32)b[i] * (255 - (i32)alpha[i]); "
+    f"c[i] = (u8){_div255_expr('t')};"
+)
+_ab_psim = (
+    "u16 va = (u16)a[i]; u16 vb = (u16)b[i]; u16 al = (u16)alpha[i]; "
+    "u16 t = va * al + vb * (255 - al); "
+    f"c[i] = (u8){_div255_expr('(u32)t')};"
+)
+_ab_scalar_src, _ab_psim_src = elementwise_sources(
+    "u8* a, u8* b, u8* alpha, u8* c", _ab_body, psim_body=_ab_psim
+)
+
+
+def _alpha_blend_ref(a, b, alpha):
+    t = a.astype(np.int32) * alpha + b.astype(np.int32) * (255 - alpha.astype(np.int32))
+    return ((t + 1 + (t >> 8)) >> 8).astype(np.uint8)
+
+
+def _ab_hand(module):
+    def body(k, i):
+        # vpmullw-based blend on u16 halves (as the AVX-512 original).
+        for half in range(2):
+            off = k.add(i, k.i64(half * 32))
+            va = k.widen_u8_u16(k.load(k.p.a, off, 32))
+            vb = k.widen_u8_u16(k.load(k.p.b, off, 32))
+            al = k.widen_u8_u16(k.load(k.p.alpha, off, 32))
+            inv = k.sub(k.splat(I16, 255, 32), al)
+            t = k.add(k.mul(va, al), k.mul(vb, inv))
+            k.store(k.narrow_to_u8(_hand_div255(k, t)), k.p.c, off)
+
+    simple_hand(
+        module,
+        [("a", P8), ("b", P8), ("alpha", P8), ("c", P8), ("n", I64)],
+        64,
+        body,
+    )
+
+
+def _ab_workload():
+    rng = rng_for("AlphaBlending")
+    a = gray_image(rng)
+    b = gray_image(rng)
+    alpha = gray_image(rng)
+    return Workload([a, b, alpha, np.zeros_like(a)], [a.size], outputs=[3])
+
+
+_spec(
+    name="AlphaBlending",
+    doc="per-pixel alpha blend of two images",
+    scalar_src=_ab_scalar_src,
+    psim_src=_ab_psim_src,
+    hand_build=_ab_hand,
+    workload=_ab_workload,
+    ref=lambda w: [_alpha_blend_ref(w.arrays[0], w.arrays[1], w.arrays[2])],
+)
+
+# -- AlphaFilling (blend a constant colour by per-pixel alpha) ---------------------------
+
+_af_body = (
+    "i32 t = (i32)value * (i32)alpha[i] + (i32)dst[i] * (255 - (i32)alpha[i]); "
+    f"dst[i] = (u8){_div255_expr('t')};"
+)
+_af_psim = (
+    "u16 al = (u16)alpha[i]; "
+    "u16 t = (u16)value * al + (u16)dst[i] * (255 - al); "
+    f"dst[i] = (u8){_div255_expr('(u32)t')};"
+)
+_af_scalar_src, _af_psim_src = elementwise_sources(
+    "u8* dst, u8* alpha, u8 value", _af_body, psim_body=_af_psim
+)
+
+
+def _af_hand(module):
+    def body(k, i):
+        for half in range(2):
+            off = k.add(i, k.i64(half * 32))
+            vd = k.widen_u8_u16(k.load(k.p.dst, off, 32))
+            al = k.widen_u8_u16(k.load(k.p.alpha, off, 32))
+            vv = k.broadcast(k.b.zext(k.p.value, I16), 32)
+            inv = k.sub(k.splat(I16, 255, 32), al)
+            t = k.add(k.mul(vv, al), k.mul(vd, inv))
+            k.store(k.narrow_to_u8(_hand_div255(k, t)), k.p.dst, off)
+
+    simple_hand(module, [("dst", P8), ("alpha", P8), ("value", I8), ("n", I64)], 64, body)
+
+
+def _af_workload():
+    rng = rng_for("AlphaFilling")
+    dst = gray_image(rng)
+    alpha = gray_image(rng)
+    return Workload([dst, alpha], [0x80, dst.size], outputs=[0])
+
+
+_spec(
+    name="AlphaFilling",
+    doc="alpha-blend a constant value into an image",
+    scalar_src=_af_scalar_src,
+    psim_src=_af_psim_src,
+    hand_build=_af_hand,
+    workload=_af_workload,
+    ref=lambda w: [_alpha_blend_ref(np.full_like(w.arrays[0], 0x80), w.arrays[0], w.arrays[1])],
+)
+
+# -- AlphaPremultiply ---------------------------------------------------------------------
+
+_ap_body = (
+    "i32 t = (i32)src[i] * (i32)alpha[i]; "
+    f"dst[i] = (u8){_div255_expr('t')};"
+)
+_ap_psim = (
+    "u16 t = (u16)src[i] * (u16)alpha[i]; "
+    f"dst[i] = (u8){_div255_expr('(u32)t')};"
+)
+_ap_scalar_src, _ap_psim_src = elementwise_sources(
+    "u8* src, u8* alpha, u8* dst", _ap_body, psim_body=_ap_psim
+)
+
+
+def _ap_hand(module):
+    def body(k, i):
+        for half in range(2):
+            off = k.add(i, k.i64(half * 32))
+            vs = k.widen_u8_u16(k.load(k.p.src, off, 32))
+            al = k.widen_u8_u16(k.load(k.p.alpha, off, 32))
+            k.store(k.narrow_to_u8(_hand_div255(k, k.mul(vs, al))), k.p.dst, off)
+
+    simple_hand(module, [("src", P8), ("alpha", P8), ("dst", P8), ("n", I64)], 64, body)
+
+
+def _ap_workload():
+    rng = rng_for("AlphaPremultiply")
+    src = gray_image(rng)
+    alpha = gray_image(rng)
+    return Workload([src, alpha, np.zeros_like(src)], [src.size], outputs=[2])
+
+
+def _ap_ref(w):
+    t = w.arrays[0].astype(np.int32) * w.arrays[1]
+    return [((t + 1 + (t >> 8)) >> 8).astype(np.uint8)]
+
+
+_spec(
+    name="AlphaPremultiply",
+    doc="premultiply pixels by per-pixel alpha",
+    scalar_src=_ap_scalar_src,
+    psim_src=_ap_psim_src,
+    hand_build=_ap_hand,
+    workload=_ap_workload,
+    ref=_ap_ref,
+)
+
+# -- Binarization ----------------------------------------------------------------------
+
+_bin_scalar, _bin_psim = elementwise_sources(
+    "u8* src, u8* dst, u8 threshold, u8 positive, u8 negative",
+    "dst[i] = src[i] > threshold ? positive : negative;",
+)
+
+
+def _bin_hand(module):
+    def body(k, i):
+        v = k.load(k.p.src, i, 64)
+        thr = k.broadcast(k.p.threshold, 64)
+        mask = k.icmp("ugt", v, thr)
+        pos = k.broadcast(k.p.positive, 64)
+        neg = k.broadcast(k.p.negative, 64)
+        k.store(k.blend(mask, pos, neg), k.p.dst, i)
+
+    simple_hand(
+        module,
+        [("src", P8), ("dst", P8), ("threshold", I8), ("positive", I8), ("negative", I8), ("n", I64)],
+        64,
+        body,
+    )
+
+
+def _bin_workload():
+    rng = rng_for("Binarization")
+    src = gray_image(rng)
+    return Workload([src, np.zeros_like(src)], [100, 255, 0, src.size], outputs=[1])
+
+
+_spec(
+    name="Binarization",
+    doc="threshold an image to two values",
+    scalar_src=_bin_scalar,
+    psim_src=_bin_psim,
+    hand_build=_bin_hand,
+    workload=_bin_workload,
+    ref=lambda w: [np.where(w.arrays[0] > 100, 255, 0).astype(np.uint8)],
+)
+
+# -- GrayToLut (ChangeColors: table lookup) ------------------------------------------------
+
+_lut_scalar, _lut_psim = elementwise_sources(
+    "u8* src, u8* lut, u8* dst",
+    "dst[i] = lut[(u64)src[i]];",
+)
+
+
+def _lut_hand(module):
+    from ...ir import Constant, VectorType
+
+    def body(k, i):
+        # Even hand-written AVX-512 code gathers for a 256-entry LUT.
+        v = k.load(k.p.src, i, 64)
+        base = k.b.ptrtoint(k.p.lut, I64)
+        idx = k.b.zext(v, VectorType(I64, 64))
+        addrs = k.b.add(k.b.broadcast(base, 64), idx)
+        ptrs = k.b.inttoptr(addrs, VectorType(P8, 64))
+        k.store(k.b.gather(ptrs, k.full_mask(64)), k.p.dst, i)
+
+    simple_hand(module, [("src", P8), ("lut", P8), ("dst", P8), ("n", I64)], 64, body)
+
+
+def _lut_workload():
+    rng = rng_for("ChangeColors")
+    src = gray_image(rng)
+    lut = rng.integers(0, 256, 256).astype(np.uint8)
+    return Workload([src, lut, np.zeros_like(src)], [src.size], outputs=[2])
+
+
+_spec(
+    name="ChangeColors",
+    doc="8-bit table lookup (LUT) recolouring",
+    scalar_src=_lut_scalar,
+    psim_src=_lut_psim,
+    hand_build=_lut_hand,
+    workload=_lut_workload,
+    ref=lambda w: [w.arrays[1][w.arrays[0]]],
+)

@@ -1,0 +1,369 @@
+"""Simd Library kernels: colour/format conversion family."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir import F32, I8, I16, I32, I64
+from ..kernelspec import KernelSpec, elementwise_sources
+from ..workloads import Workload, gray_image, planar_image, rng_for
+from .handutil import P8, P16, PF32, simple_hand, strided_load, strided_store
+
+KERNELS = []
+
+# Simd Library's fixed-point grayscale weights.
+_BLUE_W, _GREEN_W, _RED_W = 28, 151, 77
+
+
+def _spec(**kwargs):
+    spec = KernelSpec(group="convert", **kwargs)
+    KERNELS.append(spec)
+    return spec
+
+
+# -- BgraToGray / BgrToGray ---------------------------------------------------------------
+
+
+def _to_gray(channels: int):
+    name = "BgraToGray" if channels == 4 else "BgrToGray"
+    body = (
+        f"i32 blue = (i32)src[{channels} * i]; "
+        f"i32 green = (i32)src[{channels} * i + 1]; "
+        f"i32 red = (i32)src[{channels} * i + 2]; "
+        f"dst[i] = (u8)(({_BLUE_W} * blue + {_GREEN_W} * green + {_RED_W} * red + 128) >> 8);"
+    )
+    scalar_src, psim_src = elementwise_sources("u8* src, u8* dst", body)
+
+    def hand(module):
+        def block(k, i):
+            base = k.mul(i, k.i64(channels))
+            chans = [
+                k.widen_u8_i32(
+                    strided_load(k, k.p.src, k.add(base, k.i64(c)), channels, 64)
+                )
+                for c in range(3)
+            ]
+            acc = k.splat(I32, 128, 64)
+            for weight, chan in zip((_BLUE_W, _GREEN_W, _RED_W), chans):
+                acc = k.add(acc, k.mul(chan, k.splat(I32, weight, 64)))
+            k.store(k.narrow_to_u8(k.lshr(acc, k.splat(I32, 8, 64))), k.p.dst, i)
+
+        simple_hand(module, [("src", P8), ("dst", P8), ("n", I64)], 64, block)
+
+    def workload():
+        rng = rng_for(name)
+        src = planar_image(rng, channels)
+        n = src.size // channels
+        return Workload([src, np.zeros(n, np.uint8)], [n], outputs=[1])
+
+    def ref(w):
+        px = w.arrays[0].reshape(-1, channels).astype(np.int32)
+        gray = (_BLUE_W * px[:, 0] + _GREEN_W * px[:, 1] + _RED_W * px[:, 2] + 128) >> 8
+        return [gray.astype(np.uint8)]
+
+    _spec(
+        name=name,
+        doc=f"{channels}-channel interleaved image to grayscale",
+        scalar_src=scalar_src,
+        psim_src=psim_src,
+        hand_build=hand,
+        workload=workload,
+        ref=ref,
+    )
+
+
+_to_gray(4)
+_to_gray(3)
+
+# -- GrayToBgr / GrayToBgra ------------------------------------------------------------------
+
+
+def _from_gray(channels: int):
+    name = "GrayToBgra" if channels == 4 else "GrayToBgr"
+    extra = " dst[4 * i + 3] = alpha;" if channels == 4 else ""
+    params = "u8* src, u8* dst" + (", u8 alpha" if channels == 4 else "")
+    body = (
+        f"u8 v = src[i]; dst[{channels} * i] = v; "
+        f"dst[{channels} * i + 1] = v; dst[{channels} * i + 2] = v;{extra}"
+    )
+    scalar_src, psim_src = elementwise_sources(params, body)
+
+    def hand(module):
+        def block(k, i):
+            v = k.load(k.p.src, i, 64)
+            base = k.mul(i, k.i64(channels))
+            for c in range(3):
+                strided_store(k, v, k.p.dst, k.add(base, k.i64(c)), channels)
+            if channels == 4:
+                strided_store(
+                    k, k.broadcast(k.p.alpha, 64), k.p.dst, k.add(base, k.i64(3)), 4
+                )
+
+        params_hand = [("src", P8), ("dst", P8)]
+        if channels == 4:
+            params_hand.append(("alpha", I8))
+        params_hand.append(("n", I64))
+        simple_hand(module, params_hand, 64, block)
+
+    def workload():
+        rng = rng_for(name)
+        src = gray_image(rng)
+        scalars = ([255] if channels == 4 else []) + [src.size]
+        return Workload(
+            [src, np.zeros(src.size * channels, np.uint8)], scalars, outputs=[1]
+        )
+
+    def ref(w):
+        src = w.arrays[0]
+        out = np.zeros(src.size * channels, np.uint8)
+        for c in range(3):
+            out[c::channels] = src
+        if channels == 4:
+            out[3::4] = 255
+        return [out]
+
+    _spec(
+        name=name,
+        doc=f"grayscale to {channels}-channel interleaved image",
+        scalar_src=scalar_src,
+        psim_src=psim_src,
+        hand_build=hand,
+        workload=workload,
+        ref=ref,
+    )
+
+
+_from_gray(3)
+_from_gray(4)
+
+# -- BgraToBgr / BgrToBgra ---------------------------------------------------------------------
+
+_b2b_scalar, _b2b_psim = elementwise_sources(
+    "u8* src, u8* dst",
+    "dst[3 * i] = src[4 * i]; dst[3 * i + 1] = src[4 * i + 1]; "
+    "dst[3 * i + 2] = src[4 * i + 2];",
+)
+
+
+def _bgra2bgr_hand(module):
+    def block(k, i):
+        sbase = k.mul(i, k.i64(4))
+        dbase = k.mul(i, k.i64(3))
+        for c in range(3):
+            chan = strided_load(k, k.p.src, k.add(sbase, k.i64(c)), 4, 64)
+            strided_store(k, chan, k.p.dst, k.add(dbase, k.i64(c)), 3)
+
+    simple_hand(module, [("src", P8), ("dst", P8), ("n", I64)], 64, block)
+
+
+def _bgra2bgr_workload():
+    rng = rng_for("BgraToBgr")
+    src = planar_image(rng, 4)
+    n = src.size // 4
+    return Workload([src, np.zeros(n * 3, np.uint8)], [n], outputs=[1])
+
+
+_spec(
+    name="BgraToBgr",
+    doc="drop the alpha channel of an interleaved image",
+    scalar_src=_b2b_scalar,
+    psim_src=_b2b_psim,
+    hand_build=_bgra2bgr_hand,
+    workload=_bgra2bgr_workload,
+    ref=lambda w: [w.arrays[0].reshape(-1, 4)[:, :3].reshape(-1)],
+)
+
+_b2a_scalar, _b2a_psim = elementwise_sources(
+    "u8* src, u8* dst, u8 alpha",
+    "dst[4 * i] = src[3 * i]; dst[4 * i + 1] = src[3 * i + 1]; "
+    "dst[4 * i + 2] = src[3 * i + 2]; dst[4 * i + 3] = alpha;",
+)
+
+
+def _bgr2bgra_hand(module):
+    def block(k, i):
+        sbase = k.mul(i, k.i64(3))
+        dbase = k.mul(i, k.i64(4))
+        for c in range(3):
+            chan = strided_load(k, k.p.src, k.add(sbase, k.i64(c)), 3, 64)
+            strided_store(k, chan, k.p.dst, k.add(dbase, k.i64(c)), 4)
+        strided_store(k, k.broadcast(k.p.alpha, 64), k.p.dst, k.add(dbase, k.i64(3)), 4)
+
+    simple_hand(module, [("src", P8), ("dst", P8), ("alpha", I8), ("n", I64)], 64, block)
+
+
+def _bgr2bgra_workload():
+    rng = rng_for("BgrToBgra")
+    src = planar_image(rng, 3)
+    n = src.size // 3
+    return Workload([src, np.zeros(n * 4, np.uint8)], [255, n], outputs=[1])
+
+
+def _bgr2bgra_ref(w):
+    px = w.arrays[0].reshape(-1, 3)
+    out = np.full((px.shape[0], 4), 255, np.uint8)
+    out[:, :3] = px
+    return [out.reshape(-1)]
+
+
+_spec(
+    name="BgrToBgra",
+    doc="add a constant alpha channel to an interleaved image",
+    scalar_src=_b2a_scalar,
+    psim_src=_b2a_psim,
+    hand_build=_bgr2bgra_hand,
+    workload=_bgr2bgra_workload,
+    ref=_bgr2bgra_ref,
+)
+
+# -- DeinterleaveUv / InterleaveUv ----------------------------------------------------------------
+
+_deint_scalar, _deint_psim = elementwise_sources(
+    "u8* uv, u8* u, u8* v",
+    "u[i] = uv[2 * i]; v[i] = uv[2 * i + 1];",
+)
+
+
+def _deint_hand(module):
+    def block(k, i):
+        base = k.mul(i, k.i64(2))
+        k.store(strided_load(k, k.p.uv, base, 2, 64), k.p.u, i)
+        k.store(strided_load(k, k.p.uv, k.add(base, k.i64(1)), 2, 64), k.p.v, i)
+
+    simple_hand(module, [("uv", P8), ("u", P8), ("v", P8), ("n", I64)], 64, block)
+
+
+def _deint_workload():
+    rng = rng_for("DeinterleaveUv")
+    uv = planar_image(rng, 2)
+    n = uv.size // 2
+    zero = np.zeros(n, np.uint8)
+    return Workload([uv, zero, zero.copy()], [n], outputs=[1, 2])
+
+
+_spec(
+    name="DeinterleaveUv",
+    doc="split an interleaved UV plane into U and V planes",
+    scalar_src=_deint_scalar,
+    psim_src=_deint_psim,
+    hand_build=_deint_hand,
+    workload=_deint_workload,
+    ref=lambda w: [w.arrays[0][0::2], w.arrays[0][1::2]],
+)
+
+_int_scalar, _int_psim = elementwise_sources(
+    "u8* u, u8* v, u8* uv",
+    "uv[2 * i] = u[i]; uv[2 * i + 1] = v[i];",
+)
+
+
+def _int_hand(module):
+    def block(k, i):
+        base = k.mul(i, k.i64(2))
+        strided_store(k, k.load(k.p.u, i, 64), k.p.uv, base, 2)
+        strided_store(k, k.load(k.p.v, i, 64), k.p.uv, k.add(base, k.i64(1)), 2)
+
+    simple_hand(module, [("u", P8), ("v", P8), ("uv", P8), ("n", I64)], 64, block)
+
+
+def _int_workload():
+    rng = rng_for("InterleaveUv")
+    u = gray_image(rng)
+    v = gray_image(rng)
+    return Workload([u, v, np.zeros(u.size * 2, np.uint8)], [u.size], outputs=[2])
+
+
+def _int_ref(w):
+    out = np.zeros(w.arrays[0].size * 2, np.uint8)
+    out[0::2] = w.arrays[0]
+    out[1::2] = w.arrays[1]
+    return [out]
+
+
+_spec(
+    name="InterleaveUv",
+    doc="interleave U and V planes",
+    scalar_src=_int_scalar,
+    psim_src=_int_psim,
+    hand_build=_int_hand,
+    workload=_int_workload,
+    ref=_int_ref,
+)
+
+# -- Int16ToGray (saturated pack) --------------------------------------------------------------------
+
+_i16_scalar, _i16_psim = elementwise_sources(
+    "i16* src, u8* dst",
+    "dst[i] = (u8)max(min((i32)src[i], 255), 0);",
+    gang=32,
+    psim_body="dst[i] = (u8)max(min(src[i], (i16)255), (i16)0);",
+)
+
+
+def _i16_hand(module):
+    def block(k, i):
+        v = k.load(k.p.src, i, 32)  # <32 x i16>
+        clamped = k.smax(k.smin(v, k.splat(I16, 255, 32)), k.splat(I16, 0, 32))
+        k.store(k.narrow_to_u8(clamped), k.p.dst, i)
+
+    simple_hand(module, [("src", P16), ("dst", P8), ("n", I64)], 32, block)
+
+
+def _i16_workload():
+    rng = rng_for("Int16ToGray")
+    src = rng.integers(-500, 500, 64 * 48).astype(np.int16)
+    return Workload([src, np.zeros(src.size, np.uint8)], [src.size], outputs=[1])
+
+
+_spec(
+    name="Int16ToGray",
+    doc="saturating 16-bit to 8-bit pack",
+    scalar_src=_i16_scalar,
+    psim_src=_i16_psim,
+    hand_build=_i16_hand,
+    workload=_i16_workload,
+    ref=lambda w: [np.clip(w.arrays[0], 0, 255).astype(np.uint8)],
+)
+
+# -- NeuralConvert (u8 -> f32, scaled) ------------------------------------------------------------------
+
+_nc_scalar, _nc_psim = elementwise_sources(
+    "u8* src, f32* dst",
+    "dst[i] = (f32)src[i] * 0.00392157f;",
+    gang=16,
+)
+
+
+def _nc_hand(module):
+    def block(k, i):
+        v = k.load(k.p.src, i, 16)
+        wide = k.b.zext(v, _vec(I32, 16))
+        f = k.b.uitofp(wide, _vec(F32, 16))
+        k.store(k.fmul(f, k.splat(F32, float(np.float32(0.00392157)), 16)), k.p.dst, i)
+
+    simple_hand(module, [("src", P8), ("dst", PF32), ("n", I64)], 16, block)
+
+
+def _vec(elem, lanes):
+    from ...ir import VectorType
+
+    return VectorType(elem, lanes)
+
+
+def _nc_workload():
+    rng = rng_for("NeuralConvert")
+    src = gray_image(rng)
+    return Workload([src, np.zeros(src.size, np.float32)], [src.size], outputs=[1])
+
+
+_spec(
+    name="NeuralConvert",
+    doc="u8 image to normalized f32 tensor",
+    scalar_src=_nc_scalar,
+    psim_src=_nc_psim,
+    hand_build=_nc_hand,
+    workload=_nc_workload,
+    ref=lambda w: [
+        (w.arrays[0].astype(np.float32) * np.float32(0.00392157)).astype(np.float32)
+    ],
+)

@@ -1,0 +1,357 @@
+"""Simd Library kernels: copy / fill / reorder / resize family."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir import I8, I64
+from ..kernelspec import KernelSpec, elementwise_sources
+from ..workloads import Workload, gray_image, rng_for
+from .handutil import P8, simple_hand
+
+KERNELS = []
+
+
+def _spec(**kwargs):
+    spec = KernelSpec(group="copyfill", **kwargs)
+    KERNELS.append(spec)
+    return spec
+
+
+# -- Copy -----------------------------------------------------------------------
+
+_copy_scalar, _copy_psim = elementwise_sources(
+    "u8* src, u8* dst", "dst[i] = src[i];"
+)
+
+
+def _copy_hand(module):
+    def body(k, i):
+        k.store(k.load(k.p.src, i, 64), k.p.dst, i)
+
+    simple_hand(module, [("src", P8), ("dst", P8), ("n", I64)], 64, body)
+
+
+def _copy_workload():
+    rng = rng_for("Copy")
+    src = gray_image(rng)
+    return Workload([src, np.zeros_like(src)], [src.size], outputs=[1])
+
+
+_spec(
+    name="Copy",
+    doc="byte-wise image copy",
+    scalar_src=_copy_scalar,
+    psim_src=_copy_psim,
+    hand_build=_copy_hand,
+    workload=_copy_workload,
+    ref=lambda w: [w.arrays[0]],
+)
+
+# -- Fill -----------------------------------------------------------------------
+
+_fill_scalar, _fill_psim = elementwise_sources(
+    "u8* dst, u8 value", "dst[i] = value;"
+)
+
+
+def _fill_hand(module):
+    def body(k, i):
+        k.store(k.broadcast(k.p.value, 64), k.p.dst, i)
+
+    simple_hand(module, [("dst", P8), ("value", I8), ("n", I64)], 64, body)
+
+
+def _fill_workload():
+    rng = rng_for("Fill")
+    dst = gray_image(rng)
+    return Workload([dst], [0xA5, dst.size], outputs=[0])
+
+
+_spec(
+    name="Fill",
+    doc="fill an image with a constant byte",
+    scalar_src=_fill_scalar,
+    psim_src=_fill_psim,
+    hand_build=_fill_hand,
+    workload=_fill_workload,
+    ref=lambda w: [np.full_like(w.arrays[0], 0xA5)],
+)
+
+# -- FillBgr ----------------------------------------------------------------------
+
+_fillbgr_scalar, _fillbgr_psim = elementwise_sources(
+    "u8* dst, u8 blue, u8 green, u8 red",
+    "dst[3 * i] = blue; dst[3 * i + 1] = green; dst[3 * i + 2] = red;",
+)
+
+
+def _fillbgr_hand(module):
+    from ...ir import Constant, I1, VectorType
+
+    k_holder = {}
+
+    def body(k, i):
+        base = k.mul(i, k.i64(3))
+        for j, pattern in enumerate(k_holder["patterns"]):
+            k.store(pattern, k.p.dst, k.add(base, k.i64(j * 64)))
+
+    # Precompute the three 64-byte repeating BGR pattern vectors in the
+    # entry block (the intrinsics version keeps these in registers).
+    from ...simd import hand_kernel
+
+    k = hand_kernel(
+        module,
+        "kernel",
+        [("dst", P8), ("blue", I8), ("green", I8), ("red", I8), ("n", I64)],
+    )
+    channel_vecs = [k.broadcast(getattr(k.p, c), 64) for c in ("blue", "green", "red")]
+    patterns = []
+    for j in range(3):
+        sel = None
+        for c in range(3):
+            mask = Constant(
+                VectorType(I1, 64),
+                [1 if (j * 64 + p) % 3 == c else 0 for p in range(64)],
+            )
+            sel = channel_vecs[c] if sel is None else k.blend(mask, channel_vecs[c], sel)
+        patterns.append(sel)
+    k_holder["patterns"] = patterns
+    with k.loop(k.p.n, step=64) as i:
+        body(k, i)
+    k.ret()
+    k.done()
+
+
+def _fillbgr_workload():
+    rng = rng_for("FillBgr")
+    dst = gray_image(rng, w=64, h=24)  # 1536 bytes = 512 pixels * 3
+    return Workload([dst], [10, 20, 30, dst.size // 3], outputs=[0])
+
+
+def _fillbgr_ref(w):
+    out = np.empty_like(w.arrays[0])
+    out[0::3], out[1::3], out[2::3] = 10, 20, 30
+    return [out]
+
+
+_spec(
+    name="FillBgr",
+    doc="fill an interleaved 3-channel image with a constant colour",
+    scalar_src=_fillbgr_scalar,
+    psim_src=_fillbgr_psim,
+    hand_build=_fillbgr_hand,
+    workload=_fillbgr_workload,
+    ref=_fillbgr_ref,
+)
+
+# -- FillBgra ----------------------------------------------------------------------
+
+_fillbgra_scalar, _fillbgra_psim = elementwise_sources(
+    "u8* dst, u8 blue, u8 green, u8 red, u8 alpha",
+    "dst[4 * i] = blue; dst[4 * i + 1] = green; "
+    "dst[4 * i + 2] = red; dst[4 * i + 3] = alpha;",
+)
+
+
+def _fillbgra_hand(module):
+    from ...ir import I32
+
+    def body(k, i):
+        # Real intrinsics code stores the packed BGRA dword pattern.
+        b8 = k.zext(k.p.blue, I32)
+        g8 = k.shl(k.zext(k.p.green, I32), k.const(I32, 8))
+        r8 = k.shl(k.zext(k.p.red, I32), k.const(I32, 16))
+        a8 = k.shl(k.zext(k.p.alpha, I32), k.const(I32, 24))
+        pattern = k.or_(k.or_(b8, g8), k.or_(r8, a8))
+        vec = k.broadcast(pattern, 16)
+        addr = k.b.bitcast(k.b.gep(k.p.dst, k.mul(i, k.i64(4))), P32_ptr())
+        k.b.vstore(vec, addr, k.full_mask(16))
+
+    simple_hand(
+        module,
+        [("dst", P8), ("blue", I8), ("green", I8), ("red", I8), ("alpha", I8), ("n", I64)],
+        16,
+        body,
+    )
+
+
+def P32_ptr():
+    from ...ir import I32, PointerType
+
+    return PointerType(I32)
+
+
+def _fillbgra_workload():
+    rng = rng_for("FillBgra")
+    dst = gray_image(rng, w=64, h=16)  # 1024 bytes = 256 pixels * 4
+    return Workload([dst], [1, 2, 3, 4, dst.size // 4], outputs=[0])
+
+
+def _fillbgra_ref(w):
+    out = np.empty_like(w.arrays[0])
+    out[0::4], out[1::4], out[2::4], out[3::4] = 1, 2, 3, 4
+    return [out]
+
+
+_spec(
+    name="FillBgra",
+    doc="fill an interleaved 4-channel image with a constant colour",
+    scalar_src=_fillbgra_scalar,
+    psim_src=_fillbgra_psim,
+    hand_build=_fillbgra_hand,
+    workload=_fillbgra_workload,
+    ref=_fillbgra_ref,
+)
+
+# -- StretchGray2x2 (1-D horizontal upsample) -----------------------------------------
+
+_stretch_scalar, _stretch_psim = elementwise_sources(
+    "u8* src, u8* dst",
+    "u8 v = src[i]; dst[2 * i] = v; dst[2 * i + 1] = v;",
+)
+
+
+def _stretch_hand(module):
+    def body(k, i):
+        v = k.load(k.p.src, i, 64)
+        # vpunpcklbw/vpunpckhbw equivalent: duplicate each byte.
+        dup_lo = k.permute(v, [j // 2 for j in range(64)])
+        dup_hi = k.permute(v, [32 + j // 2 for j in range(64)])
+        out = k.mul(i, k.i64(2))
+        k.store(dup_lo, k.p.dst, out)
+        k.store(dup_hi, k.p.dst, k.add(out, k.i64(64)))
+
+    simple_hand(module, [("src", P8), ("dst", P8), ("n", I64)], 64, body)
+
+
+def _stretch_workload():
+    rng = rng_for("StretchGray2x2")
+    src = gray_image(rng)
+    return Workload([src, np.zeros(src.size * 2, np.uint8)], [src.size], outputs=[1])
+
+
+_spec(
+    name="StretchGray2x2",
+    doc="2x horizontal upsample by pixel duplication",
+    scalar_src=_stretch_scalar,
+    psim_src=_stretch_psim,
+    hand_build=_stretch_hand,
+    workload=_stretch_workload,
+    ref=lambda w: [np.repeat(w.arrays[0], 2)],
+)
+
+# -- ReduceGray2x2 (1-D horizontal downsample with rounding average) --------------------
+
+_reduce_scalar, _reduce_psim = elementwise_sources(
+    "u8* src, u8* dst",
+    "dst[i] = (u8)(((i32)src[2 * i] + (i32)src[2 * i + 1] + 1) >> 1);",
+    psim_body="dst[i] = avgr(src[2 * i], src[2 * i + 1]);",
+)
+
+
+def _reducegray_hand(module):
+    def body(k, i):
+        src0 = k.load(k.p.src, k.mul(i, k.i64(2)), 64)
+        src1 = k.load(k.p.src, k.add(k.mul(i, k.i64(2)), k.i64(64)), 64)
+        even = k.b.shuffle2(src0, src1, _even_idx(k))
+        odd = k.b.shuffle2(src0, src1, _odd_idx(k))
+        k.store(k.avg_u8(even, odd), k.p.dst, i)
+
+    simple_hand(module, [("src", P8), ("dst", P8), ("n", I64)], 64, body)
+
+
+def _even_idx(k):
+    from ...ir import Constant, VectorType
+
+    return Constant(VectorType(I64, 64), [2 * j for j in range(64)])
+
+
+def _odd_idx(k):
+    from ...ir import Constant, VectorType
+
+    return Constant(VectorType(I64, 64), [2 * j + 1 for j in range(64)])
+
+
+def _reducegray_workload():
+    rng = rng_for("ReduceGray2x2")
+    src = gray_image(rng)
+    return Workload(
+        [src, np.zeros(src.size // 2, np.uint8)], [src.size // 2], outputs=[1]
+    )
+
+
+def _reducegray_ref(w):
+    s = w.arrays[0].astype(np.uint16)
+    return [((s[0::2] + s[1::2] + 1) >> 1).astype(np.uint8)]
+
+
+_spec(
+    name="ReduceGray2x2",
+    doc="2x horizontal downsample with rounding average",
+    scalar_src=_reduce_scalar,
+    psim_src=_reduce_psim,
+    hand_build=_reducegray_hand,
+    workload=_reducegray_workload,
+    ref=_reducegray_ref,
+)
+
+# -- Reorder16bit / Reorder32bit (endianness swaps) --------------------------------------
+
+_reorder16_scalar, _reorder16_psim = elementwise_sources(
+    "u8* src, u8* dst", "dst[i] = src[i ^ 1];"
+)
+
+
+def _reorder16_hand(module):
+    def body(k, i):
+        v = k.load(k.p.src, i, 64)
+        k.store(k.permute(v, [j ^ 1 for j in range(64)]), k.p.dst, i)
+
+    simple_hand(module, [("src", P8), ("dst", P8), ("n", I64)], 64, body)
+
+
+def _reorder16_workload():
+    rng = rng_for("Reorder16bit")
+    src = gray_image(rng)
+    return Workload([src, np.zeros_like(src)], [src.size], outputs=[1])
+
+
+_spec(
+    name="Reorder16bit",
+    doc="byte swap within 16-bit words",
+    scalar_src=_reorder16_scalar,
+    psim_src=_reorder16_psim,
+    hand_build=_reorder16_hand,
+    workload=_reorder16_workload,
+    ref=lambda w: [w.arrays[0].reshape(-1, 2)[:, ::-1].reshape(-1)],
+)
+
+_reorder32_scalar, _reorder32_psim = elementwise_sources(
+    "u8* src, u8* dst", "dst[i] = src[i ^ 3];"
+)
+
+
+def _reorder32_hand(module):
+    def body(k, i):
+        v = k.load(k.p.src, i, 64)
+        k.store(k.permute(v, [j ^ 3 for j in range(64)]), k.p.dst, i)
+
+    simple_hand(module, [("src", P8), ("dst", P8), ("n", I64)], 64, body)
+
+
+def _reorder32_workload():
+    rng = rng_for("Reorder32bit")
+    src = gray_image(rng)
+    return Workload([src, np.zeros_like(src)], [src.size], outputs=[1])
+
+
+_spec(
+    name="Reorder32bit",
+    doc="byte reversal within 32-bit words",
+    scalar_src=_reorder32_scalar,
+    psim_src=_reorder32_psim,
+    hand_build=_reorder32_hand,
+    workload=_reorder32_workload,
+    ref=lambda w: [w.arrays[0].reshape(-1, 4)[:, ::-1].reshape(-1)],
+)

@@ -1,0 +1,454 @@
+"""Simd Library kernels: 3x3 filter family (blur, median, Sobel, Laplace).
+
+All filters follow the library's structure: a serial loop over rows and a
+parallel/vector loop over interior columns.  The ``h`` parameter counts
+*interior* rows (callers pass ``image_h - 2``); ``w`` is the full row
+stride.  Hand-written kernels use the classic intrinsics trick of a final
+overlapping block instead of a scalar tail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir import I8, I16, I64
+from ..kernelspec import KernelSpec, rowwise_sources
+from ..workloads import Workload, rng_for
+from .handutil import P8, simple_hand
+
+KERNELS = []
+
+_W, _H = 128, 18  # full image: 128 x 18; interior rows: 16
+
+
+def _spec(**kwargs):
+    spec = KernelSpec(group="filter", **kwargs)
+    KERNELS.append(spec)
+    return spec
+
+
+def _filter_workload(name):
+    def make():
+        rng = rng_for(name)
+        src = rng.integers(0, 256, _W * _H).astype(np.uint8)
+        return Workload([src, np.zeros_like(src)], [_W, _H - 2], outputs=[1])
+
+    return make
+
+
+def _rows_hand(module, body, extra_params=()):
+    """kernel(src, dst, [extras], w, h): y-loop over h interior rows, x-loop
+    over w-2 interior columns in 64-wide blocks (last block overlaps)."""
+    from ...simd import hand_kernel
+
+    params = [("src", P8), ("dst", P8), *extra_params, ("w", I64), ("h", I64)]
+    k = hand_kernel(module, "kernel", params)
+    xlimit = k.sub(k.sub(k.p.w, k.i64(2)), k.i64(64), "xlimit")
+    with k.loop(k.p.h) as y:
+        row = k.mul(y, k.p.w, "row")
+        with k.loop(k.sub(k.p.w, k.i64(2)), step=64, name="xb") as xb:
+            x = k.umin(xb, xlimit, "x")
+            body(k, k.add(row, x))
+    k.ret()
+    k.done()
+
+
+def _ref_3x3(src_img, fn):
+    """Apply ``fn(window rows) -> interior`` over the padded numpy image."""
+    img = src_img.reshape(_H, _W).astype(np.int32)
+    out = np.zeros_like(img)
+    res = fn(img)
+    out[1:-1, 1:-1] = res
+    return out
+
+
+# -- GaussianBlur3x3 ---------------------------------------------------------------------
+
+_gauss_body = """
+    u64 p = row + x;
+    i32 s = (i32)src[p] + 2 * (i32)src[p + 1] + (i32)src[p + 2]
+          + 2 * (i32)src[p + w] + 4 * (i32)src[p + w + 1] + 2 * (i32)src[p + w + 2]
+          + (i32)src[p + 2 * w] + 2 * (i32)src[p + 2 * w + 1] + (i32)src[p + 2 * w + 2];
+    dst[p + w + 1] = (u8)((s + 8) >> 4);
+"""
+_gauss_scalar, _gauss_psim = rowwise_sources("u8* src, u8* dst", _gauss_body, xspan="w - 2")
+
+
+def _gauss_hand(module):
+    def body(k, p):
+        acc = k.splat(I16, 8, 64)
+        weights = [1, 2, 1, 2, 4, 2, 1, 2, 1]
+        offs = [0, 1, 2]
+        idx = 0
+        for dy in range(3):
+            rbase = k.add(p, k.mul(k.i64(dy), k.p.w))
+            for dx in range(3):
+                v = k.widen_u8_u16(k.load(k.p.src, k.add(rbase, k.i64(dx)), 64))
+                wgt = weights[idx]
+                idx += 1
+                term = v if wgt == 1 else k.shl(v, k.splat(I16, wgt.bit_length() - 1, 64))
+                acc = k.add(acc, term)
+        out = k.narrow_to_u8(k.lshr(acc, k.splat(I16, 4, 64)))
+        k.store(out, k.p.dst, k.add(k.add(p, k.p.w), k.i64(1)))
+
+    _rows_hand(module, body)
+
+
+def _gauss_ref(w):
+    def fn(img):
+        s = (
+            img[:-2, :-2] + 2 * img[:-2, 1:-1] + img[:-2, 2:]
+            + 2 * img[1:-1, :-2] + 4 * img[1:-1, 1:-1] + 2 * img[1:-1, 2:]
+            + img[2:, :-2] + 2 * img[2:, 1:-1] + img[2:, 2:]
+        )
+        return (s + 8) >> 4
+
+    return [_ref_3x3(w.arrays[0], fn).astype(np.uint8).reshape(-1)]
+
+
+_spec(
+    name="GaussianBlur3x3",
+    doc="3x3 Gaussian blur (1-2-1 kernel)",
+    scalar_src=_gauss_scalar,
+    psim_src=_gauss_psim,
+    hand_build=_gauss_hand,
+    workload=_filter_workload("GaussianBlur3x3"),
+    ref=_gauss_ref,
+)
+
+# -- MeanFilter3x3 ------------------------------------------------------------------------
+
+_MEAN_FACTOR = 7282  # ceil(2^16 / 9), Simd's fixed-point reciprocal
+_MEAN_SHIFT = 16
+
+
+def _mean_sources():
+    sum9 = " + ".join(
+        f"(i32)src[p + {dy} * w + {dx}]" for dy in range(3) for dx in range(3)
+    )
+    body = f"""
+        u64 p = row + x;
+        i32 s = {sum9};
+        dst[p + w + 1] = (u8)((s * {_MEAN_FACTOR}) >> {_MEAN_SHIFT});
+    """
+    return rowwise_sources("u8* src, u8* dst", body, xspan="w - 2")
+
+
+_mean_scalar, _mean_psim = _mean_sources()
+
+
+def _mean_hand(module):
+    from ...ir import I32
+
+    def body(k, p):
+        acc = k.splat(I32, 0, 64)
+        for dy in range(3):
+            rbase = k.add(p, k.mul(k.i64(dy), k.p.w))
+            for dx in range(3):
+                acc = k.add(acc, k.widen_u8_i32(k.load(k.p.src, k.add(rbase, k.i64(dx)), 64)))
+        scaled = k.lshr(
+            k.mul(acc, k.splat(I32, _MEAN_FACTOR, 64)), k.splat(I32, _MEAN_SHIFT, 64)
+        )
+        k.store(k.narrow_to_u8(scaled), k.p.dst, k.add(k.add(p, k.p.w), k.i64(1)))
+
+    _rows_hand(module, body)
+
+
+def _mean_ref(w):
+    def fn(img):
+        s = sum(img[dy : dy + _H - 2, dx : dx + _W - 2] for dy in range(3) for dx in range(3))
+        return (s * _MEAN_FACTOR) >> _MEAN_SHIFT
+
+    return [_ref_3x3(w.arrays[0], fn).astype(np.uint8).reshape(-1)]
+
+
+_spec(
+    name="MeanFilter3x3",
+    doc="3x3 box mean via fixed-point reciprocal",
+    scalar_src=_mean_scalar,
+    psim_src=_mean_psim,
+    hand_build=_mean_hand,
+    workload=_filter_workload("MeanFilter3x3"),
+    ref=_mean_ref,
+)
+
+# -- MedianFilter3x3 (9-element sorting network) ----------------------------------------------
+
+# Paeth's 19-exchange network over v0..v8.
+_MEDIAN_PAIRS = [
+    (1, 2), (4, 5), (7, 8), (0, 1), (3, 4), (6, 7), (1, 2), (4, 5), (7, 8),
+    (0, 3), (5, 8), (4, 7), (3, 6), (1, 4), (2, 5), (4, 7), (4, 2), (6, 4),
+    (4, 2),
+]
+
+
+def _median_sources():
+    loads = "".join(
+        f"u8 v{dy * 3 + dx} = src[p + {dy} * w + {dx}]; "
+        for dy in range(3)
+        for dx in range(3)
+    )
+    net = ""
+    for idx, (a, b) in enumerate(_MEDIAN_PAIRS):
+        net += f"u8 t{idx} = min(v{a}, v{b}); v{b} = max(v{a}, v{b}); v{a} = t{idx}; "
+    body = f"u64 p = row + x; {loads} {net} dst[p + w + 1] = v4;"
+    return rowwise_sources("u8* src, u8* dst", body, xspan="w - 2")
+
+
+_median_scalar, _median_psim = _median_sources()
+
+
+def _median_hand(module):
+    def body(k, p):
+        vals = []
+        for dy in range(3):
+            rbase = k.add(p, k.mul(k.i64(dy), k.p.w))
+            for dx in range(3):
+                vals.append(k.load(k.p.src, k.add(rbase, k.i64(dx)), 64))
+        for a, b in _MEDIAN_PAIRS:
+            lo = k.umin(vals[a], vals[b])
+            hi = k.umax(vals[a], vals[b])
+            vals[a], vals[b] = lo, hi
+        k.store(vals[4], k.p.dst, k.add(k.add(p, k.p.w), k.i64(1)))
+
+    _rows_hand(module, body)
+
+
+def _median_ref(w):
+    img = w.arrays[0].reshape(_H, _W)
+    stacked = np.stack(
+        [img[dy : dy + _H - 2, dx : dx + _W - 2] for dy in range(3) for dx in range(3)]
+    )
+    med = np.median(stacked, axis=0).astype(np.uint8)
+    out = np.zeros_like(img)
+    out[1:-1, 1:-1] = med
+    return [out.reshape(-1)]
+
+
+_spec(
+    name="MedianFilter3x3",
+    doc="3x3 median via a 19-exchange sorting network",
+    scalar_src=_median_scalar,
+    psim_src=_median_psim,
+    hand_build=_median_hand,
+    workload=_filter_workload("MedianFilter3x3"),
+    ref=_median_ref,
+)
+
+# -- MedianFilterRhomb3x3 (5-element cross median) -----------------------------------------------
+
+_RHOMB_PAIRS = [(0, 1), (2, 3), (0, 2), (1, 3), (1, 2), (2, 4), (1, 2)]
+_RHOMB_OFFS = [(0, 1), (1, 0), (1, 1), (1, 2), (2, 1)]
+
+
+def _rhomb_sources():
+    loads = "".join(
+        f"u8 v{j} = src[p + {dy} * w + {dx}]; " for j, (dy, dx) in enumerate(_RHOMB_OFFS)
+    )
+    net = ""
+    for idx, (a, b) in enumerate(_RHOMB_PAIRS):
+        net += f"u8 q{idx} = min(v{a}, v{b}); v{b} = max(v{a}, v{b}); v{a} = q{idx}; "
+    body = f"u64 p = row + x; {loads} {net} dst[p + w + 1] = v2;"
+    return rowwise_sources("u8* src, u8* dst", body, xspan="w - 2")
+
+
+_rhomb_scalar, _rhomb_psim = _rhomb_sources()
+
+
+def _rhomb_hand(module):
+    def body(k, p):
+        vals = []
+        for dy, dx in _RHOMB_OFFS:
+            addr = k.add(k.add(p, k.mul(k.i64(dy), k.p.w)), k.i64(dx))
+            vals.append(k.load(k.p.src, addr, 64))
+        for a, b in _RHOMB_PAIRS:
+            lo = k.umin(vals[a], vals[b])
+            hi = k.umax(vals[a], vals[b])
+            vals[a], vals[b] = lo, hi
+        k.store(vals[2], k.p.dst, k.add(k.add(p, k.p.w), k.i64(1)))
+
+    _rows_hand(module, body)
+
+
+def _rhomb_ref(w):
+    img = w.arrays[0].reshape(_H, _W)
+    stacked = np.stack(
+        [img[dy : dy + _H - 2, dx : dx + _W - 2] for dy, dx in _RHOMB_OFFS]
+    )
+    med = np.median(stacked, axis=0).astype(np.uint8)
+    out = np.zeros_like(img)
+    out[1:-1, 1:-1] = med
+    return [out.reshape(-1)]
+
+
+_spec(
+    name="MedianFilterRhomb3x3",
+    doc="5-point cross median",
+    scalar_src=_rhomb_scalar,
+    psim_src=_rhomb_psim,
+    hand_build=_rhomb_hand,
+    workload=_filter_workload("MedianFilterRhomb3x3"),
+    ref=_rhomb_ref,
+)
+
+# -- Sobel / Laplace family ------------------------------------------------------------------------
+
+
+def _stencil_kernel(name, doc, expr_terms, absolute):
+    """Shared builder for signed 3x3 stencils.
+
+    ``expr_terms`` is a list of (dy, dx, weight).  Output is i16 (or |.|
+    saturated to u8 when ``absolute``).
+    """
+    terms = " + ".join(
+        f"{wgt} * (i32)src[p + {dy} * w + {dx}]" for dy, dx, wgt in expr_terms
+    )
+    if absolute:
+        write = "dst[p + w + 1] = (u8)min(abs(s), 255);"
+        out_dtype = np.uint8
+    else:
+        write = "dst16[p + w + 1] = (i16)s;"
+        out_dtype = np.int16
+    params = "u8* src, " + ("i16* dst16" if not absolute else "u8* dst")
+    body = f"u64 p = row + x; i32 s = {terms}; {write}"
+    scalar_src, psim_src = rowwise_sources(params, body, xspan="w - 2")
+
+    def hand(module):
+        from ...ir import I16 as _I16
+        from .handutil import P16 as _P16
+
+        def block(k, p):
+            acc = k.splat(I16, 0, 64)
+            for dy, dx, wgt in expr_terms:
+                addr = k.add(k.add(p, k.mul(k.i64(dy), k.p.w)), k.i64(dx))
+                v = k.widen_u8_u16(k.load(k.p.src, addr, 64))
+                if wgt == 1:
+                    acc = k.add(acc, v)
+                elif wgt == -1:
+                    acc = k.sub(acc, v)
+                elif wgt > 0:
+                    acc = k.add(acc, k.mul(v, k.splat(I16, wgt, 64)))
+                else:
+                    acc = k.sub(acc, k.mul(v, k.splat(I16, -wgt, 64)))
+            out_pos = k.add(k.add(p, k.p.w), k.i64(1))
+            if absolute:
+                mag = k.iabs(acc)
+                clamped = k.umin(mag, k.splat(I16, 255, 64))
+                k.store(k.narrow_to_u8(clamped), k.p.dst, out_pos)
+            else:
+                k.store(acc, k.p.dst16, out_pos)
+
+        if absolute:
+            _rows_hand(module, block)
+        else:
+            from ...simd import hand_kernel
+
+            k = hand_kernel(
+                module, "kernel",
+                [("src", P8), ("dst16", _P16), ("w", I64), ("h", I64)],
+            )
+            xlimit = k.sub(k.sub(k.p.w, k.i64(2)), k.i64(64), "xlimit")
+            with k.loop(k.p.h) as y:
+                row = k.mul(y, k.p.w, "row")
+                with k.loop(k.sub(k.p.w, k.i64(2)), step=64, name="xb") as xb:
+                    x = k.umin(xb, xlimit, "x")
+                    block(k, k.add(row, x))
+            k.ret()
+            k.done()
+
+    def workload():
+        rng = rng_for(name)
+        src = rng.integers(0, 256, _W * _H).astype(np.uint8)
+        dst = np.zeros(_W * _H, out_dtype)
+        return Workload([src, dst], [_W, _H - 2], outputs=[1])
+
+    def ref(w):
+        img = w.arrays[0].reshape(_H, _W).astype(np.int32)
+        s = sum(
+            wgt * img[1 + dy - 1 : _H - 1 + dy - 1, 1 + dx - 1 : _W - 1 + dx - 1]
+            for dy, dx, wgt in expr_terms
+        )
+        out = np.zeros((_H, _W), np.int32)
+        out[1:-1, 1:-1] = np.minimum(np.abs(s), 255) if absolute else s
+        return [out.astype(out_dtype).reshape(-1)]
+
+    _spec(
+        name=name,
+        doc=doc,
+        scalar_src=scalar_src,
+        psim_src=psim_src,
+        hand_build=hand,
+        workload=workload,
+        ref=ref,
+    )
+
+
+_SOBEL_DX = [(0, 2, 1), (1, 2, 2), (2, 2, 1), (0, 0, -1), (1, 0, -2), (2, 0, -1)]
+_SOBEL_DY = [(2, 0, 1), (2, 1, 2), (2, 2, 1), (0, 0, -1), (0, 1, -2), (0, 2, -1)]
+_LAPLACE = [
+    (0, 0, -1), (0, 1, -1), (0, 2, -1),
+    (1, 0, -1), (1, 1, 8), (1, 2, -1),
+    (2, 0, -1), (2, 1, -1), (2, 2, -1),
+]
+
+_stencil_kernel("SobelDx", "horizontal Sobel gradient (i16 output)", _SOBEL_DX, absolute=False)
+_stencil_kernel("SobelDy", "vertical Sobel gradient (i16 output)", _SOBEL_DY, absolute=False)
+_stencil_kernel("SobelDxAbs", "absolute horizontal Sobel", _SOBEL_DX, absolute=True)
+_stencil_kernel("SobelDyAbs", "absolute vertical Sobel", _SOBEL_DY, absolute=True)
+_stencil_kernel("Laplace", "3x3 Laplace operator (i16 output)", _LAPLACE, absolute=False)
+_stencil_kernel("LaplaceAbs", "absolute 3x3 Laplace", _LAPLACE, absolute=True)
+
+# -- AbsGradientSaturatedSum -----------------------------------------------------------------------
+
+_grad_body = """
+    u64 p = row + w + x + 1;
+    i32 dx = abs((i32)src[p + 1] - (i32)src[p - 1]);
+    i32 dy = abs((i32)src[p + w] - (i32)src[p - w]);
+    dst[p] = (u8)min(dx + dy, 255);
+"""
+_grad_psim_body = """
+    u64 p = row + w + x + 1;
+    u8 dx = absdiff(src[p + 1], src[p - 1]);
+    u8 dy = absdiff(src[p + w], src[p - w]);
+    dst[p] = addsat(dx, dy);
+"""
+_grad_scalar, _grad_psim = rowwise_sources(
+    "u8* src, u8* dst", _grad_body, xspan="w - 2"
+)
+_grad_psim = rowwise_sources("u8* src, u8* dst", _grad_psim_body, xspan="w - 2")[1]
+
+
+def _grad_hand(module):
+    def body(k, p0):
+        p = k.add(k.add(p0, k.p.w), k.i64(1))
+        dx = k.abs_diff_u8(
+            k.load(k.p.src, k.add(p, k.i64(1)), 64),
+            k.load(k.p.src, k.sub(p, k.i64(1)), 64),
+        )
+        dy = k.abs_diff_u8(
+            k.load(k.p.src, k.add(p, k.p.w), 64),
+            k.load(k.p.src, k.sub(p, k.p.w), 64),
+        )
+        k.store(k.sat_add_u8(dx, dy), k.p.dst, p)
+
+    _rows_hand(module, body)
+
+
+def _grad_ref(w):
+    img = w.arrays[0].reshape(_H, _W).astype(np.int32)
+    dx = np.abs(img[1:-1, 2:] - img[1:-1, :-2])
+    dy = np.abs(img[2:, 1:-1] - img[:-2, 1:-1])
+    out = np.zeros((_H, _W), np.int32)
+    out[1:-1, 1:-1] = np.minimum(dx + dy, 255)
+    return [out.astype(np.uint8).reshape(-1)]
+
+
+_spec(
+    name="AbsGradientSaturatedSum",
+    doc="saturated |dx| + |dy| gradient magnitude",
+    scalar_src=_grad_scalar,
+    psim_src=_grad_psim,
+    hand_build=_grad_hand,
+    workload=_filter_workload("AbsGradientSaturatedSum"),
+    ref=_grad_ref,
+)

@@ -1,0 +1,106 @@
+"""Shared scaffolding for the hand-written ("AVX-512 intrinsics") kernels.
+
+Mirrors how the Simd Library's intrinsics implementations are structured:
+an aligned main loop over full vector blocks with the induction arithmetic
+written by hand.  Workloads pad array lengths to the block size, exactly
+as the library aligns its strides.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from ...ir import F32, I8, I16, I32, I64, PointerType, Type
+from ...ir.module import Module
+from ...simd import HandKernel, hand_kernel
+
+__all__ = ["simple_hand", "accumulator_hand", "P8", "P16", "P32", "PF32", "P64"]
+
+P8 = PointerType(I8)
+P16 = PointerType(I16)
+P32 = PointerType(I32)
+P64 = PointerType(I64)
+PF32 = PointerType(F32)
+
+
+def simple_hand(module: Module, params: Sequence[Tuple[str, Type]], lanes: int,
+                body: Callable[[HandKernel, object], None]) -> None:
+    """A ``kernel(...)`` looping ``i`` over ``n`` in steps of ``lanes``.
+
+    ``params`` must end with ``("n", I64)``; ``body(k, i)`` emits one block.
+    """
+    k = hand_kernel(module, "kernel", params)
+    with k.loop(k.p.n, step=lanes) as i:
+        body(k, i)
+    k.ret()
+    k.done()
+
+
+def strided_load(k: HandKernel, ptr, start_index, stride: int, lanes: int):
+    """Hand-rolled interleaved load: ``lanes`` elements at ``ptr[start +
+    stride*j]`` via packed loads + permutes (the vpshufb/vpermb idiom)."""
+    import numpy as np
+
+    from ...ir import Constant, I1, I64, VectorType
+
+    rel = np.arange(lanes) * stride
+    idx = Constant(VectorType(I64, lanes), [int(e) for e in rel])
+    result = None
+    k_vectors = int(rel.max()) // lanes + 1
+    for j in range(k_vectors):
+        block = k.load(ptr, k.add(start_index, k.i64(j * lanes)), lanes)
+        shuffled = k.b.shuffle(block, idx)
+        if result is None:
+            result = shuffled
+        else:
+            pick = Constant(
+                VectorType(I1, lanes), [1 if e // lanes == j else 0 for e in rel]
+            )
+            result = k.b.select(pick, shuffled, result)
+    return result
+
+
+def strided_store(k: HandKernel, value, ptr, start_index, stride: int) -> None:
+    """Hand-rolled interleaved store (inverse permute + masked stores)."""
+    import numpy as np
+
+    from ...ir import Constant, I1, I64, VectorType
+
+    lanes = value.type.count
+    rel = np.arange(lanes) * stride
+    k_vectors = int(rel.max()) // lanes + 1
+    for j in range(k_vectors):
+        inv = [0] * lanes
+        valid = [0] * lanes
+        for lane, e in enumerate(rel):
+            e = int(e)
+            if j * lanes <= e < (j + 1) * lanes:
+                inv[e - j * lanes] = lane
+                valid[e - j * lanes] = 1
+        if not any(valid):
+            continue
+        invc = Constant(VectorType(I64, lanes), inv)
+        wvals = k.b.shuffle(value, invc)
+        wmask = Constant(VectorType(I1, lanes), valid)
+        addr = k.b.gep(ptr, k.add(start_index, k.i64(j * lanes)))
+        k.b.vstore(wvals, addr, wmask)
+
+
+def accumulator_hand(module: Module, params: Sequence[Tuple[str, Type]], lanes: int,
+                     acc_type: Type,
+                     body: Callable[[HandKernel, object, object], object]) -> None:
+    """A reduction ``kernel(..., out*, n)``: ``body(k, i, acc)`` returns the
+    updated scalar accumulator; the final value is stored to ``out[0]``.
+
+    The accumulator lives in a stack slot (mem2reg-free hand code), which
+    is how intrinsics kernels keep horizontal sums out of the hot loop.
+    """
+    k = hand_kernel(module, "kernel", params)
+    cell = k.alloca(acc_type, 1, "acc")
+    k.b.store(k.const(acc_type, 0), cell)
+    with k.loop(k.p.n, step=lanes) as i:
+        acc = k.b.load(cell, "acc")
+        k.b.store(body(k, i, acc), cell)
+    k.store_scalar(k.b.load(cell), k.p.out, k.i64(0))
+    k.ret()
+    k.done()

@@ -1,0 +1,438 @@
+"""Simd Library kernels: histogram, interference, texture, LBP family."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir import I8, I16, I32, I64
+from ..kernelspec import KernelSpec, elementwise_sources, rowwise_sources
+from ..workloads import Workload, gray_image, rng_for
+from .handutil import P8, P16, P32, simple_hand
+
+KERNELS = []
+
+_W, _H = 128, 18
+
+
+def _spec(**kwargs):
+    spec = KernelSpec(group="misc", **kwargs)
+    KERNELS.append(spec)
+    return spec
+
+
+# -- Histogram -------------------------------------------------------------------------
+# The one kernel class SPMD vectorization genuinely struggles with: the
+# update address depends on the data, so the Parsimony port pays per-lane
+# serialized atomics, and even hand-written x86 code stays scalar.
+
+_hist_scalar = """
+void kernel(u8* src, u32* hist, u64 n) {
+    for (u64 i = 0; i < n; i++) {
+        u64 v = (u64)src[i];
+        hist[v] = hist[v] + 1;
+    }
+}
+"""
+_hist_psim = """
+void kernel(u8* src, u32* hist, u64 n) {
+    psim (gang_size=16, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        psim_atomic_add(hist + (u64)src[i], (u32)1);
+    }
+}
+"""
+
+
+def _hist_hand(module):
+    from ...simd import hand_kernel
+
+    # Hand-written histograms stay scalar but 4-way unrolled (sub-histogram
+    # splitting is pointless on our single-issue model, so plain unroll).
+    k = hand_kernel(module, "kernel", [("src", P8), ("hist", P32), ("n", I64)])
+    with k.loop(k.p.n, step=4) as i:
+        for u in range(4):
+            v = k.load_scalar(k.p.src, k.add(i, k.i64(u)))
+            slot = k.b.gep(k.p.hist, k.b.zext(v, I64))
+            k.b.store(k.add(k.b.load(slot), k.const(I32, 1)), slot)
+    k.ret()
+    k.done()
+
+
+def _hist_workload():
+    rng = rng_for("Histogram")
+    src = gray_image(rng)
+    return Workload([src, np.zeros(256, np.uint32)], [src.size], outputs=[1])
+
+
+_spec(
+    name="Histogram",
+    doc="256-bin image histogram",
+    scalar_src=_hist_scalar,
+    psim_src=_hist_psim,
+    hand_build=_hist_hand,
+    workload=_hist_workload,
+    ref=lambda w: [np.bincount(w.arrays[0], minlength=256).astype(np.uint32)],
+)
+
+_histm_scalar = """
+void kernel(u8* src, u8* mask, u32* hist, u8 index, u64 n) {
+    for (u64 i = 0; i < n; i++) {
+        if (mask[i] == index) {
+            u64 v = (u64)src[i];
+            hist[v] = hist[v] + 1;
+        }
+    }
+}
+"""
+_histm_psim = """
+void kernel(u8* src, u8* mask, u32* hist, u8 index, u64 n) {
+    psim (gang_size=16, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        if (mask[i] == index) {
+            psim_atomic_add(hist + (u64)src[i], (u32)1);
+        }
+    }
+}
+"""
+
+
+def _histm_hand(module):
+    from ...simd import hand_kernel
+
+    k = hand_kernel(
+        module, "kernel",
+        [("src", P8), ("mask", P8), ("hist", P32), ("index", I8), ("n", I64)],
+    )
+    with k.loop(k.p.n, step=4) as i:
+        for u in range(4):
+            pos = k.add(i, k.i64(u))
+            v = k.load_scalar(k.p.src, pos)
+            m = k.load_scalar(k.p.mask, pos)
+            hit = k.icmp("eq", m, k.p.index)
+            inc = k.b.select(hit, k.const(I32, 1), k.const(I32, 0))
+            slot = k.b.gep(k.p.hist, k.b.zext(v, I64))
+            k.b.store(k.add(k.b.load(slot), inc), slot)
+    k.ret()
+    k.done()
+
+
+def _histm_workload():
+    rng = rng_for("HistogramMasked")
+    src = gray_image(rng)
+    mask = (rng.integers(0, 2, src.size) * 7).astype(np.uint8)
+    return Workload([src, mask, np.zeros(256, np.uint32)], [7, src.size], outputs=[2])
+
+
+_spec(
+    name="HistogramMasked",
+    doc="histogram of pixels selected by a mask",
+    scalar_src=_histm_scalar,
+    psim_src=_histm_psim,
+    hand_build=_histm_hand,
+    workload=_histm_workload,
+    ref=lambda w: [
+        np.bincount(w.arrays[0][w.arrays[1] == 7], minlength=256).astype(np.uint32)
+    ],
+)
+
+# -- SegmentationChangeIndex -----------------------------------------------------------------
+
+_seg_scalar, _seg_psim = elementwise_sources(
+    "u8* mask, u8 old, u8 new_",
+    "mask[i] = mask[i] == old ? new_ : mask[i];",
+)
+
+
+def _seg_hand(module):
+    def body(k, i):
+        m = k.load(k.p.mask, i, 64)
+        hit = k.icmp("eq", m, k.broadcast(k.p.old, 64))
+        k.store(k.blend(hit, k.broadcast(k.p.new_, 64), m), k.p.mask, i)
+
+    simple_hand(module, [("mask", P8), ("old", I8), ("new_", I8), ("n", I64)], 64, body)
+
+
+def _seg_workload():
+    rng = rng_for("SegmentationChangeIndex")
+    mask = rng.integers(0, 5, 64 * 48).astype(np.uint8)
+    return Workload([mask], [3, 9, mask.size], outputs=[0])
+
+
+_spec(
+    name="SegmentationChangeIndex",
+    doc="remap one segmentation index to another",
+    scalar_src=_seg_scalar,
+    psim_src=_seg_psim,
+    hand_build=_seg_hand,
+    workload=_seg_workload,
+    ref=lambda w: [np.where(w.arrays[0] == 3, 9, w.arrays[0]).astype(np.uint8)],
+)
+
+# -- InterferenceIncrement / Decrement ---------------------------------------------------------
+
+_ii_scalar, _ii_psim = elementwise_sources(
+    "i16* stat, i16 increment, i16 saturation",
+    "stat[i] = (i16)min((i32)stat[i] + (i32)increment, (i32)saturation);",
+    gang=32,
+    psim_body="stat[i] = min(addsat(stat[i], increment), saturation);",
+)
+
+
+def _ii_hand(module):
+    def body(k, i):
+        v = k.load(k.p.stat, i, 32)
+        inc = k.broadcast(k.p.increment, 32)
+        sat = k.broadcast(k.p.saturation, 32)
+        k.store(k.smin(k.addsat_s(v, inc), sat), k.p.stat, i)
+
+    simple_hand(
+        module, [("stat", P16), ("increment", I16), ("saturation", I16), ("n", I64)],
+        32, body,
+    )
+
+
+def _ii_workload():
+    rng = rng_for("InterferenceIncrement")
+    stat = rng.integers(-1000, 1000, 64 * 48).astype(np.int16)
+    return Workload([stat], [40, 800, stat.size], outputs=[0])
+
+
+_spec(
+    name="InterferenceIncrement",
+    doc="saturating increment of an interference statistic",
+    scalar_src=_ii_scalar,
+    psim_src=_ii_psim,
+    hand_build=_ii_hand,
+    workload=_ii_workload,
+    ref=lambda w: [
+        np.minimum(w.arrays[0].astype(np.int32) + 40, 800).astype(np.int16)
+    ],
+)
+
+_id_scalar, _id_psim = elementwise_sources(
+    "i16* stat, i16 decrement, i16 saturation",
+    "stat[i] = (i16)max((i32)stat[i] - (i32)decrement, (i32)saturation);",
+    gang=32,
+    psim_body="stat[i] = max(subsat(stat[i], decrement), saturation);",
+)
+
+
+def _id_hand(module):
+    def body(k, i):
+        v = k.load(k.p.stat, i, 32)
+        dec = k.broadcast(k.p.decrement, 32)
+        sat = k.broadcast(k.p.saturation, 32)
+        k.store(k.smax(k.subsat_s(v, dec), sat), k.p.stat, i)
+
+    simple_hand(
+        module, [("stat", P16), ("decrement", I16), ("saturation", I16), ("n", I64)],
+        32, body,
+    )
+
+
+def _id_workload():
+    rng = rng_for("InterferenceDecrement")
+    stat = rng.integers(-1000, 1000, 64 * 48).astype(np.int16)
+    return Workload([stat], [40, -800 & 0xFFFF, stat.size], outputs=[0])
+
+
+_spec(
+    name="InterferenceDecrement",
+    doc="saturating decrement of an interference statistic",
+    scalar_src=_id_scalar,
+    psim_src=_id_psim,
+    hand_build=_id_hand,
+    workload=_id_workload,
+    ref=lambda w: [
+        np.maximum(w.arrays[0].astype(np.int32) - 40, -800).astype(np.int16)
+    ],
+)
+
+# -- TextureBoostedUv -----------------------------------------------------------------------------
+
+_tb_scalar, _tb_psim = elementwise_sources(
+    "u8* src, u8* dst, u8 boost",
+    "i32 d = ((i32)src[i] - 128) * (i32)boost + 128; "
+    "dst[i] = (u8)max(min(d, 255), 0);",
+)
+
+
+def _tb_hand(module):
+    def body(k, i):
+        v = k.widen_u8_u16(k.load(k.p.src, i, 64))
+        boost = k.broadcast(k.b.zext(k.p.boost, I16), 64)
+        mid = k.splat(I16, 128, 64)
+        d = k.add(k.mul(k.sub(v, mid), boost), mid)  # i16 signed math
+        clamped = k.smax(k.smin(d, k.splat(I16, 255, 64)), k.splat(I16, 0, 64))
+        k.store(k.narrow_to_u8(clamped), k.p.dst, i)
+
+    simple_hand(module, [("src", P8), ("dst", P8), ("boost", I8), ("n", I64)], 64, body)
+
+
+def _tb_workload():
+    rng = rng_for("TextureBoostedUv")
+    src = gray_image(rng)
+    return Workload([src, np.zeros_like(src)], [4, src.size], outputs=[1])
+
+
+_spec(
+    name="TextureBoostedUv",
+    doc="boost contrast around the UV midpoint",
+    scalar_src=_tb_scalar,
+    psim_src=_tb_psim,
+    hand_build=_tb_hand,
+    workload=_tb_workload,
+    ref=lambda w: [
+        np.clip((w.arrays[0].astype(np.int32) - 128) * 4 + 128, 0, 255).astype(np.uint8)
+    ],
+)
+
+# -- TexturePerformCompensation --------------------------------------------------------------------
+
+_tc_scalar, _tc_psim = elementwise_sources(
+    "u8* src, u8* dst, i16 shift",
+    "i32 v = (i32)src[i] + (i32)shift; dst[i] = (u8)max(min(v, 255), 0);",
+)
+
+
+def _tc_hand(module):
+    def body(k, i):
+        v = k.widen_u8_u16(k.load(k.p.src, i, 64))
+        sh = k.broadcast(k.p.shift, 64)
+        t = k.add(v, sh)
+        clamped = k.smax(k.smin(t, k.splat(I16, 255, 64)), k.splat(I16, 0, 64))
+        k.store(k.narrow_to_u8(clamped), k.p.dst, i)
+
+    simple_hand(module, [("src", P8), ("dst", P8), ("shift", I16), ("n", I64)], 64, body)
+
+
+def _tc_workload():
+    rng = rng_for("TexturePerformCompensation")
+    src = gray_image(rng)
+    return Workload([src, np.zeros_like(src)], [-37 & 0xFFFF, src.size], outputs=[1])
+
+
+_spec(
+    name="TexturePerformCompensation",
+    doc="add a signed brightness shift with clamping",
+    scalar_src=_tc_scalar,
+    psim_src=_tc_psim,
+    hand_build=_tc_hand,
+    workload=_tc_workload,
+    ref=lambda w: [
+        np.clip(w.arrays[0].astype(np.int32) - 37, 0, 255).astype(np.uint8)
+    ],
+)
+
+# -- ShiftBilinear (sub-pixel horizontal shift) ----------------------------------------------------------
+
+_sb_scalar, _sb_psim = elementwise_sources(
+    "u8* src, u8* dst, u32 frac",
+    "u32 a = (u32)src[i]; u32 b = (u32)src[i + 1]; "
+    "dst[i] = (u8)(((256 - frac) * a + frac * b + 128) >> 8);",
+)
+
+
+def _sb_hand(module):
+    from ...ir import I32 as _I32
+
+    def body(k, i):
+        a = k.widen_u8_u16(k.load(k.p.src, i, 64))
+        b = k.widen_u8_u16(k.load(k.p.src, k.add(i, k.i64(1)), 64))
+        frac = k.b.trunc(k.p.frac, I16)
+        f = k.broadcast(frac, 64)
+        inv = k.sub(k.splat(I16, 256, 64), f)
+        t = k.add(k.add(k.mul(inv, a), k.mul(f, b)), k.splat(I16, 128, 64))
+        k.store(k.narrow_to_u8(k.lshr(t, k.splat(I16, 8, 64))), k.p.dst, i)
+
+    simple_hand(module, [("src", P8), ("dst", P8), ("frac", I32), ("n", I64)], 64, body)
+
+
+def _sb_workload():
+    rng = rng_for("ShiftBilinear")
+    src = gray_image(rng)
+    return Workload(
+        [src, np.zeros(src.size - 64, np.uint8)], [77, src.size - 64], outputs=[1]
+    )
+
+
+def _sb_ref(w):
+    n = w.arrays[1].size
+    a = w.arrays[0][:n].astype(np.uint32)
+    b = w.arrays[0][1 : n + 1].astype(np.uint32)
+    return [(((256 - 77) * a + 77 * b + 128) >> 8).astype(np.uint8)]
+
+
+_spec(
+    name="ShiftBilinear",
+    doc="sub-pixel bilinear horizontal shift",
+    scalar_src=_sb_scalar,
+    psim_src=_sb_psim,
+    hand_build=_sb_hand,
+    workload=_sb_workload,
+    ref=_sb_ref,
+)
+
+# -- LbpEstimate (local binary patterns) --------------------------------------------------------------------
+
+_LBP_OFFS = [(-1, -1), (-1, 0), (-1, 1), (0, 1), (1, 1), (1, 0), (1, -1), (0, -1)]
+
+
+def _lbp_sources():
+    center = "u64 p = row + w + x + 1; u8 c = src[p];"
+    bits = " | ".join(
+        f"((src[p + ({dy}) * (i64)w + ({dx})] >= c ? 1 : 0) << {bit})"
+        for bit, (dy, dx) in enumerate(_LBP_OFFS)
+    )
+    body = f"{center} dst[p] = (u8)({bits});"
+    return rowwise_sources("u8* src, u8* dst", body, xspan="w - 2")
+
+
+_lbp_scalar, _lbp_psim = _lbp_sources()
+
+
+def _lbp_hand(module):
+    from .filter import _rows_hand  # same interior-rows loop structure
+
+    def body(k, p0):
+        p = k.add(k.add(p0, k.p.w), k.i64(1))
+        c = k.load(k.p.src, p, 64)
+        acc = k.splat(I8, 0, 64)
+        for bit, (dy, dx) in enumerate(_LBP_OFFS):
+            addr = k.add(k.add(p, k.mul(k.i64(dy), k.p.w)), k.i64(dx))
+            v = k.load(k.p.src, addr, 64)
+            ge = k.icmp("uge", v, c)
+            bitval = k.blend(ge, k.splat(I8, 1 << bit, 64), k.splat(I8, 0, 64))
+            acc = k.or_(acc, bitval)
+        k.store(acc, k.p.dst, p)
+
+    _rows_hand(module, body)
+
+
+def _lbp_workload():
+    rng = rng_for("LbpEstimate")
+    src = rng.integers(0, 256, _W * _H).astype(np.uint8)
+    return Workload([src, np.zeros_like(src)], [_W, _H - 2], outputs=[1])
+
+
+def _lbp_ref(w):
+    img = w.arrays[0].reshape(_H, _W).astype(np.int32)
+    c = img[1:-1, 1:-1]
+    out = np.zeros_like(c)
+    for bit, (dy, dx) in enumerate(_LBP_OFFS):
+        nb = img[1 + dy : _H - 1 + dy, 1 + dx : _W - 1 + dx]
+        out |= (nb >= c).astype(np.int32) << bit
+    full = np.zeros((_H, _W), np.int32)
+    full[1:-1, 1:-1] = out
+    return [full.astype(np.uint8).reshape(-1)]
+
+
+_spec(
+    name="LbpEstimate",
+    doc="8-neighbour local binary pattern",
+    scalar_src=_lbp_scalar,
+    psim_src=_lbp_psim,
+    hand_build=_lbp_hand,
+    workload=_lbp_workload,
+    ref=_lbp_ref,
+)

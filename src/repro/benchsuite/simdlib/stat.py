@@ -1,0 +1,605 @@
+"""Simd Library kernels: whole-image statistics (horizontal reductions).
+
+The Parsimony ports use explicit horizontal operations — per-gang
+``psim_reduce_*_sync`` plus one atomic per gang — which serial loops
+cannot express (§2.2); the hand-written versions lean on ``vpsadbw``
+(§7's complex-instruction example) wherever a sum of bytes is needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ir import I8, I16, I32, I64
+from ..kernelspec import KernelSpec, elementwise_sources, reduction_sources
+from ..workloads import Workload, gray_image, rng_for
+from .handutil import P8, P64, accumulator_hand, simple_hand
+
+KERNELS = []
+
+
+def _spec(**kwargs):
+    spec = KernelSpec(group="stat", **kwargs)
+    KERNELS.append(spec)
+    return spec
+
+
+def _sum_workload(name, n_in=1, dtype=np.uint8):
+    def make():
+        rng = rng_for(name)
+        arrays = [gray_image(rng, dtype=dtype) for _ in range(n_in)]
+        arrays.append(np.zeros(1, np.uint64))
+        return Workload(arrays, [arrays[0].size], outputs=[n_in])
+
+    return make
+
+
+# -- ValueSum --------------------------------------------------------------------------
+
+_vs_scalar, _vs_psim = reduction_sources(
+    "u8* src", "0", "acc += (u64)src[i];", "u64"
+)
+# The Parsimony port uses the opaque SAD accumulator (§7) instead of
+# widening every pixel to u64.
+_vs_psim = '''
+void kernel(u8* src, u64* out, u64 n) {
+    out[0] = 0;
+    psim (gang_size=64, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        u64 gang_total = psim_sad_sync(src[i], (u8)0);
+        if (psim_get_lane_num() == 0) {
+            psim_atomic_add(out, gang_total);
+        }
+    }
+}
+'''
+
+
+def _vs_hand(module):
+    def body(k, i, acc):
+        v = k.load(k.p.src, i, 64)
+        # vpsadbw against zero: horizontal byte sums in one instruction.
+        groups = k.sad_u8(v, k.splat(I8, 0, 64))
+        return k.add(acc, k.hsum(groups))
+
+    accumulator_hand(module, [("src", P8), ("out", P64), ("n", I64)], 64, I64, body)
+
+
+_spec(
+    name="ValueSum",
+    doc="sum of all pixels",
+    scalar_src=_vs_scalar,
+    psim_src=_vs_psim,
+    hand_build=_vs_hand,
+    workload=_sum_workload("ValueSum"),
+    ref=lambda w: [np.array([w.arrays[0].astype(np.uint64).sum()])],
+)
+
+# -- SquareSum --------------------------------------------------------------------------
+
+_ss_scalar, _ss_psim = reduction_sources(
+    "u8* src", "0", "u64 v = (u64)src[i]; acc += v * v;", "u64"
+)
+_ss_psim = '''
+void kernel(u8* src, u64* out, u64 n) {
+    out[0] = 0;
+    psim (gang_size=64, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        u32 v = (u32)src[i];
+        u32 sq = v * v;
+        u64 gang_total = (u64)psim_reduce_add_sync(sq);
+        if (psim_get_lane_num() == 0) {
+            psim_atomic_add(out, gang_total);
+        }
+    }
+}
+'''
+
+
+def _ss_hand(module):
+    def body(k, i, acc):
+        total = k.splat(I32, 0, 64)
+        v = k.widen_u8_u16(k.load(k.p.src, i, 64))
+        sq = k.b.zext(k.mul(v, v), _vec(I32, 64))
+        total = k.add(total, sq)
+        return k.add(acc, k.b.zext(k.hsum(total), I64))
+
+    accumulator_hand(module, [("src", P8), ("out", P64), ("n", I64)], 64, I64, body)
+
+
+def _vec(elem, lanes):
+    from ...ir import VectorType
+
+    return VectorType(elem, lanes)
+
+
+_spec(
+    name="SquareSum",
+    doc="sum of squared pixels",
+    scalar_src=_ss_scalar,
+    psim_src=_ss_psim,
+    hand_build=_ss_hand,
+    workload=_sum_workload("SquareSum"),
+    ref=lambda w: [np.array([(w.arrays[0].astype(np.uint64) ** 2).sum()])],
+)
+
+# -- CorrelationSum ----------------------------------------------------------------------
+
+_cs_scalar, _cs_psim = reduction_sources(
+    "u8* a, u8* b", "0", "acc += (u64)a[i] * (u64)b[i];", "u64"
+)
+_cs_psim = '''
+void kernel(u8* a, u8* b, u64* out, u64 n) {
+    out[0] = 0;
+    psim (gang_size=64, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        u32 prod = (u32)a[i] * (u32)b[i];
+        u64 gang_total = (u64)psim_reduce_add_sync(prod);
+        if (psim_get_lane_num() == 0) {
+            psim_atomic_add(out, gang_total);
+        }
+    }
+}
+'''
+
+
+def _cs_hand(module):
+    def body(k, i, acc):
+        va = k.widen_u8_u16(k.load(k.p.a, i, 64))
+        vb = k.widen_u8_u16(k.load(k.p.b, i, 64))
+        prod = k.b.zext(k.mul(va, vb), _vec(I32, 64))
+        return k.add(acc, k.b.zext(k.hsum(prod), I64))
+
+    accumulator_hand(
+        module, [("a", P8), ("b", P8), ("out", P64), ("n", I64)], 64, I64, body
+    )
+
+
+_spec(
+    name="CorrelationSum",
+    doc="sum of pixel products of two images",
+    scalar_src=_cs_scalar,
+    psim_src=_cs_psim,
+    hand_build=_cs_hand,
+    workload=_sum_workload("CorrelationSum", n_in=2),
+    ref=lambda w: [
+        np.array([(w.arrays[0].astype(np.uint64) * w.arrays[1]).sum()])
+    ],
+)
+
+# -- AbsDifferenceSum (uses the §7 SAD abstraction in the Parsimony port) -------------------
+
+_ads_scalar = """
+void kernel(u8* a, u8* b, u64* out, u64 n) {
+    u64 acc = 0;
+    for (u64 i = 0; i < n; i++) {
+        acc += (u64)abs((i32)a[i] - (i32)b[i]);
+    }
+    out[0] = acc;
+}
+"""
+_ads_psim = """
+void kernel(u8* a, u8* b, u64* out, u64 n) {
+    out[0] = 0;
+    psim (gang_size=64, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        u64 gang_total = psim_sad_sync(a[i], b[i]);
+        if (psim_get_lane_num() == 0) {
+            psim_atomic_add(out, gang_total);
+        }
+    }
+}
+"""
+
+
+def _ads_hand(module):
+    def body(k, i, acc):
+        va = k.load(k.p.a, i, 64)
+        vb = k.load(k.p.b, i, 64)
+        return k.add(acc, k.hsum(k.sad_u8(va, vb)))
+
+    accumulator_hand(
+        module, [("a", P8), ("b", P8), ("out", P64), ("n", I64)], 64, I64, body
+    )
+
+
+_spec(
+    name="AbsDifferenceSum",
+    doc="sum of absolute differences (vpsadbw territory)",
+    scalar_src=_ads_scalar,
+    psim_src=_ads_psim,
+    hand_build=_ads_hand,
+    workload=_sum_workload("AbsDifferenceSum", n_in=2),
+    ref=lambda w: [
+        np.array([np.abs(w.arrays[0].astype(np.int64) - w.arrays[1]).sum()])
+    ],
+)
+
+# -- AbsDifferenceSumMasked ---------------------------------------------------------------------
+
+_adsm_scalar = """
+void kernel(u8* a, u8* b, u8* mask, u64* out, u8 index, u64 n) {
+    u64 acc = 0;
+    for (u64 i = 0; i < n; i++) {
+        if (mask[i] == index) {
+            acc += (u64)abs((i32)a[i] - (i32)b[i]);
+        }
+    }
+    out[0] = acc;
+}
+"""
+_adsm_psim = """
+void kernel(u8* a, u8* b, u8* mask, u64* out, u8 index, u64 n) {
+    out[0] = 0;
+    psim (gang_size=64, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        u8 va = mask[i] == index ? a[i] : (u8)0;
+        u8 vb = mask[i] == index ? b[i] : (u8)0;
+        u64 gang_total = psim_sad_sync(va, vb);
+        if (psim_get_lane_num() == 0) {
+            psim_atomic_add(out, gang_total);
+        }
+    }
+}
+"""
+
+
+def _adsm_hand(module):
+    def body(k, i, acc):
+        va = k.load(k.p.a, i, 64)
+        vb = k.load(k.p.b, i, 64)
+        m = k.icmp("eq", k.load(k.p.mask, i, 64), k.broadcast(k.p.index, 64))
+        zero = k.splat(I8, 0, 64)
+        return k.add(
+            acc,
+            k.hsum(k.sad_u8(k.blend(m, va, zero), k.blend(m, vb, zero))),
+        )
+
+    accumulator_hand(
+        module,
+        [("a", P8), ("b", P8), ("mask", P8), ("out", P64), ("index", I8), ("n", I64)],
+        64, I64, body,
+    )
+
+
+def _adsm_workload():
+    rng = rng_for("AbsDifferenceSumMasked")
+    a = gray_image(rng)
+    b = gray_image(rng)
+    mask = (rng.integers(0, 2, a.size) * 255).astype(np.uint8)
+    return Workload(
+        [a, b, mask, np.zeros(1, np.uint64)], [255, a.size], outputs=[3]
+    )
+
+
+def _adsm_ref(w):
+    sel = w.arrays[2] == 255
+    diff = np.abs(w.arrays[0].astype(np.int64) - w.arrays[1])
+    return [np.array([diff[sel].sum()])]
+
+
+_spec(
+    name="AbsDifferenceSumMasked",
+    doc="masked sum of absolute differences",
+    scalar_src=_adsm_scalar,
+    psim_src=_adsm_psim,
+    hand_build=_adsm_hand,
+    workload=_adsm_workload,
+    ref=_adsm_ref,
+)
+
+# -- SquaredDifferenceSum --------------------------------------------------------------------------
+
+_sds_scalar, _sds_psim = reduction_sources(
+    "u8* a, u8* b", "0",
+    "i64 d = (i64)a[i] - (i64)b[i]; acc += (u64)(d * d);", "u64",
+)
+_sds_psim = '''
+void kernel(u8* a, u8* b, u64* out, u64 n) {
+    out[0] = 0;
+    psim (gang_size=64, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        u32 d = (u32)absdiff(a[i], b[i]);
+        u64 gang_total = (u64)psim_reduce_add_sync(d * d);
+        if (psim_get_lane_num() == 0) {
+            psim_atomic_add(out, gang_total);
+        }
+    }
+}
+'''
+
+
+def _sds_hand(module):
+    def body(k, i, acc):
+        d = k.widen_u8_u16(
+            k.abs_diff_u8(k.load(k.p.a, i, 64), k.load(k.p.b, i, 64))
+        )
+        sq = k.b.zext(k.mul(d, d), _vec(I32, 64))
+        return k.add(acc, k.b.zext(k.hsum(sq), I64))
+
+    accumulator_hand(
+        module, [("a", P8), ("b", P8), ("out", P64), ("n", I64)], 64, I64, body
+    )
+
+
+_spec(
+    name="SquaredDifferenceSum",
+    doc="sum of squared differences",
+    scalar_src=_sds_scalar,
+    psim_src=_sds_psim,
+    hand_build=_sds_hand,
+    workload=_sum_workload("SquaredDifferenceSum", n_in=2),
+    ref=lambda w: [
+        np.array([((w.arrays[0].astype(np.int64) - w.arrays[1]) ** 2).sum()])
+    ],
+)
+
+# -- GetStatistic (min, max, sum at once) ------------------------------------------------------------
+
+_gs_scalar = """
+void kernel(u8* src, u64* out, u64 n) {
+    u64 vmin = 255;
+    u64 vmax = 0;
+    u64 vsum = 0;
+    for (u64 i = 0; i < n; i++) {
+        u64 v = (u64)src[i];
+        vmin = min(vmin, v);
+        vmax = max(vmax, v);
+        vsum += v;
+    }
+    out[0] = vmin; out[1] = vmax; out[2] = vsum;
+}
+"""
+_gs_psim = """
+void kernel(u8* src, u64* out, u64 n) {
+    out[0] = 255; out[1] = 0; out[2] = 0;
+    psim (gang_size=64, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        u8 v = src[i];
+        u64 gmin = (u64)psim_reduce_min_sync(v);
+        u64 gmax = (u64)psim_reduce_max_sync(v);
+        u64 gsum = psim_sad_sync(v, (u8)0);
+        if (psim_get_lane_num() == 0) {
+            psim_atomic_min(out, gmin);
+            psim_atomic_max(out + 1, gmax);
+            psim_atomic_add(out + 2, gsum);
+        }
+    }
+}
+"""
+
+
+def _gs_hand(module):
+    from ...simd import hand_kernel
+
+    k = hand_kernel(module, "kernel", [("src", P8), ("out", P64), ("n", I64)])
+    mn = k.alloca(I8, 1, "mn")
+    mx = k.alloca(I8, 1, "mx")
+    sm = k.alloca(I64, 1, "sm")
+    k.b.store(k.const(I8, 255), mn)
+    k.b.store(k.const(I8, 0), mx)
+    k.b.store(k.i64(0), sm)
+    with k.loop(k.p.n, step=64) as i:
+        v = k.load(k.p.src, i, 64)
+        k.b.store(k.umin(k.b.load(mn), k.b.reduce("reduce_min_u", v)), mn)
+        k.b.store(k.umax(k.b.load(mx), k.b.reduce("reduce_max_u", v)), mx)
+        total = k.hsum(k.sad_u8(v, k.splat(I8, 0, 64)))
+        k.b.store(k.add(k.b.load(sm), total), sm)
+    k.store_scalar(k.b.zext(k.b.load(mn), I64), k.p.out, k.i64(0))
+    k.store_scalar(k.b.zext(k.b.load(mx), I64), k.p.out, k.i64(1))
+    k.store_scalar(k.b.load(sm), k.p.out, k.i64(2))
+    k.ret()
+    k.done()
+
+
+def _gs_workload():
+    rng = rng_for("GetStatistic")
+    src = gray_image(rng)
+    return Workload([src, np.zeros(3, np.uint64)], [src.size], outputs=[1])
+
+
+_spec(
+    name="GetStatistic",
+    doc="image min / max / sum in one pass",
+    scalar_src=_gs_scalar,
+    psim_src=_gs_psim,
+    hand_build=_gs_hand,
+    workload=_gs_workload,
+    ref=lambda w: [
+        np.array([
+            w.arrays[0].min(), w.arrays[0].max(),
+            w.arrays[0].astype(np.uint64).sum(),
+        ], dtype=np.uint64)
+    ],
+)
+
+# -- GetRowSums --------------------------------------------------------------------------------------
+
+_rs_scalar = """
+void kernel(u8* src, u64* sums, u64 w, u64 h) {
+    for (u64 y = 0; y < h; y++) {
+        u64 acc = 0;
+        u64 row = y * w;
+        for (u64 x = 0; x < w; x++) {
+            acc += (u64)src[row + x];
+        }
+        sums[y] = acc;
+    }
+}
+"""
+_rs_psim = """
+void kernel(u8* src, u64* sums, u64 w, u64 h) {
+    for (u64 y = 0; y < h; y++) {
+        sums[y] = 0;
+        u64 row = y * w;
+        psim (gang_size=64, num_threads=w) {
+            u64 x = psim_get_thread_num();
+            u64 gang_total = psim_sad_sync(src[row + x], (u8)0);
+            if (psim_get_lane_num() == 0) {
+                psim_atomic_add(sums + y, gang_total);
+            }
+        }
+    }
+}
+"""
+
+
+def _rs_hand(module):
+    from ...simd import hand_kernel
+
+    k = hand_kernel(module, "kernel", [("src", P8), ("sums", P64), ("w", I64), ("h", I64)])
+    acc = k.alloca(I64, 1, "acc")
+    with k.loop(k.p.h) as y:
+        k.b.store(k.i64(0), acc)
+        row = k.mul(y, k.p.w, "row")
+        with k.loop(k.p.w, step=64, name="x") as x:
+            v = k.load(k.p.src, k.add(row, x), 64)
+            k.b.store(
+                k.add(k.b.load(acc), k.hsum(k.sad_u8(v, k.splat(I8, 0, 64)))), acc
+            )
+        k.store_scalar(k.b.load(acc), k.p.sums, y)
+    k.ret()
+    k.done()
+
+
+def _rs_workload():
+    rng = rng_for("GetRowSums")
+    w, h = 64, 48
+    src = gray_image(rng, w=w, h=h)
+    return Workload([src, np.zeros(h, np.uint64)], [w, h], outputs=[1])
+
+
+_spec(
+    name="GetRowSums",
+    doc="per-row pixel sums",
+    scalar_src=_rs_scalar,
+    psim_src=_rs_psim,
+    hand_build=_rs_hand,
+    workload=_rs_workload,
+    ref=lambda w: [w.arrays[0].reshape(48, 64).astype(np.uint64).sum(axis=1)],
+)
+
+# -- GetAbsDyRowSums ------------------------------------------------------------------------------------
+
+_dy_scalar = """
+void kernel(u8* src, u64* sums, u64 w, u64 h) {
+    for (u64 y = 0; y < h; y++) {
+        u64 acc = 0;
+        u64 row = y * w;
+        for (u64 x = 0; x < w; x++) {
+            acc += (u64)abs((i32)src[row + x] - (i32)src[row + w + x]);
+        }
+        sums[y] = acc;
+    }
+}
+"""
+_dy_psim = """
+void kernel(u8* src, u64* sums, u64 w, u64 h) {
+    for (u64 y = 0; y < h; y++) {
+        sums[y] = 0;
+        u64 row = y * w;
+        psim (gang_size=64, num_threads=w) {
+            u64 x = psim_get_thread_num();
+            u64 gang_total = psim_sad_sync(src[row + x], src[row + w + x]);
+            if (psim_get_lane_num() == 0) {
+                psim_atomic_add(sums + y, gang_total);
+            }
+        }
+    }
+}
+"""
+
+
+def _dy_hand(module):
+    from ...simd import hand_kernel
+
+    k = hand_kernel(module, "kernel", [("src", P8), ("sums", P64), ("w", I64), ("h", I64)])
+    acc = k.alloca(I64, 1, "acc")
+    with k.loop(k.p.h) as y:
+        k.b.store(k.i64(0), acc)
+        row = k.mul(y, k.p.w, "row")
+        with k.loop(k.p.w, step=64, name="x") as x:
+            a = k.load(k.p.src, k.add(row, x), 64)
+            b = k.load(k.p.src, k.add(k.add(row, k.p.w), x), 64)
+            k.b.store(k.add(k.b.load(acc), k.hsum(k.sad_u8(a, b))), acc)
+        k.store_scalar(k.b.load(acc), k.p.sums, y)
+    k.ret()
+    k.done()
+
+
+def _dy_workload():
+    rng = rng_for("GetAbsDyRowSums")
+    w, h = 64, 48
+    src = gray_image(rng, w=w, h=h + 1)  # one extra row for y+1 reads
+    return Workload([src, np.zeros(h, np.uint64)], [w, h], outputs=[1])
+
+
+def _dy_ref(w):
+    img = w.arrays[0].reshape(49, 64).astype(np.int64)
+    return [np.abs(img[:-1] - img[1:]).sum(axis=1).astype(np.uint64)]
+
+
+_spec(
+    name="GetAbsDyRowSums",
+    doc="per-row sums of |row - next row|",
+    scalar_src=_dy_scalar,
+    psim_src=_dy_psim,
+    hand_build=_dy_hand,
+    workload=_dy_workload,
+    ref=_dy_ref,
+)
+
+# -- ConditionalCount8u --------------------------------------------------------------------------------------
+
+_cc_scalar = """
+void kernel(u8* src, u64* out, u8 threshold, u64 n) {
+    u64 acc = 0;
+    for (u64 i = 0; i < n; i++) {
+        if (src[i] > threshold) {
+            acc += 1;
+        }
+    }
+    out[0] = acc;
+}
+"""
+_cc_psim = """
+void kernel(u8* src, u64* out, u8 threshold, u64 n) {
+    out[0] = 0;
+    psim (gang_size=64, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        u8 hit = src[i] > threshold ? (u8)1 : (u8)0;
+        u64 gang_total = psim_sad_sync(hit, (u8)0);
+        if (psim_get_lane_num() == 0) {
+            psim_atomic_add(out, gang_total);
+        }
+    }
+}
+"""
+
+
+def _cc_hand(module):
+    def body(k, i, acc):
+        m = k.icmp("ugt", k.load(k.p.src, i, 64), k.broadcast(k.p.threshold, 64))
+        ones = k.blend(m, k.splat(I8, 1, 64), k.splat(I8, 0, 64))
+        return k.add(acc, k.hsum(k.sad_u8(ones, k.splat(I8, 0, 64))))
+
+    accumulator_hand(
+        module, [("src", P8), ("out", P64), ("threshold", I8), ("n", I64)], 64, I64, body
+    )
+
+
+def _cc_workload():
+    rng = rng_for("ConditionalCount8u")
+    src = gray_image(rng)
+    return Workload([src, np.zeros(1, np.uint64)], [100, src.size], outputs=[1])
+
+
+_spec(
+    name="ConditionalCount8u",
+    doc="count pixels above a threshold",
+    scalar_src=_cc_scalar,
+    psim_src=_cc_psim,
+    hand_build=_cc_hand,
+    workload=_cc_workload,
+    ref=lambda w: [np.array([(w.arrays[0] > 100).sum()], dtype=np.uint64)],
+)

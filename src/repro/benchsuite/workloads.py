@@ -1,0 +1,62 @@
+"""Seeded synthetic workload generators.
+
+Substitutes for the data sets shipped with the Simd Library and ispc
+benchmark suites (see DESIGN.md): random images and arrays with fixed
+seeds, so every implementation of a kernel sees bit-identical inputs and
+results are reproducible across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Workload", "rng_for", "gray_image", "planar_image", "f32_array"]
+
+#: Default benchmark image size (width must be a multiple of 64 so that the
+#: hand-written u8 kernels' full-width blocks fit, as in real intrinsics code).
+DEFAULT_W = 64
+DEFAULT_H = 48
+
+
+@dataclass
+class Workload:
+    """One kernel invocation's inputs.
+
+    ``arrays`` are allocated into VM memory (in order) and their addresses
+    passed first; ``scalars`` follow.  ``outputs`` lists indices of arrays
+    whose final contents define the kernel's result (compared across
+    implementations); ``returns_value`` marks kernels whose return value is
+    the result instead/additionally.
+    """
+
+    arrays: List[np.ndarray]
+    scalars: List = field(default_factory=list)
+    outputs: List[int] = field(default_factory=list)
+    returns_value: bool = False
+    #: Relative tolerance for output comparison; None = bit-exact.  Float
+    #: reductions need this: gang-wise horizontal sums legally reassociate.
+    rtol: Optional[float] = None
+
+
+def rng_for(name: str, salt: int = 0) -> np.random.Generator:
+    """Deterministic per-kernel RNG."""
+    seed = (hash(name) ^ (salt * 0x9E3779B9)) & 0xFFFFFFFF
+    return np.random.default_rng(seed)
+
+
+def gray_image(rng, w: int = DEFAULT_W, h: int = DEFAULT_H, dtype=np.uint8) -> np.ndarray:
+    """A flat ``h*w`` random image."""
+    info = np.iinfo(dtype)
+    return rng.integers(info.min, int(info.max) + 1, h * w).astype(dtype)
+
+
+def planar_image(rng, channels: int, w: int = DEFAULT_W, h: int = DEFAULT_H) -> np.ndarray:
+    """Interleaved multi-channel u8 image (h*w*channels bytes)."""
+    return rng.integers(0, 256, h * w * channels).astype(np.uint8)
+
+
+def f32_array(rng, n: int, lo: float = 0.0, hi: float = 1.0) -> np.ndarray:
+    return (rng.random(n) * (hi - lo) + lo).astype(np.float32)

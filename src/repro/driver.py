@@ -1,0 +1,116 @@
+"""Compilation drivers: the five configurations the paper measures (§5).
+
+* ``compile_scalar``    — "LLVM scalar": front-end + scalar -O pipeline,
+  no vectorization of any kind (Figure 5's baseline denominator).
+* ``compile_autovec``   — "LLVM auto-vectorization": scalar pipeline plus
+  the classical loop auto-vectorizer (Figures 4 and 5 baseline).
+* ``compile_parsimony`` — the Parsimony flow: scalar pipeline with the
+  SPMD IR-to-IR vectorization pass (SLEEF math).
+* ``compile_ispc``      — the ispc-style flow (see ``repro.ispc``).
+* hand-written kernels are built directly against ``repro.simd``'s
+  intrinsics API, needing no driver.
+
+``execute`` runs a compiled function on a machine and returns its result
+plus :class:`~repro.backend.machine.ExecStats` (the measurement harness).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .backend.costmodel import CostModel
+from .backend.machine import AVX512, ExecStats, Machine
+from .frontend import compile_source
+from .ir.module import Module
+from .ispc import ispc_compile
+from .passes import standard_pipeline
+from .vectorizer import VectorizeConfig, vectorize_module
+from .vm import Interpreter, Memory
+
+__all__ = [
+    "compile_scalar",
+    "compile_autovec",
+    "compile_parsimony",
+    "compile_ispc",
+    "execute",
+]
+
+
+def compile_scalar(source: str, module_name: str = "scalar") -> Module:
+    """Front-end + scalar optimizations only (vectorization disabled)."""
+    from .passes.inline import inline_module_calls
+
+    module = compile_source(source, module_name)
+    inline_module_calls(module)
+    standard_pipeline().run(module)
+    return module
+
+
+def compile_autovec(source: str, machine: Machine = AVX512,
+                    module_name: str = "autovec", fast_math: bool = False) -> Module:
+    """Scalar pipeline + classical loop auto-vectorization."""
+    from .autovec import AutoVecConfig, auto_vectorize_module
+
+    from .passes.inline import inline_module_calls
+
+    module = compile_source(source, module_name)
+    inline_module_calls(module)
+    standard_pipeline().run(module)
+    auto_vectorize_module(module, machine, AutoVecConfig(fast_math=fast_math))
+    standard_pipeline().run(module)
+    return module
+
+
+def compile_parsimony(source: str, config: Optional[VectorizeConfig] = None,
+                      module_name: str = "parsimony") -> Module:
+    """The Parsimony flow (§4): standard pipeline + the SPMD pass, then the
+    back-end cleanup the paper relies on (re-inline the vectorized region
+    into its gang loop, hoist per-gang-invariant setup)."""
+    module = compile_source(source, module_name)
+    standard_pipeline().run(module)
+    vectorize_module(module, config)
+    post_vectorize_cleanup(module)
+    return module
+
+
+def post_vectorize_cleanup(module: Module) -> None:
+    """Re-inline vectorized SPMD functions into their gang loops (§4.1:
+    "the vectorized function can later be re-inlined by the back-end") and
+    run LICM + CSE so gang-invariant work leaves the per-gang loop."""
+    from .passes import constant_fold, cse, dce, licm, narrow_ints, simplify_cfg
+    from .passes.inline import inline_function_calls
+
+    for function in list(module.functions.values()):
+        if function.spmd is not None:
+            continue
+        inline_function_calls(
+            function, should_inline=lambda callee: ".psim" in callee.name
+        )
+        constant_fold(function)
+        simplify_cfg(function)
+        # Vectorized selects/blends reintroduce widened trees; narrow again.
+        narrow_ints(function)
+        cse(function)
+        licm(function)
+        cse(function)
+        dce(function)
+        simplify_cfg(function)
+
+
+def compile_ispc(source: str, machine: Machine = AVX512,
+                 module_name: str = "ispc") -> Module:
+    return ispc_compile(source, machine, module_name)
+
+
+def execute(
+    module: Module,
+    function: str,
+    *args,
+    machine: Machine = AVX512,
+    memory: Optional[Memory] = None,
+    cost_model: Optional[CostModel] = None,
+) -> Tuple[object, ExecStats, Interpreter]:
+    """Run one function call and return (result, stats, interpreter)."""
+    interp = Interpreter(module, machine=machine, memory=memory, cost_model=cost_model)
+    result = interp.run(function, *args)
+    return result, interp.stats, interp

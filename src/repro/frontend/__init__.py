@@ -1,0 +1,23 @@
+"""``repro.frontend`` — the PsimC front-end.
+
+PsimC is a small C-like language with Parsimony ``psim`` SPMD regions,
+standing in for the paper's Parsimony-enabled C++ (§3).  The pipeline is
+lexer → parser → sema (types + captures) → lowering (IR + SPMD region
+outlining per §4.1 / Listing 6).
+"""
+
+from .ctypes import CType, ptr, type_by_name
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, parse_expression, parse_program
+from .sema import Sema, SemaError, analyze, usual_arithmetic_conversion
+from .lower import Compiler, LowerError, compile_source
+from .intrinsics import PSIM_INTRINSICS, is_psim_intrinsic
+
+__all__ = [
+    "CType", "ptr", "type_by_name",
+    "LexError", "Token", "tokenize",
+    "ParseError", "parse_program", "parse_expression",
+    "Sema", "SemaError", "analyze", "usual_arithmetic_conversion",
+    "Compiler", "LowerError", "compile_source",
+    "PSIM_INTRINSICS", "is_psim_intrinsic",
+]

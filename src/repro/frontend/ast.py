@@ -1,0 +1,214 @@
+"""Abstract syntax tree for PsimC.
+
+Nodes are plain dataclasses.  Expression nodes carry a ``ctype`` slot that
+the semantic analyzer (``repro.frontend.sema``) fills in; the analyzer
+also rewrites the tree to make implicit conversions explicit ``Cast``
+nodes, so lowering never has to think about C's conversion rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .ctypes import CType
+
+__all__ = [
+    "Node", "Expr", "Stmt",
+    "IntLit", "FloatLit", "BoolLit", "Ident", "Unary", "Binary", "Ternary",
+    "Call", "Index", "Deref", "AddrOf", "Cast",
+    "Block", "VarDecl", "Assign", "ExprStmt", "IfStmt", "WhileStmt",
+    "ForStmt", "ReturnStmt", "BreakStmt", "ContinueStmt", "PsimStmt",
+    "Param", "FuncDef", "Program",
+]
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, compare=False)
+
+
+# ----------------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    ctype: Optional[CType] = field(default=None, compare=False)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+    suffix: str = ""  # 'u', 'l', 'ul'
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+    suffix: str = ""  # 'f' for f32
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""  # '-', '!', '~', '+'
+    operand: Expr = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""  # arithmetic/logic/comparison operator text
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr = None
+    then: Expr = None
+    els: Expr = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class Deref(Expr):
+    operand: Expr = None
+
+
+@dataclass
+class AddrOf(Expr):
+    operand: Expr = None  # must be an Index or Ident(array local)
+
+
+@dataclass
+class Cast(Expr):
+    target: CType = None
+    operand: Expr = None
+    implicit: bool = False
+
+
+# ----------------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    ctype: CType = None
+    init: Optional[Expr] = None
+    array_size: Optional[int] = None  # fixed-size local array
+
+
+@dataclass
+class Assign(Stmt):
+    target: Expr = None  # Ident | Index | Deref
+    op: str = "="  # '=', '+=', '-=', ...
+    value: Expr = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr = None
+    then: Stmt = None
+    els: Optional[Stmt] = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr = None
+    body: Stmt = None
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: Stmt = None
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class PsimStmt(Stmt):
+    """A ``psim (gang_size=G, num_threads=N) { ... }`` SPMD region (§3)."""
+
+    gang_size: Expr = None  # must be a compile-time constant
+    count_kind: str = "num_threads"  # or 'num_gangs'
+    count: Expr = None
+    body: Block = None
+
+
+# ----------------------------------------------------------------------------
+# top level
+# ----------------------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    ctype: CType = None
+
+
+@dataclass
+class FuncDef(Node):
+    name: str = ""
+    ret: CType = None
+    params: List[Param] = field(default_factory=list)
+    body: Block = None
+
+
+@dataclass
+class Program(Node):
+    functions: List[FuncDef] = field(default_factory=list)

@@ -1,0 +1,108 @@
+"""Source-level types for PsimC.
+
+PsimC is the small C-like language the reproduction uses in place of the
+paper's "Parsimony-enabled C++" (§3): the IR is sign-less like LLVM's, so
+the front-end carries signedness here and picks signed/unsigned IR
+operations during lowering, exactly as Clang does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.types import (
+    F32,
+    F64,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    PointerType,
+    Type,
+    VOID,
+)
+
+__all__ = ["CType", "ptr", "BOOL", "VOIDT", "SCALAR_TYPES", "type_by_name"]
+
+
+class CType:
+    """A PsimC type: an IR type plus signedness (and pointee for pointers)."""
+
+    def __init__(self, name: str, ir: Type, signed: bool, pointee: Optional["CType"] = None):
+        self.name = name
+        self.ir = ir
+        self.signed = signed
+        self.pointee = pointee
+
+    # -- predicates -----------------------------------------------------------
+
+    @property
+    def is_void(self) -> bool:
+        return self.ir.is_void
+
+    @property
+    def is_bool(self) -> bool:
+        return self.ir == I1
+
+    @property
+    def is_int(self) -> bool:
+        return self.ir.is_int and self.ir != I1
+
+    @property
+    def is_float(self) -> bool:
+        return self.ir.is_float
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.ir.is_pointer
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return self.is_int or self.is_float
+
+    @property
+    def bits(self) -> int:
+        return self.ir.bits
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, CType)
+            and self.ir == other.ir
+            and self.signed == other.signed
+            and self.pointee == other.pointee
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.ir, self.signed))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+VOIDT = CType("void", VOID, False)
+BOOL = CType("bool", I1, False)
+I8T = CType("i8", I8, True)
+U8T = CType("u8", I8, False)
+I16T = CType("i16", I16, True)
+U16T = CType("u16", I16, False)
+I32T = CType("i32", I32, True)
+U32T = CType("u32", I32, False)
+I64T = CType("i64", I64, True)
+U64T = CType("u64", I64, False)
+F32T = CType("f32", F32, True)
+F64T = CType("f64", F64, True)
+
+SCALAR_TYPES = {
+    t.name: t
+    for t in (VOIDT, BOOL, I8T, U8T, I16T, U16T, I32T, U32T, I64T, U64T, F32T, F64T)
+}
+
+
+def ptr(pointee: CType) -> CType:
+    """Pointer-to-``pointee`` type."""
+    return CType(f"{pointee.name}*", PointerType(pointee.ir), False, pointee)
+
+
+def type_by_name(name: str) -> Optional[CType]:
+    return SCALAR_TYPES.get(name)

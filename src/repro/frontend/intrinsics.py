@@ -1,0 +1,200 @@
+"""Builtin functions and Parsimony API intrinsics for PsimC.
+
+Two families:
+
+* **general builtins** — ``min``/``max``/``abs``/``sqrt``/math functions
+  and the "operations not typically exposed in standard language APIs,
+  such as saturating math" (§3): ``addsat``/``subsat``/``avgr``/
+  ``absdiff``/``mulhi``.
+* **psim intrinsics** — the Parsimony programming API (§3): thread/gang
+  queries, explicit horizontal synchronization ops, and the §7 opaque SAD
+  accumulator abstraction.  These are only legal inside a ``psim`` region.
+
+During lowering, general builtins become IR opcodes or math-library
+calls; psim intrinsics become calls to reserved ``psim.*`` externals that
+the Parsimony vectorizer later pattern-matches and lowers (§4.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from .ctypes import BOOL, CType, SCALAR_TYPES, VOIDT
+
+__all__ = ["BuiltinSig", "lookup_builtin", "PSIM_INTRINSICS", "is_psim_intrinsic"]
+
+U64T = SCALAR_TYPES["u64"]
+U8T = SCALAR_TYPES["u8"]
+F32T = SCALAR_TYPES["f32"]
+F64T = SCALAR_TYPES["f64"]
+
+
+@dataclass
+class BuiltinSig:
+    """Resolved builtin call: result type plus per-argument coercion targets."""
+
+    name: str
+    result: CType
+    arg_types: List[CType]
+    kind: str  # 'op' | 'math' | 'psim'
+    #: For kind='op': the IR opcode family to lower to (signedness applied).
+    opcode: str = ""
+
+
+class BuiltinError(TypeError):
+    """Raised when builtin arguments cannot be resolved."""
+
+
+def _arith(t: CType) -> bool:
+    return t.is_arithmetic or t.is_bool
+
+
+def _usual(a: CType, b: CType) -> CType:
+    """C's usual arithmetic conversions (shared with sema)."""
+    from .sema import usual_arithmetic_conversion
+
+    return usual_arithmetic_conversion(a, b)
+
+
+def _binary_minmax(name: str, args: List[CType]) -> BuiltinSig:
+    if len(args) != 2 or not all(_arith(t) for t in args):
+        raise BuiltinError(f"{name} expects two arithmetic arguments")
+    t = _usual(args[0], args[1])
+    if t.is_float:
+        opcode = "fmin" if name == "min" else "fmax"
+    elif t.signed:
+        opcode = "smin" if name == "min" else "smax"
+    else:
+        opcode = "umin" if name == "min" else "umax"
+    return BuiltinSig(name, t, [t, t], "op", opcode)
+
+
+def _narrow_int_pair(name: str, args: List[CType], signed_op: str, unsigned_op: str,
+                     unsigned_only: bool = False) -> BuiltinSig:
+    """Saturating/SIMD-flavoured ops keep their *narrow* type (no promotion):
+    that is the whole point of exposing them as APIs."""
+    if len(args) != 2 or not all(t.is_int for t in args) or args[0] != args[1]:
+        raise BuiltinError(f"{name} expects two integer arguments of the same type")
+    t = args[0]
+    if unsigned_only and t.signed:
+        raise BuiltinError(f"{name} requires unsigned operands")
+    return BuiltinSig(name, t, [t, t], "op", signed_op if t.signed else unsigned_op)
+
+
+_MATH_ONE = frozenset("floor ceil round trunc exp log exp2 log2 sin cos tan asin acos atan rsqrt cbrt".split())
+_MATH_TWO = frozenset("pow atan2 fmod".split())
+
+
+def lookup_builtin(name: str, args: List[CType], in_psim: bool) -> Optional[BuiltinSig]:
+    """Resolve a builtin call; returns None if ``name`` is not a builtin."""
+    if name in ("min", "max"):
+        return _binary_minmax(name, args)
+    if name == "abs":
+        if len(args) != 1 or not _arith(args[0]):
+            raise BuiltinError("abs expects one arithmetic argument")
+        t = args[0]
+        return BuiltinSig(name, t, [t], "op", "fabs" if t.is_float else "iabs")
+    if name == "sqrt":
+        if len(args) != 1 or not args[0].is_float:
+            raise BuiltinError("sqrt expects one float argument")
+        return BuiltinSig(name, args[0], [args[0]], "op", "fsqrt")
+    if name == "fma":
+        if len(args) != 3 or not all(t.is_float for t in args):
+            raise BuiltinError("fma expects three float arguments")
+        t = _usual(_usual(args[0], args[1]), args[2])
+        return BuiltinSig(name, t, [t, t, t], "op", "fma")
+    if name == "addsat":
+        return _narrow_int_pair(name, args, "addsat_s", "addsat_u")
+    if name == "subsat":
+        return _narrow_int_pair(name, args, "subsat_s", "subsat_u")
+    if name == "mulhi":
+        return _narrow_int_pair(name, args, "mulhi_s", "mulhi_u")
+    if name == "avgr":
+        return _narrow_int_pair(name, args, "avg_u", "avg_u", unsigned_only=True)
+    if name == "absdiff":
+        return _narrow_int_pair(name, args, "abd_u", "abd_u", unsigned_only=True)
+    if name in _MATH_ONE:
+        if len(args) != 1 or not _arith(args[0]):
+            raise BuiltinError(f"{name} expects one arithmetic argument")
+        t = args[0] if args[0].is_float else F64T
+        return BuiltinSig(name, t, [t], "math")
+    if name in _MATH_TWO:
+        if len(args) != 2 or not all(_arith(t) for t in args):
+            raise BuiltinError(f"{name} expects two arithmetic arguments")
+        t = _usual(args[0], args[1])
+        if not t.is_float:
+            t = F64T
+        return BuiltinSig(name, t, [t, t], "math")
+    if name in PSIM_INTRINSICS:
+        if not in_psim:
+            raise BuiltinError(f"{name} may only be used inside a psim region")
+        return _psim_sig(name, args)
+    return None
+
+
+# -- Parsimony API ------------------------------------------------------------------
+
+PSIM_INTRINSICS = frozenset(
+    """psim_get_lane_num psim_get_thread_num psim_get_gang_num
+       psim_get_num_threads psim_get_gang_size
+       psim_is_head_gang psim_is_tail_gang
+       psim_gang_sync psim_shuffle_sync psim_broadcast_sync
+       psim_reduce_add_sync psim_reduce_min_sync psim_reduce_max_sync
+       psim_sad_sync psim_any_sync psim_all_sync
+       psim_atomic_add psim_atomic_min psim_atomic_max""".split()
+)
+
+
+def is_psim_intrinsic(name: str) -> bool:
+    return name in PSIM_INTRINSICS
+
+
+def _psim_sig(name: str, args: List[CType]) -> BuiltinSig:
+    if name in (
+        "psim_get_lane_num",
+        "psim_get_thread_num",
+        "psim_get_gang_num",
+        "psim_get_num_threads",
+        "psim_get_gang_size",
+    ):
+        _expect_args(name, args, 0)
+        return BuiltinSig(name, U64T, [], "psim")
+    if name in ("psim_is_head_gang", "psim_is_tail_gang"):
+        _expect_args(name, args, 0)
+        return BuiltinSig(name, BOOL, [], "psim")
+    if name == "psim_gang_sync":
+        _expect_args(name, args, 0)
+        return BuiltinSig(name, VOIDT, [], "psim")
+    if name in ("psim_shuffle_sync", "psim_broadcast_sync"):
+        _expect_args(name, args, 2)
+        if not (args[0].is_arithmetic or args[0].is_bool):
+            raise BuiltinError(f"{name} expects an arithmetic value")
+        if not args[1].is_int:
+            raise BuiltinError(f"{name} expects an integer lane index")
+        return BuiltinSig(name, args[0], [args[0], U64T], "psim")
+    if name in ("psim_reduce_add_sync", "psim_reduce_min_sync", "psim_reduce_max_sync"):
+        _expect_args(name, args, 1)
+        if not args[0].is_arithmetic:
+            raise BuiltinError(f"{name} expects an arithmetic value")
+        return BuiltinSig(name, args[0], [args[0]], "psim")
+    if name in ("psim_any_sync", "psim_all_sync"):
+        _expect_args(name, args, 1)
+        return BuiltinSig(name, BOOL, [BOOL], "psim")
+    if name == "psim_sad_sync":
+        # §7: opaque sum-of-absolute-differences accumulator over the gang.
+        _expect_args(name, args, 2)
+        if args[0] != U8T or args[1] != U8T:
+            raise BuiltinError("psim_sad_sync expects two u8 values")
+        return BuiltinSig(name, U64T, [U8T, U8T], "psim")
+    if name in ("psim_atomic_add", "psim_atomic_min", "psim_atomic_max"):
+        _expect_args(name, args, 2)
+        if not args[0].is_pointer or args[0].pointee is None or not args[0].pointee.is_int:
+            raise BuiltinError(f"{name} expects an integer pointer")
+        return BuiltinSig(name, args[0].pointee, [args[0], args[0].pointee], "psim")
+    raise BuiltinError(f"unhandled psim intrinsic {name}")
+
+
+def _expect_args(name: str, args: List[CType], count: int) -> None:
+    if len(args) != count:
+        raise BuiltinError(f"{name} expects {count} argument(s), got {len(args)}")

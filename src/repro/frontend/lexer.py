@@ -1,0 +1,119 @@
+"""Lexer for PsimC."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional
+
+__all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    """void bool i8 u8 i16 u16 i32 u32 i64 u64 f32 f64
+       if else while for return break continue true false
+       psim gang_size num_threads num_gangs""".split()
+)
+
+# Multi-character operators first (longest match wins).
+_OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ",", ";", "?", ":",
+]
+
+
+class Token(NamedTuple):
+    kind: str  # 'ident' | 'keyword' | 'int' | 'float' | 'op' | 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.col}"
+
+
+class LexError(SyntaxError):
+    """Raised on an unrecognized character or malformed literal."""
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+
+    def col() -> int:
+        return i - line_start + 1
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError(f"unterminated block comment at line {line}")
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, start - line_start + 1))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            is_float = False
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and (source[i] in "0123456789abcdefABCDEF"):
+                    i += 1
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+                if i < n and source[i] == ".":
+                    is_float = True
+                    i += 1
+                    while i < n and source[i].isdigit():
+                        i += 1
+                if i < n and source[i] in "eE":
+                    is_float = True
+                    i += 1
+                    if i < n and source[i] in "+-":
+                        i += 1
+                    while i < n and source[i].isdigit():
+                        i += 1
+            # Suffixes: f (float), u/U (unsigned), l/L (long), combinations.
+            while i < n and source[i] in "fFuUlL":
+                if source[i] in "fF":
+                    is_float = True
+                i += 1
+            text = source[start:i]
+            tokens.append(
+                Token("float" if is_float else "int", text, line, start - line_start + 1)
+            )
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col()))
+                i += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r} at line {line}, col {col()}")
+
+    tokens.append(Token("eof", "", line, col()))
+    return tokens

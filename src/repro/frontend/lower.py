@@ -1,0 +1,709 @@
+"""AST → IR lowering for PsimC, including SPMD region outlining.
+
+Ordinary code lowers Clang-style: every local lives in an ``alloca`` (the
+scalar pipeline's mem2reg promotes them), control flow becomes explicit
+blocks, and C conversions were already made explicit by sema.
+
+``psim`` regions follow the paper's front-end contract (§4.1, Listing 6):
+the region body is outlined into standalone SPMD-annotated functions —
+a *full*-gang variant and a *partial* (tail) variant guarded by
+``thread_id < num_threads`` — and the region itself becomes a loop over
+gang base indices dispatching between the two.  When the thread count is
+a compile-time multiple of the gang size, the partial variant and the
+dispatch branch are not emitted at all.
+
+Parsimony API calls lower to reserved ``psim.*`` externals (see
+``repro.runtime.psim_abi``) that the vectorizer later pattern-matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..ir import (
+    I1,
+    I64,
+    Constant,
+    Function,
+    FunctionType,
+    IRBuilder,
+    Module,
+    SpmdInfo,
+    UndefValue,
+    Value,
+    verify_module,
+)
+from ..ir.types import PointerType
+from ..runtime import psim_abi
+from ..runtime.mathlib import scalar_math_external
+from . import ast
+from .ctypes import BOOL, CType, SCALAR_TYPES
+from .parser import parse_program
+from .sema import Symbol, analyze
+
+__all__ = ["LowerError", "Compiler", "compile_source"]
+
+U64T = SCALAR_TYPES["u64"]
+
+
+class LowerError(Exception):
+    """Internal error during lowering (sema should have caught user errors)."""
+
+
+@dataclass
+class PsimContext:
+    """Per-outlined-function SPMD facts the intrinsics lower against."""
+
+    gang_size: int
+    gang_base: Value  # u64 argument: first thread id of this gang
+    num_threads: Value  # u64 argument
+
+
+class Compiler:
+    """Compiles PsimC source into an IR module."""
+
+    def __init__(self, module_name: str = "psimc", force_gang_size: Optional[int] = None):
+        self.module_name = module_name
+        self.force_gang_size = force_gang_size
+
+    def compile(self, source: str) -> Module:
+        program = analyze(parse_program(source), self.force_gang_size)
+        module = Module(self.module_name)
+        self.module = module
+        self.ir_funcs: Dict[str, Function] = {}
+        self._psim_counter: Dict[str, int] = {}
+        for func in program.functions:
+            ftype = FunctionType(func.ret.ir, tuple(p.ctype.ir for p in func.params))
+            ir_func = Function(func.name, ftype, [p.name for p in func.params])
+            module.add_function(ir_func)
+            self.ir_funcs[func.name] = ir_func
+        for func in program.functions:
+            _FunctionLowering(self, self.ir_funcs[func.name], func.ret).lower_funcdef(func)
+        verify_module(module)
+        return module
+
+    def outline_region(
+        self, parent: Function, stmt: ast.PsimStmt, partial: bool
+    ) -> Function:
+        """Create and lower one outlined SPMD-region function (Listing 6)."""
+        index = self._psim_counter.get(parent.name, 0)
+        if not partial:
+            self._psim_counter[parent.name] = index + 1
+        else:
+            index -= 1  # pair with the full variant created just before
+        suffix = ".tail" if partial else ""
+        name = f"{parent.name}.psim{index}{suffix}"
+
+        captures: List[Symbol] = stmt.captures
+        param_types = tuple(s.value_ctype.ir for s in captures) + (I64, I64)
+        param_names = [s.name for s in captures] + ["__gang_base", "__num_threads"]
+        from ..ir.types import VOID
+
+        func = Function(name, FunctionType(VOID, param_types), param_names)
+        func.spmd = SpmdInfo(
+            stmt.gang_size_value,
+            partial=partial,
+            base_arg_index=len(captures),
+            nthreads_arg_index=len(captures) + 1,
+        )
+        func.attrs["always_inline"] = False  # inlined only after vectorization
+        self.module.add_function(func)
+
+        lowering = _FunctionLowering(self, func, None)
+        lowering.lower_spmd_region(stmt, captures, partial)
+        return func
+
+
+def compile_source(source: str, module_name: str = "psimc") -> Module:
+    """One-call front-end: PsimC source text → verified IR module."""
+    return Compiler(module_name).compile(source)
+
+
+class _FunctionLowering:
+    """Lowers one function body (or one outlined SPMD region body)."""
+
+    def __init__(self, compiler: Compiler, func: Function, ret_ctype: Optional[CType]):
+        self.compiler = compiler
+        self.module = compiler.module
+        self.func = func
+        self.ret_ctype = ret_ctype
+        self.b = IRBuilder(func)
+        # Symbol -> ('slot', alloca) for mutable locals, ('direct', value)
+        # for by-value captures and array decay pointers.
+        self.symtab: Dict[Symbol, Tuple[str, Value]] = {}
+        self._break_targets: List = []
+        self._continue_targets: List = []
+        self.psim: Optional[PsimContext] = None
+        self._lane_cache: Optional[Value] = None
+
+    # -- entry points ------------------------------------------------------------
+
+    def lower_funcdef(self, func_ast: ast.FuncDef) -> None:
+        entry = self.b.new_block("entry")
+        self.b.position_at_end(entry)
+        for param, arg in zip(func_ast.params, self.func.args):
+            slot = self.b.alloca(param.ctype.ir, 1, param.name + ".addr")
+            self.b.store(arg, slot)
+            self.symtab[param.symbol] = ("slot", slot)
+        self._lower_block(func_ast.body)
+        self._finish_function()
+
+    def lower_spmd_region(self, stmt: ast.PsimStmt, captures: List[Symbol], partial: bool) -> None:
+        entry = self.b.new_block("entry")
+        self.b.position_at_end(entry)
+        args = self.func.args
+        self.psim = PsimContext(
+            gang_size=stmt.gang_size_value,
+            gang_base=args[self.func.spmd.base_arg_index],
+            num_threads=args[self.func.spmd.nthreads_arg_index],
+        )
+        for symbol, arg in zip(captures, args):
+            self.symtab[symbol] = ("direct", arg)
+
+        if partial:
+            # Listing 6: the partial variant guards the body per thread.
+            # The comparison runs at i16: lane numbers are < gang_size and
+            # the remaining-thread count is clamped to the gang size, so a
+            # 64-bit per-lane compare (and the register pressure it drags
+            # through the back-end) is never needed.
+            from ..ir.types import I16 as _I16
+
+            remaining = self.b.sub(
+                self.psim.num_threads, self.psim.gang_base, "remaining"
+            )
+            clamped = self.b.umin(
+                remaining, Constant(I64, stmt.gang_size_value), "remaining.c"
+            )
+            rem16 = self.b.trunc(clamped, _I16, "remaining16")
+            lane16 = self.b.trunc(self._lane(), _I16, "lane16")
+            in_range = self.b.icmp("ult", lane16, rem16, "in_range")
+            body = self.b.new_block("body")
+            done = self.b.new_block("done")
+            self.b.condbr(in_range, body, done)
+            self.b.position_at_end(body)
+            self._lower_block(stmt.body)
+            if self.b.block.terminator is None:
+                self.b.br(done)
+            self.b.position_at_end(done)
+            self.b.ret()
+        else:
+            self._lower_block(stmt.body)
+            if self.b.block.terminator is None:
+                self.b.ret()
+
+    def _finish_function(self) -> None:
+        if self.b.block.terminator is None:
+            if self.func.return_type.is_void:
+                self.b.ret()
+            else:
+                # Falling off the end of a value-returning function: UB in C.
+                self.b.ret(UndefValue(self.func.return_type))
+        # Remove empty unreachable blocks created by dead code.
+        from ..passes.simplify_cfg import remove_unreachable_blocks
+
+        for block in list(self.func.blocks):
+            if block.terminator is None:
+                self.b.position_at_end(block)
+                self.b.unreachable()
+        remove_unreachable_blocks(self.func)
+
+    # -- statements -----------------------------------------------------------------
+
+    def _lower_block(self, block: ast.Block) -> None:
+        for stmt in block.stmts:
+            if self.b.block.terminator is not None:
+                break  # unreachable code after break/continue/return
+            self._lower_stmt(stmt)
+
+    def _lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._lower_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            self._lower_vardecl(stmt)
+        elif isinstance(stmt, ast.Assign):
+            value = self._lower_expr(stmt.value)
+            addr = self._lvalue_address(stmt.target)
+            self.b.store(value, addr)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._lower_expr(stmt.expr)
+        elif isinstance(stmt, ast.IfStmt):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.ForStmt):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is None:
+                self.b.ret()
+            else:
+                self.b.ret(self._lower_expr(stmt.value))
+        elif isinstance(stmt, ast.BreakStmt):
+            self.b.br(self._break_targets[-1])
+        elif isinstance(stmt, ast.ContinueStmt):
+            self.b.br(self._continue_targets[-1])
+        elif isinstance(stmt, ast.PsimStmt):
+            self._lower_psim(stmt)
+        else:
+            raise LowerError(f"unhandled statement {type(stmt).__name__}")
+
+    def _lower_vardecl(self, stmt: ast.VarDecl) -> None:
+        symbol: Symbol = stmt.symbol
+        count = symbol.array_size or 1
+        slot = self._entry_alloca(symbol.ctype.ir, count, symbol.name)
+        if symbol.kind == "array":
+            self.symtab[symbol] = ("direct", slot)
+        else:
+            self.symtab[symbol] = ("slot", slot)
+            if stmt.init is not None:
+                self.b.store(self._lower_expr(stmt.init), slot)
+
+    def _entry_alloca(self, irtype, count: int, name: str) -> Value:
+        entry = self.func.entry
+        saved_block, saved_index = self.b.block, self.b._insert_index
+        self.b.block = entry
+        self.b._insert_index = 0
+        slot = self.b.alloca(irtype, count, name)
+        self.b.block, self.b._insert_index = saved_block, saved_index
+        return slot
+
+    def _lower_if(self, stmt: ast.IfStmt) -> None:
+        cond = self._lower_expr(stmt.cond)
+        then_block = self.b.new_block("if.then")
+        join = self.b.new_block("if.join")
+        else_block = self.b.new_block("if.else") if stmt.els is not None else join
+        self.b.condbr(cond, then_block, else_block)
+
+        self.b.position_at_end(then_block)
+        self._lower_stmt(stmt.then)
+        if self.b.block.terminator is None:
+            self.b.br(join)
+
+        if stmt.els is not None:
+            self.b.position_at_end(else_block)
+            self._lower_stmt(stmt.els)
+            if self.b.block.terminator is None:
+                self.b.br(join)
+
+        self.b.position_at_end(join)
+
+    def _lower_while(self, stmt: ast.WhileStmt) -> None:
+        header = self.b.new_block("while.header")
+        body = self.b.new_block("while.body")
+        exit_ = self.b.new_block("while.exit")
+        self.b.br(header)
+        self.b.position_at_end(header)
+        self.b.condbr(self._lower_expr(stmt.cond), body, exit_)
+        self.b.position_at_end(body)
+        self._break_targets.append(exit_)
+        self._continue_targets.append(header)
+        self._lower_stmt(stmt.body)
+        self._break_targets.pop()
+        self._continue_targets.pop()
+        if self.b.block.terminator is None:
+            self.b.br(header)
+        self.b.position_at_end(exit_)
+
+    def _lower_for(self, stmt: ast.ForStmt) -> None:
+        if stmt.init is not None:
+            self._lower_stmt(stmt.init)
+        header = self.b.new_block("for.header")
+        body = self.b.new_block("for.body")
+        latch = self.b.new_block("for.latch")
+        exit_ = self.b.new_block("for.exit")
+        self.b.br(header)
+        self.b.position_at_end(header)
+        if stmt.cond is not None:
+            self.b.condbr(self._lower_expr(stmt.cond), body, exit_)
+        else:
+            self.b.br(body)
+        self.b.position_at_end(body)
+        self._break_targets.append(exit_)
+        self._continue_targets.append(latch)
+        self._lower_stmt(stmt.body)
+        self._break_targets.pop()
+        self._continue_targets.pop()
+        if self.b.block.terminator is None:
+            self.b.br(latch)
+        self.b.position_at_end(latch)
+        if stmt.step is not None:
+            self._lower_stmt(stmt.step)
+        self.b.br(header)
+        self.b.position_at_end(exit_)
+
+    # -- SPMD region call site ----------------------------------------------------------
+
+    def _lower_psim(self, stmt: ast.PsimStmt) -> None:
+        gang = stmt.gang_size_value
+        count = self._lower_expr(stmt.count)  # u64
+        if stmt.count_kind == "num_gangs":
+            count = self.b.mul(count, Constant(I64, gang), "n_threads")
+
+        capture_values = [self._capture_value(s) for s in stmt.captures]
+        full = self.compiler.outline_region(self.func, stmt, partial=False)
+        tail = self.compiler.outline_region(self.func, stmt, partial=True)
+
+        static_n = count.value if isinstance(count, Constant) else None
+        exact = static_n is not None and static_n % gang == 0
+        gang_c = Constant(I64, gang)
+
+        # Specialized per Listing 6: a tight loop over the full gangs
+        # (n & ~(G-1) of them, G is a power of two), then at most one
+        # partial-gang call for the remainder.
+        n_full = (
+            count
+            if exact
+            else self.b.and_(count, Constant(I64, (~(gang - 1)) & ((1 << 64) - 1)), "n_full")
+        )
+        pre = self.b.block
+        header = self.b.new_block("gang.header")
+        body = self.b.new_block("gang.body")
+        tail_check = self.b.new_block("gang.tailcheck")
+        exit_ = self.b.new_block("gang.exit")
+
+        self.b.br(header)
+        self.b.position_at_end(header)
+        base = self.b.phi(I64, "gang_base")
+        base.append_operand(Constant(I64, 0))
+        base.append_operand(pre)
+        self.b.condbr(self.b.icmp("ult", base, n_full, "more_gangs"), body, tail_check)
+
+        self.b.position_at_end(body)
+        self.b.call(full, capture_values + [base, count])
+        next_base = self.b.add(base, gang_c, "next_base")
+        base.append_operand(next_base)
+        base.append_operand(body)
+        self.b.br(header)
+
+        self.b.position_at_end(tail_check)
+        if exact:
+            self.b.br(exit_)
+        else:
+            call_tail = self.b.new_block("gang.tail")
+            has_tail = self.b.icmp("ult", n_full, count, "has_tail")
+            self.b.condbr(has_tail, call_tail, exit_)
+            self.b.position_at_end(call_tail)
+            self.b.call(tail, capture_values + [n_full, count])
+            self.b.br(exit_)
+
+        self.b.position_at_end(exit_)
+
+    def _capture_value(self, symbol: Symbol) -> Value:
+        mode, value = self.symtab[symbol]
+        if mode == "direct":
+            return value
+        return self.b.load(value, symbol.name + ".cap")
+
+    # -- expressions ------------------------------------------------------------------
+
+    def _lower_expr(self, expr: ast.Expr) -> Value:
+        if isinstance(expr, ast.IntLit):
+            return Constant(expr.ctype.ir, expr.value)
+        if isinstance(expr, ast.FloatLit):
+            return Constant(expr.ctype.ir, expr.value)
+        if isinstance(expr, ast.BoolLit):
+            return Constant(I1, 1 if expr.value else 0)
+        if isinstance(expr, ast.Ident):
+            mode, value = self.symtab[expr.symbol]
+            if mode == "direct":
+                return value
+            return self.b.load(value, expr.symbol.name)
+        if isinstance(expr, ast.Unary):
+            return self._lower_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._lower_binary(expr)
+        if isinstance(expr, ast.Ternary):
+            return self._lower_ternary(expr)
+        if isinstance(expr, ast.Call):
+            return self._lower_call(expr)
+        if isinstance(expr, ast.Index):
+            return self.b.load(self._lvalue_address(expr))
+        if isinstance(expr, ast.Deref):
+            return self.b.load(self._lower_expr(expr.operand))
+        if isinstance(expr, ast.AddrOf):
+            operand = expr.operand
+            if isinstance(operand, ast.Index):
+                return self._lvalue_address(operand)
+            mode, value = self.symtab[operand.symbol]
+            if mode != "slot":
+                raise LowerError(f"cannot take address of {operand.symbol.name!r}")
+            return value
+        if isinstance(expr, ast.Cast):
+            return self._lower_cast(self._lower_expr(expr.operand), expr.operand.ctype, expr.target)
+        raise LowerError(f"unhandled expression {type(expr).__name__}")
+
+    def _lvalue_address(self, expr: ast.Expr) -> Value:
+        if isinstance(expr, ast.Ident):
+            mode, value = self.symtab[expr.symbol]
+            if mode != "slot":
+                raise LowerError(f"{expr.symbol.name!r} is not assignable")
+            return value
+        if isinstance(expr, ast.Index):
+            base = self._lower_expr(expr.base)
+            index = self._lower_expr(expr.index)
+            index = self._index_to_i64(index, expr.index.ctype)
+            return self.b.gep(base, index)
+        if isinstance(expr, ast.Deref):
+            return self._lower_expr(expr.operand)
+        raise LowerError(f"not an lvalue: {type(expr).__name__}")
+
+    def _index_to_i64(self, value: Value, ctype: CType) -> Value:
+        if value.type == I64:
+            return value
+        if ctype.is_bool:
+            return self.b.zext(value, I64)
+        return self.b.sext(value, I64) if ctype.signed else self.b.zext(value, I64)
+
+    def _lower_unary(self, expr: ast.Unary) -> Value:
+        operand = self._lower_expr(expr.operand)
+        t = expr.ctype
+        if expr.op == "-":
+            if t.is_float:
+                return self.b.fneg(operand)
+            return self.b.sub(Constant(t.ir, 0), operand)
+        if expr.op == "~":
+            return self.b.not_(operand)
+        if expr.op == "!":
+            return self.b.xor(operand, Constant(I1, 1))
+        raise LowerError(f"unhandled unary {expr.op!r}")
+
+    _CMP_SIGNED = {"<": "slt", "<=": "sle", ">": "sgt", ">=": "sge"}
+    _CMP_UNSIGNED = {"<": "ult", "<=": "ule", ">": "ugt", ">=": "uge"}
+    _CMP_FLOAT = {"==": "oeq", "!=": "one", "<": "olt", "<=": "ole", ">": "ogt", ">=": "oge"}
+
+    def _lower_binary(self, expr: ast.Binary) -> Value:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._lower_logical(expr)
+        left_ct = expr.left.ctype
+        left = self._lower_expr(expr.left)
+        right = self._lower_expr(expr.right)
+
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if left_ct.is_float:
+                return self.b.fcmp(self._CMP_FLOAT[op], left, right)
+            if op == "==":
+                return self.b.icmp("eq", left, right)
+            if op == "!=":
+                return self.b.icmp("ne", left, right)
+            table = self._CMP_SIGNED if left_ct.signed and not left_ct.is_pointer else self._CMP_UNSIGNED
+            return self.b.icmp(table[op], left, right)
+
+        if left_ct.is_pointer:  # pointer arithmetic
+            if op == "-":
+                right = self.b.sub(Constant(I64, 0), right)
+            return self.b.gep(left, right)
+
+        t = expr.ctype
+        if t.is_float:
+            opcode = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}[op]
+            return self.b.binop(opcode, left, right)
+        if t.is_bool:
+            opcode = {"&": "and", "|": "or", "^": "xor"}[op]
+            return self.b.binop(opcode, left, right)
+        opcode = {
+            "+": "add", "-": "sub", "*": "mul",
+            "/": "sdiv" if t.signed else "udiv",
+            "%": "srem" if t.signed else "urem",
+            "&": "and", "|": "or", "^": "xor",
+            "<<": "shl", ">>": "ashr" if t.signed else "lshr",
+        }[op]
+        return self.b.binop(opcode, left, right)
+
+    def _lower_logical(self, expr: ast.Binary) -> Value:
+        # Short-circuit semantics, but use plain i1 bitwise ops when the RHS
+        # is speculatable (no loads/calls/divides) — better for vectorization.
+        left = self._lower_expr(expr.left)
+        if _speculatable(expr.right):
+            right = self._lower_expr(expr.right)
+            return self.b.binop("and" if expr.op == "&&" else "or", left, right)
+        rhs_block = self.b.new_block("sc.rhs")
+        join = self.b.new_block("sc.join")
+        lhs_block = self.b.block
+        if expr.op == "&&":
+            self.b.condbr(left, rhs_block, join)
+            const = Constant(I1, 0)
+        else:
+            self.b.condbr(left, join, rhs_block)
+            const = Constant(I1, 1)
+        self.b.position_at_end(rhs_block)
+        right = self._lower_expr(expr.right)
+        rhs_end = self.b.block
+        self.b.br(join)
+        self.b.position_at_end(join)
+        phi = self.b.phi(I1, "sc")
+        phi.append_operand(const)
+        phi.append_operand(lhs_block)
+        phi.append_operand(right)
+        phi.append_operand(rhs_end)
+        return phi
+
+    def _lower_ternary(self, expr: ast.Ternary) -> Value:
+        cond = self._lower_expr(expr.cond)
+        if _speculatable(expr.then) and _speculatable(expr.els):
+            then = self._lower_expr(expr.then)
+            els = self._lower_expr(expr.els)
+            return self.b.select(cond, then, els)
+        then_block = self.b.new_block("sel.then")
+        else_block = self.b.new_block("sel.else")
+        join = self.b.new_block("sel.join")
+        self.b.condbr(cond, then_block, else_block)
+        self.b.position_at_end(then_block)
+        then = self._lower_expr(expr.then)
+        then_end = self.b.block
+        self.b.br(join)
+        self.b.position_at_end(else_block)
+        els = self._lower_expr(expr.els)
+        else_end = self.b.block
+        self.b.br(join)
+        self.b.position_at_end(join)
+        phi = self.b.phi(then.type, "sel")
+        phi.append_operand(then)
+        phi.append_operand(then_end)
+        phi.append_operand(els)
+        phi.append_operand(else_end)
+        return phi
+
+    # -- calls ----------------------------------------------------------------------------
+
+    def _lower_call(self, expr: ast.Call) -> Value:
+        sig = getattr(expr, "builtin", None)
+        args = [self._lower_expr(a) for a in expr.args]
+        if sig is None:
+            callee = self.compiler.ir_funcs[expr.name]
+            return self.b.call(callee, args)
+        if sig.kind == "op":
+            if sig.opcode == "fma":
+                return self.b.fma(*args)
+            if sig.opcode in ("fabs", "iabs", "fsqrt"):
+                return self.b.unop(sig.opcode, args[0])
+            return self.b.binop(sig.opcode, args[0], args[1])
+        if sig.kind == "math":
+            ext = scalar_math_external(self.module, sig.name, sig.result.ir)
+            return self.b.call(ext, args)
+        if sig.kind == "psim":
+            return self._lower_psim_intrinsic(sig, args)
+        raise LowerError(f"unhandled builtin kind {sig.kind!r}")
+
+    def _lower_psim_intrinsic(self, sig, args: List[Value]) -> Value:
+        psim = self.psim
+        if psim is None:
+            raise LowerError(f"{sig.name} outside a psim region (sema bug)")
+        name = sig.name
+        if name == "psim_get_lane_num":
+            return self._lane()
+        if name == "psim_get_thread_num":
+            return self.b.add(psim.gang_base, self._lane(), "thread_num")
+        if name == "psim_get_gang_num":
+            shift = psim.gang_size.bit_length() - 1
+            return self.b.lshr(psim.gang_base, Constant(I64, shift), "gang_num")
+        if name == "psim_get_num_threads":
+            return psim.num_threads
+        if name == "psim_get_gang_size":
+            return Constant(I64, psim.gang_size)
+        if name == "psim_is_head_gang":
+            return self.b.icmp("eq", psim.gang_base, Constant(I64, 0), "is_head")
+        if name == "psim_is_tail_gang":
+            end = self.b.add(psim.gang_base, Constant(I64, psim.gang_size))
+            return self.b.icmp("uge", end, psim.num_threads, "is_tail")
+        if name == "psim_gang_sync":
+            return self.b.call(psim_abi.gang_sync_external(self.module), [])
+        if name == "psim_shuffle_sync":
+            ext = psim_abi.shuffle_external(self.module, args[0].type)
+            return self.b.call(ext, args)
+        if name == "psim_broadcast_sync":
+            ext = psim_abi.broadcast_external(self.module, args[0].type)
+            return self.b.call(ext, args)
+        if name in ("psim_reduce_add_sync", "psim_reduce_min_sync", "psim_reduce_max_sync"):
+            kind = name.split("_")[2]
+            ext = psim_abi.reduce_external(
+                self.module, kind, args[0].type, sig.result.signed
+            )
+            return self.b.call(ext, args)
+        if name in ("psim_any_sync", "psim_all_sync"):
+            ext = psim_abi.vote_external(self.module, name.split("_")[1])
+            return self.b.call(ext, args)
+        if name == "psim_sad_sync":
+            return self.b.call(psim_abi.sad_external(self.module), args)
+        if name == "psim_atomic_add":
+            return self.b.atomicrmw("add", args[0], args[1])
+        if name == "psim_atomic_min":
+            return self.b.atomicrmw("umin", args[0], args[1])
+        if name == "psim_atomic_max":
+            return self.b.atomicrmw("umax", args[0], args[1])
+        raise LowerError(f"unhandled psim intrinsic {name}")
+
+    def _lane(self) -> Value:
+        ext = psim_abi.lane_num_external(self.module)
+        return self.b.call(ext, [], "lane")
+
+    # -- casts ---------------------------------------------------------------------------
+
+    def _lower_cast(self, value: Value, src: CType, dst: CType) -> Value:
+        if src == dst:
+            return value
+        if isinstance(value, Constant) and src.is_arithmetic and dst.is_arithmetic:
+            return self._fold_constant_cast(value, src, dst)
+        b = self.b
+        if dst.is_bool:
+            if src.is_float:
+                return b.fcmp("one", value, Constant(src.ir, 0.0))
+            if src.is_pointer:
+                return b.icmp("ne", value, Constant(src.ir, 0))
+            if src.is_bool:
+                return value
+            return b.icmp("ne", value, Constant(src.ir, 0))
+        if dst.is_float:
+            if src.is_float:
+                return b.fpext(value, dst.ir) if dst.bits > src.bits else b.fptrunc(value, dst.ir)
+            # bool/int -> float
+            return b.sitofp(value, dst.ir) if src.signed and not src.is_bool else b.uitofp(value, dst.ir)
+        if dst.is_int or dst.is_bool:
+            if src.is_float:
+                return b.fptosi(value, dst.ir) if dst.signed else b.fptoui(value, dst.ir)
+            if src.is_pointer:
+                return b.ptrtoint(value, dst.ir)
+            # int/bool -> int
+            if src.bits == dst.bits:
+                return value
+            if src.bits > dst.bits:
+                return b.trunc(value, dst.ir)
+            return b.sext(value, dst.ir) if src.signed and not src.is_bool else b.zext(value, dst.ir)
+        if dst.is_pointer:
+            if src.is_pointer:
+                return b.bitcast(value, dst.ir)
+            widened = self._lower_cast(value, src, SCALAR_TYPES["u64"]) if src.bits != 64 else value
+            return b.inttoptr(widened, dst.ir)
+        raise LowerError(f"unhandled cast {src} -> {dst}")
+
+    @staticmethod
+    def _fold_constant_cast(value: Constant, src: CType, dst: CType) -> Constant:
+        """Fold casts of literals so e.g. num_threads=64 stays a Constant
+        (which lets the gang loop skip the tail-dispatch entirely)."""
+        from ..vm.nputil import from_signed, mask_int, to_signed
+
+        payload = value.value
+        if src.is_int or src.is_bool:
+            payload = to_signed(payload, src.bits) if src.signed else payload
+        if dst.is_float:
+            return Constant(dst.ir, float(payload))
+        if dst.is_bool:
+            return Constant(dst.ir, 1 if payload else 0)
+        return Constant(dst.ir, mask_int(int(payload), dst.bits))
+
+
+def _speculatable(expr: ast.Expr) -> bool:
+    """True if evaluating ``expr`` unconditionally is always safe."""
+    if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.BoolLit, ast.Ident)):
+        return True
+    if isinstance(expr, ast.Unary):
+        return _speculatable(expr.operand)
+    if isinstance(expr, ast.Binary):
+        if expr.op in ("/", "%"):
+            return False  # may trap
+        return _speculatable(expr.left) and _speculatable(expr.right)
+    if isinstance(expr, ast.Ternary):
+        return all(map(_speculatable, (expr.cond, expr.then, expr.els)))
+    if isinstance(expr, ast.Cast):
+        return _speculatable(expr.operand)
+    return False  # calls, loads (Index/Deref), address-of

@@ -1,0 +1,523 @@
+"""Semantic analysis for PsimC.
+
+Resolves identifiers, type-checks every expression, inserts implicit
+conversions as explicit ``Cast`` nodes (C's usual arithmetic conversions),
+resolves builtin / Parsimony-intrinsic calls, and analyzes ``psim``
+regions: the gang size must be a compile-time constant (§3) and the set
+of captured outer variables is computed here for the outliner (§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from . import ast
+from .ctypes import BOOL, CType, SCALAR_TYPES, VOIDT, ptr
+from .intrinsics import BuiltinSig, lookup_builtin
+
+__all__ = ["SemaError", "Sema", "Symbol", "usual_arithmetic_conversion", "analyze"]
+
+I32T = SCALAR_TYPES["i32"]
+I64T = SCALAR_TYPES["i64"]
+U64T = SCALAR_TYPES["u64"]
+F64T = SCALAR_TYPES["f64"]
+
+
+class SemaError(TypeError):
+    """A type or scoping error in PsimC source."""
+
+    def __init__(self, line: int, message: str):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(eq=False)
+class Symbol:
+    """A declared variable (parameter, local, or fixed-size local array)."""
+
+    name: str
+    ctype: CType  # for arrays: the *element* type
+    kind: str  # 'param' | 'local' | 'array'
+    level: int = 0
+    array_size: Optional[int] = None
+
+    @property
+    def value_ctype(self) -> CType:
+        """Type of the symbol when it appears in an expression."""
+        return ptr(self.ctype) if self.kind == "array" else self.ctype
+
+
+@dataclass
+class FuncSig:
+    name: str
+    ret: CType
+    params: List[CType]
+
+
+def integer_promote(t: CType) -> CType:
+    """C integer promotion: bool and sub-32-bit ints promote to i32."""
+    if t.is_bool:
+        return I32T
+    if t.is_int and t.bits < 32:
+        return I32T
+    return t
+
+
+def usual_arithmetic_conversion(a: CType, b: CType) -> CType:
+    """C's usual arithmetic conversions over PsimC's type lattice."""
+    if a.is_float or b.is_float:
+        if a.is_float and b.is_float:
+            return a if a.bits >= b.bits else b
+        return a if a.is_float else b
+    a, b = integer_promote(a), integer_promote(b)
+    if a == b:
+        return a
+    if a.bits != b.bits:
+        wide, narrow = (a, b) if a.bits > b.bits else (b, a)
+        if wide.signed and not narrow.signed and narrow.bits < wide.bits:
+            return wide  # unsigned narrow fits in signed wide
+        if not wide.signed:
+            return wide
+        return wide
+    # same width, different signedness: unsigned wins (as in C)
+    return a if not a.signed else b
+
+
+def _can_implicitly_convert(src: CType, dst: CType) -> bool:
+    if src == dst:
+        return True
+    if src.is_pointer or dst.is_pointer:
+        return src == dst
+    if dst.is_bool:
+        return src.is_bool
+    # any arithmetic/bool -> arithmetic conversion is allowed, C-style
+    return (src.is_arithmetic or src.is_bool) and dst.is_arithmetic
+
+
+class Sema:
+    """Analyzes (and annotates, in place) a parsed program."""
+
+    def __init__(self, program: ast.Program, force_gang_size: Optional[int] = None):
+        self.program = program
+        #: When set, overrides every region's gang_size — reproduces ispc's
+        #: behaviour of coupling the gang size to a compiler flag (§1, §2.2).
+        self.force_gang_size = force_gang_size
+        self.functions: Dict[str, FuncSig] = {}
+        self._scopes: List[Dict[str, Symbol]] = []
+        self._current_ret: Optional[CType] = None
+        self._loop_depth = 0
+        self._psim: Optional[ast.PsimStmt] = None
+        self._psim_level = 0
+
+    # -- entry point -------------------------------------------------------------
+
+    def analyze(self) -> ast.Program:
+        for func in self.program.functions:
+            if func.name in self.functions:
+                raise SemaError(func.line, f"duplicate function {func.name!r}")
+            self.functions[func.name] = FuncSig(
+                func.name, func.ret, [p.ctype for p in func.params]
+            )
+        for func in self.program.functions:
+            self._analyze_function(func)
+        return self.program
+
+    # -- scopes -------------------------------------------------------------------
+
+    def _push_scope(self) -> None:
+        self._scopes.append({})
+
+    def _pop_scope(self) -> None:
+        self._scopes.pop()
+
+    def _declare(self, line: int, symbol: Symbol) -> Symbol:
+        scope = self._scopes[-1]
+        if symbol.name in scope:
+            raise SemaError(line, f"redeclaration of {symbol.name!r}")
+        symbol.level = len(self._scopes) - 1
+        scope[symbol.name] = symbol
+        return symbol
+
+    def _lookup(self, line: int, name: str) -> Symbol:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        raise SemaError(line, f"undeclared identifier {name!r}")
+
+    # -- functions & statements ------------------------------------------------------
+
+    def _analyze_function(self, func: ast.FuncDef) -> None:
+        self._current_ret = func.ret
+        self._push_scope()
+        for param in func.params:
+            if param.ctype.is_void:
+                raise SemaError(param.line, "parameter of void type")
+            param.symbol = self._declare(param.line, Symbol(param.name, param.ctype, "param"))
+        self._analyze_block(func.body)
+        self._pop_scope()
+
+    def _analyze_block(self, block: ast.Block) -> None:
+        self._push_scope()
+        for stmt in block.stmts:
+            self._analyze_stmt(stmt)
+        self._pop_scope()
+
+    def _analyze_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._analyze_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            self._analyze_vardecl(stmt)
+        elif isinstance(stmt, ast.Assign):
+            self._analyze_assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            stmt.expr = self._expr(stmt.expr)
+        elif isinstance(stmt, ast.IfStmt):
+            stmt.cond = self._to_bool(self._expr(stmt.cond))
+            self._analyze_stmt(stmt.then)
+            if stmt.els is not None:
+                self._analyze_stmt(stmt.els)
+        elif isinstance(stmt, ast.WhileStmt):
+            stmt.cond = self._to_bool(self._expr(stmt.cond))
+            self._loop_depth += 1
+            self._analyze_stmt(stmt.body)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.ForStmt):
+            self._push_scope()
+            if stmt.init is not None:
+                self._analyze_stmt(stmt.init)
+            if stmt.cond is not None:
+                stmt.cond = self._to_bool(self._expr(stmt.cond))
+            if stmt.step is not None:
+                self._analyze_stmt(stmt.step)
+            self._loop_depth += 1
+            self._analyze_stmt(stmt.body)
+            self._loop_depth -= 1
+            self._pop_scope()
+        elif isinstance(stmt, ast.ReturnStmt):
+            if self._psim is not None:
+                raise SemaError(stmt.line, "return is not allowed inside a psim region")
+            if stmt.value is not None:
+                if self._current_ret.is_void:
+                    raise SemaError(stmt.line, "return with value in void function")
+                stmt.value = self._coerce(self._expr(stmt.value), self._current_ret)
+            elif not self._current_ret.is_void:
+                raise SemaError(stmt.line, "return without value in non-void function")
+        elif isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
+            if self._loop_depth == 0:
+                raise SemaError(stmt.line, "break/continue outside a loop")
+        elif isinstance(stmt, ast.PsimStmt):
+            self._analyze_psim(stmt)
+        else:
+            raise SemaError(stmt.line, f"unhandled statement {type(stmt).__name__}")
+
+    def _analyze_vardecl(self, stmt: ast.VarDecl) -> None:
+        if stmt.ctype.is_void:
+            raise SemaError(stmt.line, "variable of void type")
+        if stmt.array_size is not None:
+            if stmt.init is not None:
+                raise SemaError(stmt.line, "array initializers are not supported")
+            if stmt.array_size < 1:
+                raise SemaError(stmt.line, "array size must be positive")
+            symbol = Symbol(stmt.name, stmt.ctype, "array", array_size=stmt.array_size)
+        else:
+            symbol = Symbol(stmt.name, stmt.ctype, "local")
+            if stmt.init is not None:
+                stmt.init = self._coerce(self._expr(stmt.init), stmt.ctype)
+        stmt.symbol = self._declare(stmt.line, symbol)
+
+    def _analyze_assign(self, stmt: ast.Assign) -> None:
+        target = self._expr(stmt.target)
+        if not isinstance(target, (ast.Ident, ast.Index, ast.Deref)):
+            raise SemaError(stmt.line, "assignment target is not an lvalue")
+        if isinstance(target, ast.Ident):
+            symbol = target.symbol
+            if symbol.kind == "array":
+                raise SemaError(stmt.line, f"cannot assign to array {symbol.name!r}")
+            if self._psim is not None and symbol.level < self._psim_level:
+                raise SemaError(
+                    stmt.line,
+                    f"cannot assign to captured variable {symbol.name!r} inside a "
+                    "psim region (captures are by value; write through a pointer)",
+                )
+        stmt.target = target
+        value = self._expr(stmt.value)
+        if stmt.op != "=":
+            # Compound assignment: a op= b  ==>  a = a op b (with conversions).
+            binop = ast.Binary(
+                line=stmt.line, op=stmt.op[:-1], left=target, right=value
+            )
+            value = self._binary(binop)
+            stmt.op = "="
+        stmt.value = self._coerce(value, target.ctype)
+
+    def _analyze_psim(self, stmt: ast.PsimStmt) -> None:
+        if self._psim is not None:
+            raise SemaError(stmt.line, "psim regions cannot nest")
+        gang_size = self._const_int(self._expr(stmt.gang_size))
+        if self.force_gang_size is not None:
+            gang_size = self.force_gang_size
+        if gang_size is None or gang_size < 1:
+            raise SemaError(
+                stmt.line, "gang_size must be a positive compile-time constant"
+            )
+        if gang_size & (gang_size - 1):
+            raise SemaError(stmt.line, "gang_size must be a power of two")
+        stmt.gang_size_value = gang_size
+        stmt.count = self._coerce(self._expr(stmt.count), U64T)
+
+        self._psim = stmt
+        self._psim_level = len(self._scopes)
+        stmt.captures = []
+        self._push_scope()
+        for body_stmt in stmt.body.stmts:
+            self._analyze_stmt(body_stmt)
+        self._pop_scope()
+        self._psim = None
+
+    # -- expressions -------------------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr) -> ast.Expr:
+        if expr.ctype is not None:
+            return expr  # already analyzed (e.g. reused lvalue in compound assign)
+        if isinstance(expr, ast.IntLit):
+            if "u" in expr.suffix:
+                expr.ctype = SCALAR_TYPES["u64"] if ("l" in expr.suffix or expr.value > 0xFFFFFFFF) else SCALAR_TYPES["u32"]
+            elif "l" in expr.suffix or expr.value > 0x7FFFFFFF or expr.value < -(1 << 31):
+                expr.ctype = I64T
+            else:
+                expr.ctype = I32T
+            return expr
+        if isinstance(expr, ast.FloatLit):
+            expr.ctype = SCALAR_TYPES["f32"] if "f" in expr.suffix else F64T
+            return expr
+        if isinstance(expr, ast.BoolLit):
+            expr.ctype = BOOL
+            return expr
+        if isinstance(expr, ast.Ident):
+            symbol = self._lookup(expr.line, expr.name)
+            expr.symbol = symbol
+            expr.ctype = symbol.value_ctype
+            self._note_capture(symbol)
+            return expr
+        if isinstance(expr, ast.Unary):
+            return self._unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr)
+        if isinstance(expr, ast.Ternary):
+            expr.cond = self._to_bool(self._expr(expr.cond))
+            then, els = self._expr(expr.then), self._expr(expr.els)
+            if then.ctype.is_pointer or els.ctype.is_pointer:
+                if then.ctype != els.ctype:
+                    raise SemaError(expr.line, "ternary arms have different pointer types")
+                t = then.ctype
+            else:
+                t = usual_arithmetic_conversion(then.ctype, els.ctype)
+            expr.then = self._coerce(then, t)
+            expr.els = self._coerce(els, t)
+            expr.ctype = t
+            return expr
+        if isinstance(expr, ast.Call):
+            return self._call(expr)
+        if isinstance(expr, ast.Index):
+            base = self._expr(expr.base)
+            if not base.ctype.is_pointer:
+                raise SemaError(expr.line, f"cannot index non-pointer {base.ctype}")
+            index = self._expr(expr.index)
+            if not (index.ctype.is_int or index.ctype.is_bool):
+                raise SemaError(expr.line, "array index must be an integer")
+            expr.base, expr.index = base, index
+            expr.ctype = base.ctype.pointee
+            return expr
+        if isinstance(expr, ast.Deref):
+            operand = self._expr(expr.operand)
+            if not operand.ctype.is_pointer:
+                raise SemaError(expr.line, f"cannot dereference {operand.ctype}")
+            expr.operand = operand
+            expr.ctype = operand.ctype.pointee
+            return expr
+        if isinstance(expr, ast.AddrOf):
+            operand = self._expr(expr.operand)
+            if isinstance(operand, ast.Index):
+                expr.ctype = ptr(operand.ctype)
+            elif isinstance(operand, ast.Ident) and operand.symbol.kind in ("local", "param"):
+                if self._psim is not None and operand.symbol.level < self._psim_level:
+                    raise SemaError(
+                        expr.line, "cannot take the address of a captured variable"
+                    )
+                operand.symbol.address_taken = True
+                expr.ctype = ptr(operand.ctype)
+            else:
+                raise SemaError(expr.line, "cannot take the address of this expression")
+            expr.operand = operand
+            return expr
+        if isinstance(expr, ast.Cast):
+            operand = self._expr(expr.operand)
+            src, dst = operand.ctype, expr.target
+            ok = (
+                (src.is_arithmetic or src.is_bool) and (dst.is_arithmetic or dst.is_bool)
+            ) or (src.is_pointer and dst.is_pointer) or (
+                src.is_pointer and dst.is_int and dst.bits == 64
+            ) or (src.is_int and dst.is_pointer)
+            if not ok:
+                raise SemaError(expr.line, f"invalid cast from {src} to {dst}")
+            expr.operand = operand
+            expr.ctype = dst
+            return expr
+        raise SemaError(expr.line, f"unhandled expression {type(expr).__name__}")
+
+    def _unary(self, expr: ast.Unary) -> ast.Expr:
+        operand = self._expr(expr.operand)
+        if expr.op == "!":
+            expr.operand = self._to_bool(operand)
+            expr.ctype = BOOL
+            return expr
+        if expr.op == "-":
+            if not operand.ctype.is_arithmetic:
+                raise SemaError(expr.line, f"cannot negate {operand.ctype}")
+            t = operand.ctype if operand.ctype.is_float else integer_promote(operand.ctype)
+            expr.operand = self._coerce(operand, t)
+            expr.ctype = t
+            return expr
+        if expr.op == "~":
+            if not (operand.ctype.is_int or operand.ctype.is_bool):
+                raise SemaError(expr.line, f"cannot bit-complement {operand.ctype}")
+            t = integer_promote(operand.ctype)
+            expr.operand = self._coerce(operand, t)
+            expr.ctype = t
+            return expr
+        raise SemaError(expr.line, f"unhandled unary operator {expr.op!r}")
+
+    def _binary(self, expr: ast.Binary) -> ast.Expr:
+        left, right = self._expr(expr.left), self._expr(expr.right)
+        op = expr.op
+        if op in ("&&", "||"):
+            expr.left = self._to_bool(left)
+            expr.right = self._to_bool(right)
+            expr.ctype = BOOL
+            return expr
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if left.ctype.is_pointer or right.ctype.is_pointer:
+                if left.ctype != right.ctype:
+                    raise SemaError(expr.line, "comparison of incompatible pointers")
+                expr.left, expr.right = left, right
+            else:
+                t = usual_arithmetic_conversion(left.ctype, right.ctype)
+                expr.left = self._coerce(left, t)
+                expr.right = self._coerce(right, t)
+            expr.ctype = BOOL
+            return expr
+        if op in ("<<", ">>"):
+            if not (left.ctype.is_int or left.ctype.is_bool) or not (
+                right.ctype.is_int or right.ctype.is_bool
+            ):
+                raise SemaError(expr.line, "shift operands must be integers")
+            t = integer_promote(left.ctype)
+            expr.left = self._coerce(left, t)
+            expr.right = self._coerce(right, t)
+            expr.ctype = t
+            return expr
+        if op in ("+", "-") and (left.ctype.is_pointer or right.ctype.is_pointer):
+            if op == "+" and right.ctype.is_pointer and not left.ctype.is_pointer:
+                left, right = right, left  # normalize int + ptr
+            if not left.ctype.is_pointer or not (right.ctype.is_int or right.ctype.is_bool):
+                raise SemaError(expr.line, "invalid pointer arithmetic")
+            expr.left, expr.right = left, self._coerce(right, I64T)
+            expr.ctype = left.ctype
+            return expr
+        if op in ("+", "-", "*", "/", "%", "&", "|", "^"):
+            if not (left.ctype.is_arithmetic or left.ctype.is_bool) or not (
+                right.ctype.is_arithmetic or right.ctype.is_bool
+            ):
+                raise SemaError(expr.line, f"invalid operands to {op!r}")
+            t = usual_arithmetic_conversion(left.ctype, right.ctype)
+            if t.is_float and op in ("%", "&", "|", "^"):
+                raise SemaError(expr.line, f"operator {op!r} requires integer operands")
+            expr.left = self._coerce(left, t)
+            expr.right = self._coerce(right, t)
+            expr.ctype = t
+            return expr
+        raise SemaError(expr.line, f"unhandled binary operator {op!r}")
+
+    def _call(self, expr: ast.Call) -> ast.Expr:
+        args = [self._expr(a) for a in expr.args]
+        try:
+            sig = lookup_builtin(
+                expr.name, [a.ctype for a in args], in_psim=self._psim is not None
+            )
+        except TypeError as exc:
+            raise SemaError(expr.line, str(exc)) from exc
+        if sig is not None:
+            expr.args = [self._coerce(a, t) for a, t in zip(args, sig.arg_types)]
+            expr.builtin = sig
+            expr.ctype = sig.result
+            return expr
+        func = self.functions.get(expr.name)
+        if func is None:
+            raise SemaError(expr.line, f"call to undeclared function {expr.name!r}")
+        if len(args) != len(func.params):
+            raise SemaError(
+                expr.line,
+                f"{expr.name} expects {len(func.params)} arguments, got {len(args)}",
+            )
+        expr.args = [self._coerce(a, t) for a, t in zip(args, func.params)]
+        expr.builtin = None
+        expr.ctype = func.ret
+        return expr
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _note_capture(self, symbol: Symbol) -> None:
+        if self._psim is not None and symbol.level < self._psim_level:
+            if symbol not in self._psim.captures:
+                self._psim.captures.append(symbol)
+
+    def _to_bool(self, expr: ast.Expr) -> ast.Expr:
+        if expr.ctype.is_bool:
+            return expr
+        if expr.ctype.is_arithmetic or expr.ctype.is_pointer:
+            cast = ast.Cast(line=expr.line, target=BOOL, operand=expr, implicit=True)
+            cast.ctype = BOOL
+            return cast
+        raise SemaError(expr.line, f"cannot use {expr.ctype} as a condition")
+
+    def _coerce(self, expr: ast.Expr, target: CType) -> ast.Expr:
+        if expr.ctype == target:
+            return expr
+        if not _can_implicitly_convert(expr.ctype, target):
+            raise SemaError(
+                expr.line, f"cannot implicitly convert {expr.ctype} to {target}"
+            )
+        cast = ast.Cast(line=expr.line, target=target, operand=expr, implicit=True)
+        cast.ctype = target
+        return cast
+
+    def _const_int(self, expr: ast.Expr) -> Optional[int]:
+        """Tiny compile-time integer evaluator (for gang_size)."""
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.Cast):
+            return self._const_int(expr.operand)
+        if isinstance(expr, ast.Unary) and expr.op == "-":
+            inner = self._const_int(expr.operand)
+            return None if inner is None else -inner
+        if isinstance(expr, ast.Binary):
+            left, right = self._const_int(expr.left), self._const_int(expr.right)
+            if left is None or right is None:
+                return None
+            ops = {
+                "+": lambda a, b: a + b,
+                "-": lambda a, b: a - b,
+                "*": lambda a, b: a * b,
+                "/": lambda a, b: a // b if b else None,
+                "<<": lambda a, b: a << b,
+                ">>": lambda a, b: a >> b,
+            }
+            fn = ops.get(expr.op)
+            return None if fn is None else fn(left, right)
+        return None
+
+
+def analyze(program: ast.Program, force_gang_size: Optional[int] = None) -> ast.Program:
+    """Convenience wrapper: run semantic analysis on a parsed program."""
+    return Sema(program, force_gang_size).analyze()

@@ -1,0 +1,409 @@
+"""IRBuilder: a typed, positioned construction API for the IR.
+
+Every ``emit_*``-style method type-checks its operands, infers the result
+type, creates the :class:`~repro.ir.instructions.Instruction`, and inserts
+it at the current position.  This is the layer the front-end, the
+vectorizer, and the hand-written "intrinsics" kernels all build IR through.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from .instructions import (
+    CAST_OPS,
+    FCMP_PREDS,
+    FLOAT_BINOPS,
+    ICMP_PREDS,
+    INT_BINOPS,
+    Instruction,
+    REDUCE_OPS,
+)
+from .module import BasicBlock, ExternalFunction, Function
+from .types import (
+    I1,
+    I64,
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+    VectorType,
+    VOID,
+)
+from .values import Constant, Value
+
+__all__ = ["IRBuilder"]
+
+
+def _unify_lane_type(a: Type, b: Type) -> None:
+    if a != b:
+        raise TypeError(f"operand type mismatch: {a} vs {b}")
+
+
+class IRBuilder:
+    """Builds instructions into a function, one block at a time."""
+
+    def __init__(self, function: Function, block: Optional[BasicBlock] = None):
+        self.function = function
+        self.block = block
+        self._insert_index: Optional[int] = None  # None means "append"
+
+    # -- positioning -------------------------------------------------------------
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        self.block = block
+        self._insert_index = None
+
+    def position_before(self, instr: Instruction) -> None:
+        self.block = instr.parent
+        self._insert_index = self.block.instructions.index(instr)
+
+    def new_block(self, name: str = "bb") -> BasicBlock:
+        return self.function.add_block(name)
+
+    def insert(self, instr: Instruction) -> Instruction:
+        if self.block is None:
+            raise RuntimeError("builder has no insertion block")
+        if instr.name == "" and not instr.type.is_void:
+            instr.name = self.function.unique_name("v")
+        else:
+            instr.name = self.function.unique_name(instr.name or "v")
+        if self._insert_index is None:
+            self.block.append(instr)
+        else:
+            self.block.insert(self._insert_index, instr)
+            self._insert_index += 1
+        return instr
+
+    # -- constants ---------------------------------------------------------------
+
+    def const(self, type: Type, value) -> Constant:
+        return Constant(type, value)
+
+    def splat_const(self, elem: Type, value, count: int) -> Constant:
+        return Constant(VectorType(elem, count), [value] * count)
+
+    # -- integer / float binops ---------------------------------------------------
+
+    def binop(self, opcode: str, a: Value, b: Value, name: str = "") -> Instruction:
+        if opcode not in INT_BINOPS and opcode not in FLOAT_BINOPS:
+            raise ValueError(f"unknown binop: {opcode}")
+        _unify_lane_type(a.type, b.type)
+        lane = a.type.scalar_type
+        if opcode in INT_BINOPS and not lane.is_int:
+            raise TypeError(f"{opcode} requires integer operands, got {a.type}")
+        if opcode in FLOAT_BINOPS and not lane.is_float:
+            raise TypeError(f"{opcode} requires float operands, got {a.type}")
+        return self.insert(Instruction(opcode, a.type, [a, b], name or opcode))
+
+    def __getattr__(self, opcode: str):
+        # Exposes every binop as a builder method: b.add(x, y), b.fmul(x, y), ...
+        if opcode in INT_BINOPS or opcode in FLOAT_BINOPS:
+            return lambda a, b, name="": self.binop(opcode, a, b, name)
+        raise AttributeError(opcode)
+
+    # Named explicitly because ``and``/``or``/``not`` are Python keywords.
+    def and_(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop("and", a, b, name)
+
+    def or_(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop("or", a, b, name)
+
+    def not_(self, a: Value, name: str = "") -> Instruction:
+        if not a.type.scalar_type.is_int:
+            raise TypeError(f"not requires integer operand, got {a.type}")
+        return self.insert(Instruction("not", a.type, [a], name or "not"))
+
+    # -- unary --------------------------------------------------------------------
+
+    def unop(self, opcode: str, a: Value, name: str = "") -> Instruction:
+        if opcode in ("fneg", "fabs", "fsqrt") and not a.type.scalar_type.is_float:
+            raise TypeError(f"{opcode} requires float operand, got {a.type}")
+        if opcode == "iabs" and not a.type.scalar_type.is_int:
+            raise TypeError(f"iabs requires integer operand, got {a.type}")
+        return self.insert(Instruction(opcode, a.type, [a], name or opcode))
+
+    def fneg(self, a, name=""):
+        return self.unop("fneg", a, name)
+
+    def fabs(self, a, name=""):
+        return self.unop("fabs", a, name)
+
+    def fsqrt(self, a, name=""):
+        return self.unop("fsqrt", a, name)
+
+    def iabs(self, a, name=""):
+        return self.unop("iabs", a, name)
+
+    def fma(self, a: Value, b: Value, c: Value, name: str = "") -> Instruction:
+        _unify_lane_type(a.type, b.type)
+        _unify_lane_type(a.type, c.type)
+        return self.insert(Instruction("fma", a.type, [a, b, c], name or "fma"))
+
+    # -- compares -----------------------------------------------------------------
+
+    def icmp(self, pred: str, a: Value, b: Value, name: str = "") -> Instruction:
+        if pred not in ICMP_PREDS:
+            raise ValueError(f"bad icmp predicate: {pred}")
+        _unify_lane_type(a.type, b.type)
+        lane = a.type.scalar_type
+        if not (lane.is_int or lane.is_pointer):
+            raise TypeError(f"icmp requires int/pointer operands, got {a.type}")
+        rtype = VectorType(I1, a.type.count) if a.type.is_vector else I1
+        return self.insert(
+            Instruction("icmp", rtype, [a, b], name or f"cmp_{pred}", {"pred": pred})
+        )
+
+    def fcmp(self, pred: str, a: Value, b: Value, name: str = "") -> Instruction:
+        if pred not in FCMP_PREDS:
+            raise ValueError(f"bad fcmp predicate: {pred}")
+        _unify_lane_type(a.type, b.type)
+        if not a.type.scalar_type.is_float:
+            raise TypeError(f"fcmp requires float operands, got {a.type}")
+        rtype = VectorType(I1, a.type.count) if a.type.is_vector else I1
+        return self.insert(
+            Instruction("fcmp", rtype, [a, b], name or f"cmp_{pred}", {"pred": pred})
+        )
+
+    # -- casts ---------------------------------------------------------------------
+
+    def cast(self, opcode: str, value: Value, to: Type, name: str = "") -> Value:
+        if opcode not in CAST_OPS:
+            raise ValueError(f"unknown cast: {opcode}")
+        if value.type.is_vector != to.is_vector:
+            raise TypeError(f"cast between vector and scalar: {value.type} -> {to}")
+        if value.type == to and opcode != "bitcast":
+            return value
+        return self.insert(Instruction(opcode, to, [value], name or opcode))
+
+    def trunc(self, v, to, name=""):
+        return self.cast("trunc", v, to, name)
+
+    def zext(self, v, to, name=""):
+        return self.cast("zext", v, to, name)
+
+    def sext(self, v, to, name=""):
+        return self.cast("sext", v, to, name)
+
+    def fptrunc(self, v, to, name=""):
+        return self.cast("fptrunc", v, to, name)
+
+    def fpext(self, v, to, name=""):
+        return self.cast("fpext", v, to, name)
+
+    def fptosi(self, v, to, name=""):
+        return self.cast("fptosi", v, to, name)
+
+    def fptoui(self, v, to, name=""):
+        return self.cast("fptoui", v, to, name)
+
+    def sitofp(self, v, to, name=""):
+        return self.cast("sitofp", v, to, name)
+
+    def uitofp(self, v, to, name=""):
+        return self.cast("uitofp", v, to, name)
+
+    def bitcast(self, v, to, name=""):
+        return self.cast("bitcast", v, to, name)
+
+    def ptrtoint(self, v, to=I64, name=""):
+        return self.cast("ptrtoint", v, to, name)
+
+    def inttoptr(self, v, to, name=""):
+        return self.cast("inttoptr", v, to, name)
+
+    # -- memory ---------------------------------------------------------------------
+
+    def alloca(self, type: Type, count: int = 1, name: str = "") -> Instruction:
+        """Stack allocation of ``count`` elements of scalar ``type``."""
+        return self.insert(
+            Instruction(
+                "alloca", PointerType(type), [], name or "stack", {"count": count}
+            )
+        )
+
+    def load(self, ptr: Value, name: str = "") -> Instruction:
+        if not ptr.type.is_pointer:
+            raise TypeError(f"load from non-pointer: {ptr.type}")
+        return self.insert(Instruction("load", ptr.type.pointee, [ptr], name or "ld"))
+
+    def store(self, value: Value, ptr: Value) -> Instruction:
+        if not ptr.type.is_pointer:
+            raise TypeError(f"store to non-pointer: {ptr.type}")
+        if ptr.type.pointee != value.type:
+            raise TypeError(f"store type mismatch: {value.type} into {ptr.type}")
+        return self.insert(Instruction("store", VOID, [value, ptr]))
+
+    def gep(self, ptr: Value, index: Value, name: str = "") -> Instruction:
+        """Pointer arithmetic: ``ptr + index * sizeof(pointee)``."""
+        if not ptr.type.is_pointer:
+            raise TypeError(f"gep on non-pointer: {ptr.type}")
+        if not index.type.is_int:
+            raise TypeError(f"gep index must be integer, got {index.type}")
+        return self.insert(Instruction("gep", ptr.type, [ptr, index], name or "gep"))
+
+    def atomicrmw(self, op: str, ptr: Value, value: Value, ordering: str = "relaxed"):
+        if not ptr.type.is_pointer or ptr.type.pointee != value.type:
+            raise TypeError("atomicrmw type mismatch")
+        return self.insert(
+            Instruction(
+                "atomicrmw",
+                value.type,
+                [ptr, value],
+                "old",
+                {"op": op, "ordering": ordering},
+            )
+        )
+
+    # -- vector ops -------------------------------------------------------------------
+
+    def broadcast(self, scalar: Value, count: int, name: str = "") -> Instruction:
+        if not scalar.type.is_scalar:
+            raise TypeError(f"broadcast of non-scalar: {scalar.type}")
+        return self.insert(
+            Instruction(
+                "broadcast", VectorType(scalar.type, count), [scalar], name or "splat"
+            )
+        )
+
+    def extractelement(self, vec: Value, index: Value, name: str = "") -> Instruction:
+        if not vec.type.is_vector:
+            raise TypeError(f"extractelement on non-vector: {vec.type}")
+        return self.insert(
+            Instruction("extractelement", vec.type.elem, [vec, index], name or "lane")
+        )
+
+    def insertelement(self, vec: Value, index: Value, value: Value, name: str = ""):
+        if not vec.type.is_vector or vec.type.elem != value.type:
+            raise TypeError("insertelement type mismatch")
+        return self.insert(
+            Instruction("insertelement", vec.type, [vec, index, value], name or "ins")
+        )
+
+    def shuffle(self, vec: Value, indices: Value, name: str = "") -> Instruction:
+        """Any-to-any single-source permute; ``indices`` may be dynamic."""
+        if not vec.type.is_vector or not indices.type.is_vector:
+            raise TypeError("shuffle requires vector operands")
+        rtype = VectorType(vec.type.elem, indices.type.count)
+        return self.insert(Instruction("shuffle", rtype, [vec, indices], name or "shuf"))
+
+    def shuffle2(self, a: Value, b: Value, indices: Value, name: str = "") -> Instruction:
+        """Two-source permute: index ``i`` selects ``a`` lanes, ``i+count`` selects ``b``."""
+        _unify_lane_type(a.type, b.type)
+        rtype = VectorType(a.type.elem, indices.type.count)
+        return self.insert(
+            Instruction("shuffle2", rtype, [a, b, indices], name or "shuf2")
+        )
+
+    def vload(self, ptr: Value, count: int, mask: Value, name: str = "") -> Instruction:
+        """Masked packed load of ``count`` consecutive elements at ``ptr``."""
+        if not ptr.type.is_pointer:
+            raise TypeError(f"vload from non-pointer: {ptr.type}")
+        self._check_mask(mask, count)
+        rtype = VectorType(ptr.type.pointee, count)
+        return self.insert(Instruction("vload", rtype, [ptr, mask], name or "vld"))
+
+    def vstore(self, value: Value, ptr: Value, mask: Value) -> Instruction:
+        if not value.type.is_vector or not ptr.type.is_pointer:
+            raise TypeError("vstore requires vector value and scalar pointer")
+        if ptr.type.pointee != value.type.elem:
+            raise TypeError(f"vstore type mismatch: {value.type} into {ptr.type}")
+        self._check_mask(mask, value.type.count)
+        return self.insert(Instruction("vstore", VOID, [value, ptr, mask]))
+
+    def gather(self, ptrs: Value, mask: Value, name: str = "") -> Instruction:
+        """Masked gather from a vector of pointers."""
+        if not ptrs.type.is_vector or not ptrs.type.elem.is_pointer:
+            raise TypeError(f"gather requires vector-of-pointer, got {ptrs.type}")
+        self._check_mask(mask, ptrs.type.count)
+        rtype = VectorType(ptrs.type.elem.pointee, ptrs.type.count)
+        return self.insert(Instruction("gather", rtype, [ptrs, mask], name or "gather"))
+
+    def scatter(self, value: Value, ptrs: Value, mask: Value) -> Instruction:
+        if not ptrs.type.is_vector or not ptrs.type.elem.is_pointer:
+            raise TypeError(f"scatter requires vector-of-pointer, got {ptrs.type}")
+        if ptrs.type.elem.pointee != value.type.elem:
+            raise TypeError("scatter type mismatch")
+        self._check_mask(mask, value.type.count)
+        return self.insert(Instruction("scatter", VOID, [value, ptrs, mask]))
+
+    def reduce(self, opcode: str, vec: Value, name: str = "") -> Instruction:
+        if opcode not in REDUCE_OPS:
+            raise ValueError(f"unknown reduction: {opcode}")
+        if not vec.type.is_vector:
+            raise TypeError(f"reduce on non-vector: {vec.type}")
+        return self.insert(Instruction(opcode, vec.type.elem, [vec], name or "red"))
+
+    def mask_any(self, mask: Value, name: str = "") -> Instruction:
+        self._check_mask(mask, mask.type.count)
+        return self.insert(Instruction("mask_any", I1, [mask], name or "any"))
+
+    def mask_all(self, mask: Value, name: str = "") -> Instruction:
+        self._check_mask(mask, mask.type.count)
+        return self.insert(Instruction("mask_all", I1, [mask], name or "all"))
+
+    def mask_popcnt(self, mask: Value, name: str = "") -> Instruction:
+        """Number of set lanes (kmov + popcnt on AVX-512)."""
+        self._check_mask(mask, mask.type.count)
+        return self.insert(Instruction("mask_popcnt", I64, [mask], name or "popcnt"))
+
+    def sad(self, a: Value, b: Value, name: str = "") -> Instruction:
+        """Sum of absolute differences over groups of 8 u8 lanes (vpsadbw)."""
+        _unify_lane_type(a.type, b.type)
+        if not a.type.is_vector or a.type.elem != IntType(8) or a.type.count % 8:
+            raise TypeError("sad requires <8k x i8> operands")
+        rtype = VectorType(I64, a.type.count // 8)
+        return self.insert(Instruction("sad", rtype, [a, b], name or "sad"))
+
+    def _check_mask(self, mask: Value, count: int) -> None:
+        if not (mask.type.is_vector and mask.type.elem == I1 and mask.type.count == count):
+            raise TypeError(f"bad mask type {mask.type} for width {count}")
+
+    def all_ones_mask(self, count: int) -> Constant:
+        return Constant(VectorType(I1, count), [1] * count)
+
+    # -- other -----------------------------------------------------------------------
+
+    def select(self, cond: Value, a: Value, b: Value, name: str = "") -> Instruction:
+        _unify_lane_type(a.type, b.type)
+        if cond.type.is_vector:
+            if cond.type.elem != I1 or not a.type.is_vector or a.type.count != cond.type.count:
+                raise TypeError("vector select mask/operand mismatch")
+        elif cond.type != I1:
+            raise TypeError(f"select condition must be i1, got {cond.type}")
+        return self.insert(Instruction("select", a.type, [cond, a, b], name or "sel"))
+
+    def phi(self, type: Type, name: str = "") -> Instruction:
+        return self.insert(Instruction("phi", type, [], name or "phi"))
+
+    def call(self, callee, args: Sequence[Value], name: str = "") -> Instruction:
+        ftype = callee.ftype
+        if len(args) != len(ftype.params):
+            raise TypeError(
+                f"call to {callee.name}: expected {len(ftype.params)} args, got {len(args)}"
+            )
+        for arg, param in zip(args, ftype.params):
+            if arg.type != param:
+                raise TypeError(
+                    f"call to {callee.name}: arg type {arg.type} != param {param}"
+                )
+        return self.insert(
+            Instruction("call", ftype.ret, [callee, *args], name or callee.name)
+        )
+
+    # -- terminators --------------------------------------------------------------------
+
+    def br(self, dest: BasicBlock) -> Instruction:
+        return self.insert(Instruction("br", VOID, [dest]))
+
+    def condbr(self, cond: Value, then: BasicBlock, els: BasicBlock) -> Instruction:
+        if cond.type != I1:
+            raise TypeError(f"condbr condition must be i1, got {cond.type}")
+        return self.insert(Instruction("condbr", VOID, [cond, then, els]))
+
+    def ret(self, value: Optional[Value] = None) -> Instruction:
+        ops = [] if value is None else [value]
+        return self.insert(Instruction("ret", VOID, ops))
+
+    def unreachable(self) -> Instruction:
+        return self.insert(Instruction("unreachable", VOID, []))

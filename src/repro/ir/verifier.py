@@ -1,0 +1,155 @@
+"""IR verifier.
+
+Checks structural and SSA well-formedness after construction and after
+every pass: terminators, operand typing, phi/predecessor agreement, and
+SSA dominance of uses.  Raising early here is what lets the Parsimony pass
+be inserted "anywhere in the optimization pipeline" (§4.2) with confidence.
+"""
+
+from __future__ import annotations
+
+from .cfg import DominatorTree
+from .instructions import Instruction
+from .module import BasicBlock, Function, Module
+from .printer import format_instruction, print_function
+from .types import I1
+from .values import Argument, Constant, UndefValue, Value
+
+__all__ = ["VerificationError", "verify_function", "verify_module"]
+
+
+class VerificationError(Exception):
+    """Raised when the IR violates a structural or SSA invariant."""
+
+
+def _fail(function: Function, message: str) -> None:
+    raise VerificationError(f"in @{function.name}: {message}\n{print_function(function)}")
+
+
+def verify_function(function: Function) -> None:
+    if not function.blocks:
+        _fail(function, "function has no blocks")
+
+    # Structural checks per block.
+    for block in function.blocks:
+        if block.parent is not function:
+            _fail(function, f"block {block.name} has wrong parent")
+        if block.terminator is None:
+            _fail(function, f"block {block.name} lacks a terminator")
+        seen_non_phi = False
+        for instr in block.instructions:
+            if instr.parent is not block:
+                _fail(function, f"instr {format_instruction(instr)} has wrong parent")
+            if instr.opcode == "phi":
+                if seen_non_phi:
+                    _fail(function, f"phi after non-phi in {block.name}")
+            else:
+                seen_non_phi = True
+            if instr.is_terminator and instr is not block.instructions[-1]:
+                _fail(function, f"terminator mid-block in {block.name}")
+            _check_instruction(function, instr)
+
+    # Phi / predecessor agreement.
+    for block in function.blocks:
+        preds = block.predecessors
+        for phi in block.phis():
+            incoming = dict((b, v) for v, b in phi.phi_incoming())
+            if set(incoming) != set(preds):
+                _fail(
+                    function,
+                    f"phi %{phi.name} in {block.name} has incoming "
+                    f"{sorted(b.name for b in incoming)} but preds are "
+                    f"{sorted(p.name for p in preds)}",
+                )
+            for value in incoming.values():
+                if value.type != phi.type and not isinstance(value, UndefValue):
+                    _fail(function, f"phi %{phi.name} incoming type mismatch")
+
+    # SSA dominance: every use is dominated by its definition.
+    dt = DominatorTree(function)
+    reachable = set(dt.rpo)
+    positions = {}
+    for block in function.blocks:
+        for idx, instr in enumerate(block.instructions):
+            positions[instr] = (block, idx)
+    for block in function.blocks:
+        if block not in reachable:
+            continue
+        for idx, instr in enumerate(block.instructions):
+            operand_blocks = (
+                [b for _, b in instr.phi_incoming()] if instr.opcode == "phi" else None
+            )
+            for op_index, op in enumerate(instr.operands):
+                if not isinstance(op, Instruction):
+                    continue
+                def_block, def_idx = positions.get(op, (None, None))
+                if def_block is None:
+                    _fail(
+                        function,
+                        f"use of detached instruction %{op.name} in {format_instruction(instr)}",
+                    )
+                if instr.opcode == "phi":
+                    # The def must dominate the end of the incoming block.
+                    pred = instr.operands[op_index + 1] if op_index % 2 == 0 else None
+                    if pred is not None and pred in reachable:
+                        if not dt.dominates(def_block, pred):
+                            _fail(
+                                function,
+                                f"phi %{instr.name}: %{op.name} does not dominate "
+                                f"incoming edge from {pred.name}",
+                            )
+                    continue
+                if def_block is block:
+                    if def_idx >= idx:
+                        _fail(
+                            function,
+                            f"%{op.name} used before definition in {block.name}",
+                        )
+                elif not dt.dominates(def_block, block):
+                    _fail(
+                        function,
+                        f"%{op.name} (def in {def_block.name}) does not dominate "
+                        f"use in {block.name}",
+                    )
+
+
+def _check_instruction(function: Function, instr: Instruction) -> None:
+    op = instr.opcode
+    ops = instr.operands
+    if op == "condbr":
+        if ops[0].type != I1:
+            _fail(function, f"condbr condition not i1: {format_instruction(instr)}")
+        if not isinstance(ops[1], BasicBlock) or not isinstance(ops[2], BasicBlock):
+            _fail(function, "condbr targets must be blocks")
+    elif op == "br":
+        if not isinstance(ops[0], BasicBlock):
+            _fail(function, "br target must be a block")
+    elif op == "ret":
+        want = function.return_type
+        if want.is_void:
+            if ops:
+                _fail(function, "ret with value in void function")
+        else:
+            if not ops or ops[0].type != want:
+                _fail(function, f"ret type mismatch (want {want})")
+    elif op == "store":
+        if not ops[1].type.is_pointer or ops[1].type.pointee != ops[0].type:
+            _fail(function, f"bad store: {format_instruction(instr)}")
+    elif op == "load":
+        if not ops[0].type.is_pointer or ops[0].type.pointee != instr.type:
+            _fail(function, f"bad load: {format_instruction(instr)}")
+    elif instr.is_binop:
+        if ops[0].type != ops[1].type or ops[0].type != instr.type:
+            _fail(function, f"binop type mismatch: {format_instruction(instr)}")
+    elif op == "select":
+        if ops[1].type != ops[2].type or ops[1].type != instr.type:
+            _fail(function, f"select type mismatch: {format_instruction(instr)}")
+    elif op in ("vload", "vstore", "gather", "scatter"):
+        mask = ops[-1]
+        if not (mask.type.is_vector and mask.type.elem == I1):
+            _fail(function, f"{op} mask is not a <N x i1>: {format_instruction(instr)}")
+
+
+def verify_module(module: Module) -> None:
+    for function in module.functions.values():
+        verify_function(function)

@@ -1,0 +1,56 @@
+"""``repro.ispc`` — the ispc-style SPMD baseline (paper §5–§6).
+
+ispc is the state-of-the-art SPMD-on-SIMD comparator in the paper's
+Figure 4.  This mode reproduces the three characteristics the paper
+contrasts Parsimony against:
+
+* **flag-coupled gang size** (§1, §2.2 / Listing 2): the gang size is not
+  chosen by the program but by a compiler flag tied to the target's SIMD
+  width — here ``machine.vector_bits / 32`` (e.g. 16 on AVX-512), exactly
+  ispc's default for 32-bit element targets.  Program correctness can
+  therefore change with the compilation target, which
+  ``tests/ispc/test_gang_size_coupling.py`` demonstrates on the paper's
+  Listing 2 example.
+* **gang-synchronous execution model**: threads conceptually synchronize
+  at every sequence point.  On the lockstep SIMD code both models produce
+  here, this costs nothing at runtime — matching the paper's finding that
+  the two designs perform identically — but it *breaks single-threaded
+  compiler legality* (Listing 4): a gang-synchronous compiler may not
+  reorder adjacent independent atomics, so this mode disables such
+  reordering optimizations (our pipeline performs none, making the
+  constraint vacuous but documented).
+* **built-in SIMD math library**: ispc's own ``pow`` is ~2.6× faster
+  than SLEEF's on AVX-512 (§6, the Binomial Options gap), modelled by the
+  ``ispc`` math flavour in ``repro.runtime.mathlib``.
+"""
+
+from typing import Optional
+
+from ..backend.machine import AVX512, Machine
+from ..frontend.lower import Compiler
+from ..ir.module import Module
+from ..passes import standard_pipeline
+from ..runtime.mathlib import ISPC_BUILTIN
+from ..vectorizer import VectorizeConfig, vectorize_module
+
+__all__ = ["ispc_gang_size", "ispc_compile"]
+
+
+def ispc_gang_size(machine: Machine) -> int:
+    """ispc's default gang size: one lane per 32-bit element."""
+    return machine.vector_bits // 32
+
+
+def ispc_compile(source: str, machine: Machine = AVX512,
+                 module_name: str = "ispc") -> Module:
+    """Compile PsimC source the way ispc would: gang size forced by the
+    target flag, gang-synchronous semantics, built-in math library."""
+    gang = ispc_gang_size(machine)
+    module = Compiler(module_name, force_gang_size=gang).compile(source)
+    standard_pipeline().run(module)
+    config = VectorizeConfig(math_flavour=ISPC_BUILTIN)
+    vectorize_module(module, config)
+    from ..driver import post_vectorize_cleanup
+
+    post_vectorize_cleanup(module)
+    return module

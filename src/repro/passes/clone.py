@@ -1,0 +1,77 @@
+"""IR cloning utilities, shared by the inliner, the SPMD outliner, and the
+vectorizers (which clone a scalar function body before transforming it)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.instructions import Instruction
+from ..ir.module import BasicBlock, Function
+from ..ir.values import Value
+
+__all__ = ["clone_blocks", "clone_function"]
+
+
+def clone_blocks(
+    source_blocks: List[BasicBlock],
+    target: Function,
+    value_map: Dict[Value, Value],
+    name_suffix: str = "",
+) -> Dict[BasicBlock, BasicBlock]:
+    """Clone ``source_blocks`` into ``target``.
+
+    ``value_map`` maps source values (typically arguments) to target values
+    and is extended in place with every cloned instruction and block.
+    Returns the source→clone block mapping.
+    """
+    block_map: Dict[BasicBlock, BasicBlock] = {}
+    for block in source_blocks:
+        clone = target.add_block(block.name + name_suffix)
+        block_map[block] = clone
+        value_map[block] = clone
+
+    fixups: List[Instruction] = []
+    for block in source_blocks:
+        clone = block_map[block]
+        for instr in block.instructions:
+            operands = []
+            needs_fixup = False
+            for op in instr.operands:
+                mapped = value_map.get(op, op)
+                if isinstance(op, Instruction) and op not in value_map:
+                    needs_fixup = True  # forward reference (via phi)
+                operands.append(mapped)
+            new = Instruction(
+                instr.opcode,
+                instr.type,
+                operands,
+                target.unique_name(instr.name or instr.opcode),
+                dict(instr.attrs),
+            )
+            clone.instructions.append(new)
+            new.parent = clone
+            value_map[instr] = new
+            if needs_fixup:
+                fixups.append(instr)
+
+    # Second pass: patch forward references now that everything is mapped.
+    for source in fixups:
+        clone = value_map[source]
+        for idx, op in enumerate(source.operands):
+            mapped = value_map.get(op, op)
+            if clone.operands[idx] is not mapped:
+                clone.set_operand(idx, mapped)
+    return block_map
+
+
+def clone_function(source: Function, new_name: str, module=None) -> Function:
+    """Deep-copy a whole function (same signature), optionally adding it to
+    ``module``."""
+    clone = Function(new_name, source.ftype, [a.name for a in source.args])
+    clone.attrs = dict(source.attrs)
+    clone.spmd = source.spmd
+    value_map: Dict[Value, Value] = dict(zip(source.args, clone.args))
+    clone_blocks(source.blocks, clone, value_map)
+    if module is not None:
+        module.add_function(clone)
+    return clone

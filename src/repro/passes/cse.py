@@ -1,0 +1,58 @@
+"""Common subexpression elimination (dominator-scoped value numbering).
+
+Pure instructions (arithmetic, compares, casts, geps, selects) with
+identical opcode/attrs/operands are unified when one dominates the other.
+Besides shrinking code, this canonicalization is what lets the
+auto-vectorizer's if-converter recognize that both sides of a diamond
+store to *the same* address instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..ir.cfg import DominatorTree
+from ..ir.instructions import CAST_OPS, FLOAT_BINOPS, INT_BINOPS, Instruction, UNARY_OPS
+from ..ir.module import BasicBlock, Function
+
+__all__ = ["cse"]
+
+_PURE = (
+    INT_BINOPS | FLOAT_BINOPS | UNARY_OPS | CAST_OPS
+    | {"icmp", "fcmp", "select", "gep", "fma", "broadcast", "extractelement",
+       "insertelement", "shuffle", "shuffle2", "sad",
+       "reduce_add", "reduce_min_s", "reduce_min_u", "reduce_max_s",
+       "reduce_max_u", "reduce_and", "reduce_or", "mask_any", "mask_all"}
+)
+
+
+def _key(instr: Instruction) -> Tuple:
+    operands = tuple(id(op) for op in instr.operands)
+    attrs = tuple(sorted(instr.attrs.items())) if instr.attrs else ()
+    return (instr.opcode, instr.type, operands, attrs)
+
+
+def cse(function: Function) -> bool:
+    changed = False
+    dt = DominatorTree(function)
+    available: Dict[Tuple, Instruction] = {}
+
+    def visit(block: BasicBlock, scope: Dict[Tuple, Instruction]) -> None:
+        nonlocal changed
+        scope = dict(scope)
+        for instr in list(block.instructions):
+            if instr.opcode not in _PURE or instr.type.is_void:
+                continue
+            key = _key(instr)
+            existing = scope.get(key)
+            if existing is not None:
+                instr.replace_all_uses_with(existing)
+                instr.erase()
+                changed = True
+            else:
+                scope[key] = instr
+        for child in dt.children.get(block, ()):
+            visit(child, scope)
+
+    visit(function.entry, available)
+    return changed

@@ -1,0 +1,22 @@
+"""Dead code elimination: remove unused, side-effect-free instructions."""
+
+from __future__ import annotations
+
+from ..ir.module import Function
+
+__all__ = ["dce"]
+
+
+def dce(function: Function) -> bool:
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        for block in function.blocks:
+            for instr in reversed(list(block.instructions)):
+                if instr.uses or instr.has_side_effects or instr.is_terminator:
+                    continue
+                instr.erase()
+                progress = True
+                changed = True
+    return changed

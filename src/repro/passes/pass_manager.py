@@ -1,0 +1,55 @@
+"""Pass manager.
+
+A deliberately plain pipeline runner: each pass is a callable
+``(Function) -> bool`` (returning whether it changed anything), run over
+every function in a module, optionally verifying after each pass.
+
+A key claim of the paper is that the Parsimony vectorizer is a standalone
+IR-to-IR pass that "can be placed anywhere in the optimization pipeline"
+(§4.2) — the integration tests exercise exactly that by permuting this
+pipeline around the vectorizer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from ..ir.module import Function, Module
+from ..ir.verifier import verify_function
+
+__all__ = ["FunctionPass", "PassManager"]
+
+FunctionPass = Callable[[Function], bool]
+
+
+class PassManager:
+    """Runs function passes over a module in order."""
+
+    def __init__(self, passes: Optional[Iterable] = None, verify_each: bool = True):
+        self.passes: List = list(passes or [])
+        self.verify_each = verify_each
+
+    def add(self, pass_: FunctionPass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(self, module: Module) -> bool:
+        changed = False
+        for pass_ in self.passes:
+            for function in list(module.functions.values()):
+                if not function.blocks:
+                    continue
+                if pass_(function):
+                    changed = True
+                if self.verify_each:
+                    verify_function(function)
+        return changed
+
+    def run_function(self, function: Function) -> bool:
+        changed = False
+        for pass_ in self.passes:
+            if pass_(function):
+                changed = True
+            if self.verify_each:
+                verify_function(function)
+        return changed

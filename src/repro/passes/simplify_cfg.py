@@ -1,0 +1,159 @@
+"""CFG simplification: constant-fold branches, remove unreachable blocks,
+thread trivial forwarding blocks, and merge straight-line block pairs."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir.cfg import reverse_postorder
+from ..ir.instructions import Instruction
+from ..ir.module import BasicBlock, Function
+from ..ir.values import Constant
+
+__all__ = ["simplify_cfg", "remove_unreachable_blocks"]
+
+
+def simplify_cfg(function: Function) -> bool:
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        progress |= _fold_constant_branches(function)
+        progress |= remove_unreachable_blocks(function)
+        progress |= _merge_straightline_blocks(function)
+        progress |= _thread_empty_forwarders(function)
+        changed |= progress
+    return changed
+
+
+def _thread_empty_forwarders(function: Function) -> bool:
+    """Redirect edges through blocks that contain only ``br X``."""
+    changed = False
+    for block in list(function.blocks):
+        if block is function.entry or len(block.instructions) != 1:
+            continue
+        term = block.terminator
+        if term is None or term.opcode != "br":
+            continue
+        target = term.operands[0]
+        if target is block:
+            continue
+        preds = block.predecessors
+        if not preds:
+            continue
+        # Don't thread when the target has phis: redirected edges would
+        # need new incoming entries (and may duplicate existing preds).
+        if target.phis():
+            continue
+        for pred in preds:
+            pterm = pred.terminator
+            for idx, op in enumerate(pterm.operands):
+                if op is block and (pterm.opcode == "br" or idx in (1, 2)):
+                    pterm.set_operand(idx, target)
+        changed = True
+    return changed
+
+
+def _fold_constant_branches(function: Function) -> bool:
+    changed = False
+    for block in function.blocks:
+        term = block.terminator
+        if term is None or term.opcode != "condbr":
+            continue
+        cond = term.operands[0]
+        if isinstance(cond, Constant):
+            taken = term.operands[1] if cond.value else term.operands[2]
+            dead = term.operands[2] if cond.value else term.operands[1]
+            if dead is not taken:
+                _remove_phi_edges(dead, block)
+            term.drop_operands()
+            term.parent = None
+            block.instructions.pop()
+            block.append(Instruction("br", term.type, [taken]))
+            changed = True
+        elif term.operands[1] is term.operands[2]:
+            target = term.operands[1]
+            term.drop_operands()
+            term.parent = None
+            block.instructions.pop()
+            block.append(Instruction("br", term.type, [target]))
+            changed = True
+    return changed
+
+
+def remove_unreachable_blocks(function: Function) -> bool:
+    reachable = set(reverse_postorder(function))
+    dead = [b for b in function.blocks if b not in reachable]
+    if not dead:
+        return False
+    dead_set = set(dead)
+    # First remove phi edges coming from dead blocks.
+    for block in function.blocks:
+        if block in dead_set:
+            continue
+        for phi in block.phis():
+            for pred in list(b for _, b in phi.phi_incoming()):
+                if pred in dead_set:
+                    _remove_phi_edge(phi, pred)
+    # Clear instructions in dead blocks, then delete.  Uses are cleared for
+    # *all* dead instructions first: dead code may be mutually referential
+    # across blocks, so operand unlinking must tolerate already-cleared
+    # use lists.
+    for block in dead:
+        for instr in block.instructions:
+            instr.uses = []
+    for block in dead:
+        for instr in block.instructions:
+            for idx, op in enumerate(instr._operands):
+                entry = (instr, idx)
+                if entry in op.uses:
+                    op.uses.remove(entry)
+            instr._operands = []
+        block.instructions = []
+        function.blocks.remove(block)
+        block.parent = None
+    return True
+
+
+def _merge_straightline_blocks(function: Function) -> bool:
+    changed = False
+    for block in list(function.blocks):
+        succs = block.successors
+        if len(succs) != 1:
+            continue
+        succ = succs[0]
+        if succ is block or succ is function.entry:
+            continue
+        if len(succ.predecessors) != 1:
+            continue
+        if succ.phis():
+            for phi in list(succ.phis()):
+                phi.replace_all_uses_with(phi.phi_value_for(block))
+                phi.erase()
+        # Remove block's terminator, splice succ's instructions in.
+        term = block.instructions.pop()
+        term.drop_operands()
+        term.parent = None
+        for instr in succ.instructions:
+            instr.parent = block
+            block.instructions.append(instr)
+        succ.instructions = []
+        succ.replace_all_uses_with(block)
+        function.blocks.remove(succ)
+        succ.parent = None
+        changed = True
+    return changed
+
+
+def _remove_phi_edges(block: BasicBlock, pred: BasicBlock) -> None:
+    for phi in block.phis():
+        _remove_phi_edge(phi, pred)
+
+
+def _remove_phi_edge(phi: Instruction, pred: BasicBlock) -> None:
+    ops = list(phi.operands)
+    phi.drop_operands()
+    for i in range(0, len(ops), 2):
+        if ops[i + 1] is not pred:
+            phi.append_operand(ops[i])
+            phi.append_operand(ops[i + 1])

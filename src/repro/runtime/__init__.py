@@ -1,0 +1,8 @@
+"""``repro.runtime`` — runtime libraries: vector math (SLEEF / ispc
+builtin flavours, §6) and the ``psim.*`` intrinsic ABI shared by the
+front-end and the vectorizer."""
+
+from . import mathlib, psim_abi
+from .mathlib import ISPC_BUILTIN, POW_SLEEF_OVER_ISPC, SLEEF
+
+__all__ = ["mathlib", "psim_abi", "SLEEF", "ISPC_BUILTIN", "POW_SLEEF_OVER_ISPC"]

@@ -1,0 +1,156 @@
+"""Vectorized math libraries.
+
+The paper's Parsimony prototype calls SLEEF for vector math while ispc
+uses its own built-in SIMD math library (§6).  The one performance gap the
+paper reports between the two systems — Binomial Options at 0.71× —
+comes entirely from SLEEF's AVX-512 ``pow`` being **2.6× slower** than
+ispc's built-in ``pow``.
+
+We reproduce that structure: scalar math externals (``ml.exp.f32`` ...)
+plus two vector flavours with identical numerics but distinct cost
+tables — ``sleef`` (used by the Parsimony vectorizer) and ``ispc`` (used
+by ispc mode) — whose only difference is the cost of ``pow``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..ir.module import ExternalFunction, Module
+from ..ir.types import FloatType, FunctionType, Type, VectorType
+
+__all__ = [
+    "MATH_FUNCTIONS",
+    "scalar_math_external",
+    "vector_math_external",
+    "SLEEF",
+    "ISPC_BUILTIN",
+    "POW_SLEEF_OVER_ISPC",
+]
+
+#: Measured by the paper's authors: SLEEF AVX-512 pow / ispc builtin pow.
+POW_SLEEF_OVER_ISPC = 2.6
+
+# numpy ufuncs give the vector semantics; scalar path reuses them on 0-d data.
+_IMPL: Dict[str, Callable] = {
+    "floor": np.floor,
+    "ceil": np.ceil,
+    "round": np.round,
+    "trunc": np.trunc,
+    "exp": np.exp,
+    "log": np.log,
+    "exp2": np.exp2,
+    "log2": np.log2,
+    "sin": np.sin,
+    "cos": np.cos,
+    "tan": np.tan,
+    "asin": np.arcsin,
+    "acos": np.arccos,
+    "atan": np.arctan,
+    "atan2": np.arctan2,
+    "pow": np.power,
+    "fmod": np.fmod,
+    "cbrt": np.cbrt,
+    "rsqrt": lambda x: 1.0 / np.sqrt(x),
+}
+
+#: Scalar cycle costs (x86 libm-ish reciprocal throughputs).
+_SCALAR_COST: Dict[str, float] = {
+    "floor": 1, "ceil": 1, "round": 1, "trunc": 1,
+    "exp": 15, "log": 15, "exp2": 12, "log2": 12,
+    "sin": 15, "cos": 15, "tan": 22,
+    "asin": 22, "acos": 22, "atan": 20, "atan2": 25,
+    "pow": 46, "fmod": 12, "cbrt": 26, "rsqrt": 12,
+}
+
+#: Vector cost per *machine op* for the SLEEF flavour.
+_SLEEF_COST: Dict[str, float] = {
+    "floor": 1, "ceil": 1, "round": 1, "trunc": 1,
+    "exp": 9, "log": 9, "exp2": 7, "log2": 7,
+    "sin": 10, "cos": 10, "tan": 16,
+    "asin": 16, "acos": 16, "atan": 14, "atan2": 18,
+    "pow": 52, "fmod": 8, "cbrt": 18, "rsqrt": 4,
+}
+
+SLEEF = "sleef"
+ISPC_BUILTIN = "ispc"
+
+MATH_FUNCTIONS = frozenset(_IMPL)
+
+
+def _flavour_cost(flavour: str, name: str) -> float:
+    cost = _SLEEF_COST[name]
+    if flavour == ISPC_BUILTIN and name == "pow":
+        cost = cost / POW_SLEEF_OVER_ISPC
+    return cost
+
+
+def _scalar_impl(name: str, ftype: Type) -> Callable:
+    fn = _IMPL[name]
+    f32 = isinstance(ftype, FloatType) and ftype.bits == 32
+
+    def impl(*args):
+        if f32:
+            args = [np.float32(a) for a in args]
+        with np.errstate(all="ignore"):
+            result = fn(*args)
+        return float(np.float32(result)) if f32 else float(result)
+
+    return impl
+
+
+def _vector_impl(name: str) -> Callable:
+    fn = _IMPL[name]
+
+    def impl(*args):
+        with np.errstate(all="ignore"):
+            result = fn(*args)
+        return result.astype(args[0].dtype, copy=False)
+
+    return impl
+
+
+def scalar_math_external(module: Module, name: str, ftype: FloatType) -> ExternalFunction:
+    """Get-or-create the scalar external ``ml.<name>.<f32|f64>``."""
+    if name not in _IMPL:
+        raise KeyError(f"unknown math function {name!r}")
+    nargs = 2 if name in ("pow", "atan2", "fmod") else 1
+    ext_name = f"ml.{name}.{ftype}"
+    if ext_name in module.externals:
+        return module.externals[ext_name]
+    ext = ExternalFunction(
+        ext_name,
+        FunctionType(ftype, (ftype,) * nargs),
+        _scalar_impl(name, ftype),
+        cost=float(_SCALAR_COST[name]),
+    )
+    return module.add_external(ext)
+
+
+def vector_math_external(
+    module: Module, name: str, elem: FloatType, lanes: int, flavour: str = SLEEF
+) -> ExternalFunction:
+    """Get-or-create the vector external ``ml.<flavour>.<name>.<fN>x<G>``.
+
+    The call cost is ``per-machine-op cost × legalization factor``, charged
+    via a cost callable so it adapts to whatever machine executes it.
+    """
+    if name not in _IMPL:
+        raise KeyError(f"unknown math function {name!r}")
+    nargs = 2 if name in ("pow", "atan2", "fmod") else 1
+    vec = VectorType(elem, lanes)
+    ext_name = f"ml.{flavour}.{name}.{elem}x{lanes}"
+    if ext_name in module.externals:
+        return module.externals[ext_name]
+    per_op = _flavour_cost(flavour, name)
+
+    def cost(machine, arg_types, _per_op=per_op, _vec=vec):
+        return _per_op * machine.legalize_factor(_vec)
+
+    ext = ExternalFunction(
+        ext_name, FunctionType(vec, (vec,) * nargs), _vector_impl(name), cost=cost
+    )
+    return module.add_external(ext)

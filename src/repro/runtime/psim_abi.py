@@ -1,0 +1,84 @@
+"""The ``psim.*`` external ABI between the front-end and the vectorizer.
+
+The front-end lowers Parsimony API calls (§3) inside outlined SPMD region
+functions into calls to reserved ``psim.*`` externals.  They are pure
+markers: the Parsimony vectorization pass pattern-matches and replaces
+every one of them (§4.2.3), so their host implementation just raises —
+executing an un-vectorized SPMD function is a programming error, since a
+scalar interpretation cannot honour horizontal operations.
+"""
+
+from __future__ import annotations
+
+from ..ir.module import ExternalFunction, Module
+from ..ir.types import I1, I64, FunctionType, Type, VOID
+
+__all__ = [
+    "PSIM_PREFIX",
+    "lane_num_external",
+    "gang_sync_external",
+    "shuffle_external",
+    "broadcast_external",
+    "reduce_external",
+    "vote_external",
+    "sad_external",
+    "is_psim_external",
+]
+
+PSIM_PREFIX = "psim."
+
+
+def _not_vectorized(*_args):
+    raise RuntimeError(
+        "psim.* intrinsic executed without vectorization; run the Parsimony "
+        "pass (repro.vectorizer.vectorize_module) before executing SPMD code"
+    )
+
+
+def _declare(module: Module, name: str, ftype: FunctionType) -> ExternalFunction:
+    if name in module.externals:
+        return module.externals[name]
+    return module.add_external(ExternalFunction(name, ftype, _not_vectorized, cost=0))
+
+
+def is_psim_external(value) -> bool:
+    return isinstance(value, ExternalFunction) and value.name.startswith(PSIM_PREFIX)
+
+
+def lane_num_external(module: Module) -> ExternalFunction:
+    """``psim.lane_num() -> i64``: this thread's lane within its gang."""
+    return _declare(module, "psim.lane_num", FunctionType(I64, ()))
+
+
+def gang_sync_external(module: Module) -> ExternalFunction:
+    """``psim.gang_sync()``: execution barrier across the gang (§3)."""
+    return _declare(module, "psim.gang_sync", FunctionType(VOID, ()))
+
+
+def shuffle_external(module: Module, type: Type) -> ExternalFunction:
+    """``psim.shuffle.<ty>(value, src_lane) -> <ty>``: any-to-any exchange."""
+    return _declare(module, f"psim.shuffle.{type}", FunctionType(type, (type, I64)))
+
+
+def broadcast_external(module: Module, type: Type) -> ExternalFunction:
+    """``psim.broadcast.<ty>(value, root_lane) -> <ty>``."""
+    return _declare(module, f"psim.broadcast.{type}", FunctionType(type, (type, I64)))
+
+
+def reduce_external(module: Module, kind: str, type: Type, signed: bool) -> ExternalFunction:
+    """``psim.reduce_<kind>[.s|.u].<ty>(value) -> <ty>`` over the gang."""
+    sign = "" if type.is_float or kind == "add" else (".s" if signed else ".u")
+    name = f"psim.reduce_{kind}{sign}.{type}"
+    return _declare(module, name, FunctionType(type, (type,)))
+
+
+def vote_external(module: Module, kind: str) -> ExternalFunction:
+    """``psim.any`` / ``psim.all`` over the gang's i1 values."""
+    return _declare(module, f"psim.{kind}", FunctionType(I1, (I1,)))
+
+
+def sad_external(module: Module) -> ExternalFunction:
+    """§7's opaque SAD abstraction: gang-wide sum of |a - b| over u8 pairs."""
+    from ..ir.types import I8
+
+    return _declare(module, "psim.sad", FunctionType(I64, (I8, I8)))

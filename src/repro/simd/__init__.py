@@ -1,0 +1,6 @@
+"""``repro.simd`` — hand-written intrinsics-style kernel authoring
+(the Figure 5 "Hand-written AVX-512" baseline)."""
+
+from .intrinsics import HandKernel, hand_kernel
+
+__all__ = ["HandKernel", "hand_kernel"]

@@ -1,0 +1,87 @@
+"""``repro.vectorizer`` — the Parsimony SPMD-to-SIMD vectorization pass.
+
+This is the paper's primary contribution (§4.2): a standalone IR-to-IR
+pass that rewrites SPMD-annotated functions into gang-wide vector code —
+shape analysis with SMT-verified transformation rules, mask-based control
+flow linearization, and shape-directed instruction transformation.
+
+``vectorize_module`` is the entry point used by the compilation drivers
+(``repro.driver``): it can be placed anywhere in the scalar optimization
+pipeline, which is the integration property the paper argues for.
+"""
+
+from typing import List, Optional
+
+from ..ir.module import Function, Module
+from ..ir.verifier import verify_function
+from ..passes import constant_fold, dce, loop_simplify, mem2reg, simplify_cfg
+from ..passes.inline import inline_function_calls
+from .shape import Shape
+from .shapes import ShapeAnalysis
+from .transform import VectorizeConfig, VectorizeError, Vectorizer
+
+__all__ = [
+    "Shape",
+    "ShapeAnalysis",
+    "VectorizeConfig",
+    "VectorizeError",
+    "Vectorizer",
+    "vectorize_function",
+    "vectorize_module",
+]
+
+
+def vectorize_function(
+    module: Module, function: Function, config: Optional[VectorizeConfig] = None
+) -> Function:
+    """Vectorize one SPMD-annotated function and splice it into the module.
+
+    The scalar original is kept (renamed ``<name>.scalarref``) for
+    inspection; every call site is rewired to the vector version, which
+    takes over the original name.
+    """
+    config = config or VectorizeConfig()
+
+    # Normalize: promote locals to SSA, fold, canonicalize loops.  The pass
+    # itself is position-independent; this is just the usual -O pipeline
+    # that would have run anyway.
+    inline_function_calls(function)
+    mem2reg(function)
+    constant_fold(function)
+    dce(function)
+    simplify_cfg(function)
+    loop_simplify(function)
+    verify_function(function)
+
+    analysis = ShapeAnalysis(
+        function,
+        function.spmd.gang_size,
+        assume_nsw=config.assume_nsw,
+        enabled=config.enable_shape_analysis,
+    )
+    vectorizer = Vectorizer(module, function, analysis, config)
+    vectorized = vectorizer.run()
+    constant_fold(vectorized)
+    dce(vectorized)
+    verify_function(vectorized)
+
+    name = function.name
+    del module.functions[name]
+    function.name = name + ".scalarref"
+    module.functions[function.name] = function
+    vectorized.name = name
+    module.functions[name] = vectorized
+    function.replace_all_uses_with(vectorized)
+    vectorized.attrs["parsimony_warnings"] = vectorizer.warnings
+    return vectorized
+
+
+def vectorize_module(
+    module: Module, config: Optional[VectorizeConfig] = None
+) -> List[Function]:
+    """Run the Parsimony pass over every SPMD-annotated function."""
+    results = []
+    for function in list(module.functions.values()):
+        if function.spmd is not None and not function.name.endswith(".scalarref"):
+            results.append(vectorize_function(module, function, config))
+    return results

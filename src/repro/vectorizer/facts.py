@@ -1,0 +1,92 @@
+"""Known-facts lattice for shape-rule preconditions (§4.2.2).
+
+Several shape transformations are only valid under side conditions — the
+paper's example: ``(base + off) & m == (base & m) + (off & m)`` holds when
+``m`` is a low-bit mask, ``base`` is aligned to it, and the offsets fit
+inside it.  The paper tracks such facts as z3 model constraints and checks
+each rule's precondition online at compile time.
+
+We track the two fact kinds those preconditions need:
+
+* **alignment** — the largest known power of two dividing the value;
+* **range** — a conservative ``[lo, hi]`` interval (in unsigned terms for
+  the value's width).
+
+Facts propagate alongside shapes in the same fixpoint.  ``psim.*`` ABI
+values seed the interesting cases: a gang's base thread id is always a
+multiple of the gang size, and ``psim.lane_num()`` is in ``[0, G)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["Facts", "TOP", "meet", "from_constant"]
+
+
+@dataclass(frozen=True)
+class Facts:
+    """Alignment and range knowledge about one scalar value."""
+
+    #: Largest power of two known to divide the value (1 = no knowledge).
+    align: int = 1
+    #: Inclusive unsigned range, or None when unknown.
+    range: Optional[Tuple[int, int]] = None
+
+    def in_range(self, lo: int, hi: int) -> bool:
+        return self.range is not None and lo <= self.range[0] and self.range[1] <= hi
+
+    def aligned_to(self, n: int) -> bool:
+        return n >= 1 and self.align % n == 0
+
+
+TOP = Facts()
+
+
+def from_constant(value: int) -> Facts:
+    align = value & -value if value > 0 else (1 << 63 if value == 0 else 1)
+    return Facts(align=max(1, align), range=(value, value))
+
+
+def meet(a: Facts, b: Facts) -> Facts:
+    """Join point (phi) combination: keep only what both agree on."""
+    align = _gcd_pow2(a.align, b.align)
+    if a.range is not None and b.range is not None:
+        range_ = (min(a.range[0], b.range[0]), max(a.range[1], b.range[1]))
+    else:
+        range_ = None
+    return Facts(align=align, range=range_)
+
+
+def _gcd_pow2(a: int, b: int) -> int:
+    return min(a & -a, b & -b)
+
+
+def add(a: Facts, b: Facts) -> Facts:
+    align = _gcd_pow2(a.align, b.align)
+    range_ = None
+    if a.range is not None and b.range is not None:
+        range_ = (a.range[0] + b.range[0], a.range[1] + b.range[1])
+    return Facts(align=align, range=range_)
+
+
+def mul(a: Facts, b: Facts) -> Facts:
+    align = a.align * b.align
+    range_ = None
+    if a.range is not None and b.range is not None and min(a.range[0], b.range[0]) >= 0:
+        range_ = (a.range[0] * b.range[0], a.range[1] * b.range[1])
+    return Facts(align=align, range=range_)
+
+
+def shl(a: Facts, amount: int) -> Facts:
+    range_ = None
+    if a.range is not None:
+        range_ = (a.range[0] << amount, a.range[1] << amount)
+    return Facts(align=a.align << amount, range=range_)
+
+
+def and_mask(a: Facts, mask: int) -> Facts:
+    """Result facts of ``a & mask`` for a low-bit mask."""
+    hi = mask if a.range is None else min(mask, a.range[1])
+    return Facts(align=1, range=(0, hi))

@@ -1,0 +1,196 @@
+"""The conditional shape-transformation rule set (§4.2.2).
+
+Each rule states when an operation on an *indexed* value ``base + off``
+(scalar base, compile-time per-lane offset) can itself be re-interpreted
+as indexed.  Unconditional rules (add, sub, mul/shl by anything, trunc)
+hold by modular arithmetic; the conditional ones carry preconditions that
+the shape analysis checks against the facts lattice online.
+
+Every rule here doubles as a :class:`~repro.vectorizer.smt.RuleSpec`, and
+the test suite model-checks all of them (the reproduction of the paper's
+offline z3 verification phase).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .smt import RuleSpec
+
+__all__ = ["RULES", "rule"]
+
+RULES: Dict[str, RuleSpec] = {}
+
+
+def rule(spec: RuleSpec) -> RuleSpec:
+    RULES[spec.name] = spec
+    return spec
+
+
+def _mask(bits: int) -> int:
+    return (1 << bits) - 1
+
+
+def _shift_params(bits: int) -> List[dict]:
+    return [{"k": k} for k in range(bits)]
+
+
+# -- unconditional rules (pure modular arithmetic) ---------------------------------
+
+rule(RuleSpec(
+    name="add_indexed",
+    variables=("b1", "o1", "b2", "o2"),
+    lhs=lambda e, bits: (e["b1"] + e["o1"]) + (e["b2"] + e["o2"]),
+    rhs=lambda e, bits: (e["b1"] + e["b2"]) + (e["o1"] + e["o2"]),
+))
+
+rule(RuleSpec(
+    name="sub_indexed",
+    variables=("b1", "o1", "b2", "o2"),
+    lhs=lambda e, bits: (e["b1"] + e["o1"]) - (e["b2"] + e["o2"]),
+    rhs=lambda e, bits: (e["b1"] - e["b2"]) + (e["o1"] - e["o2"]),
+))
+
+rule(RuleSpec(
+    name="mul_const_offset_scale",
+    variables=("b", "o", "c"),
+    lhs=lambda e, bits: (e["b"] + e["o"]) * e["c"],
+    rhs=lambda e, bits: e["b"] * e["c"] + e["o"] * e["c"],
+))
+
+rule(RuleSpec(
+    name="shl_const",
+    variables=("b", "o"),
+    parameters=_shift_params,
+    lhs=lambda e, bits: (e["b"] + e["o"]) << e["k"],
+    rhs=lambda e, bits: (e["b"] << e["k"]) + (e["o"] << e["k"]),
+))
+
+rule(RuleSpec(
+    name="trunc",
+    variables=("b", "o"),
+    parameters=lambda bits: [{"k": k} for k in range(1, bits + 1)],
+    lhs=lambda e, bits: ((e["b"] + e["o"]) & _mask(bits)) & _mask(e["k"]),
+    rhs=lambda e, bits: ((e["b"] & _mask(e["k"])) + e["o"]) & _mask(e["k"]),
+))
+
+
+# -- conditional rules (the paper's z3-checked cases) -------------------------------
+
+rule(RuleSpec(
+    # (b + o) & (2^k - 1) == (b & (2^k - 1)) + o,  when  b ≡ 0 (mod 2^k)
+    # and 0 <= o < 2^k.  This is the paper's logical-AND example.
+    name="and_low_mask",
+    variables=("b", "o"),
+    parameters=_shift_params,
+    precondition=lambda e, bits: (
+        e["b"] % (1 << e["k"]) == 0 and 0 <= e["o"] < (1 << e["k"])
+    ),
+    lhs=lambda e, bits: ((e["b"] + e["o"]) & _mask(bits)) & _mask(e["k"]),
+    rhs=lambda e, bits: (e["b"] & _mask(e["k"])) + e["o"],
+))
+
+rule(RuleSpec(
+    # (b + o) ^ m == b + (o ^ m),  when  m < 2^k, b ≡ 0 (mod 2^k), and
+    # 0 <= o < 2^k: the xor only permutes bits below the base's alignment.
+    # Covers lane-swizzle patterns like `i ^ 1` (byte reordering kernels).
+    name="xor_low_mask",
+    variables=("b", "o"),
+    parameters=lambda bits: [
+        {"k": k, "m": m} for k in range(1, bits) for m in ((1 << k) - 1, 1, 1 << (k - 1))
+    ],
+    # The offsets themselves may be arbitrary non-negative values: adding an
+    # aligned base never changes the low k bits, so the xor still only
+    # rewrites the offset's low bits.
+    precondition=lambda e, bits: (
+        e["m"] < (1 << e["k"]) and e["b"] % (1 << e["k"]) == 0
+    ),
+    lhs=lambda e, bits: ((e["b"] + e["o"]) & _mask(bits)) ^ e["m"],
+    rhs=lambda e, bits: e["b"] + (e["o"] ^ e["m"]),
+))
+
+rule(RuleSpec(
+    # (b + o) >> k == (b >> k) + (o >> k),  when  b ≡ 0 (mod 2^k),
+    # o ≡ 0 (mod 2^k) (no bits cross the shifted-out boundary), and
+    # b + o does not wrap (range fact).
+    name="lshr_const_aligned",
+    variables=("b", "o"),
+    parameters=_shift_params,
+    precondition=lambda e, bits: (
+        e["b"] % (1 << e["k"]) == 0
+        and e["o"] % (1 << e["k"]) == 0
+        and e["b"] + e["o"] <= _mask(bits)
+    ),
+    lhs=lambda e, bits: ((e["b"] + e["o"]) & _mask(bits)) >> e["k"],
+    rhs=lambda e, bits: (e["b"] >> e["k"]) + (e["o"] >> e["k"]),
+))
+
+rule(RuleSpec(
+    # (b + o) >> k == b >> k  (uniform result),  when  b ≡ 0 (mod 2^k)
+    # and 0 <= o < 2^k: the whole offset disappears below the shift.
+    name="lshr_const_absorb",
+    variables=("b", "o"),
+    parameters=_shift_params,
+    precondition=lambda e, bits: (
+        e["b"] % (1 << e["k"]) == 0
+        and 0 <= e["o"] < (1 << e["k"])
+        and e["b"] + e["o"] <= _mask(bits)
+    ),
+    lhs=lambda e, bits: ((e["b"] + e["o"]) & _mask(bits)) >> e["k"],
+    rhs=lambda e, bits: e["b"] >> e["k"],
+))
+
+rule(RuleSpec(
+    # (b + o) / d == b / d + o / d,  when  b ≡ 0 (mod d), o >= 0, and
+    # b + o does not wrap (range fact).
+    name="udiv_const_aligned",
+    variables=("b", "o"),
+    parameters=lambda bits: [{"d": d} for d in (1, 2, 3, 4, 5, 8, 16)],
+    precondition=lambda e, bits: (
+        e["b"] % e["d"] == 0 and e["b"] + e["o"] <= _mask(bits)
+    ),
+    lhs=lambda e, bits: (e["b"] + e["o"]) // e["d"],
+    rhs=lambda e, bits: e["b"] // e["d"] + e["o"] // e["d"],
+))
+
+rule(RuleSpec(
+    # zext(b + o) == zext(b) + o,  when the source-width sum b + o does not
+    # wrap (range fact on the base plus bounded offsets).
+    name="zext_no_wrap",
+    variables=("b", "o"),
+    parameters=lambda bits: [{"k": k} for k in range(2, bits)],
+    precondition=lambda e, bits: (
+        e["b"] <= _mask(e["k"]) and e["o"] <= _mask(e["k"])
+        and e["b"] + e["o"] <= _mask(e["k"])
+    ),
+    # lhs: compute in k bits (value lives in k-bit domain), then widen.
+    lhs=lambda e, bits: (e["b"] + e["o"]) & _mask(e["k"]),
+    rhs=lambda e, bits: (e["b"] & _mask(e["k"])) + e["o"],
+))
+
+rule(RuleSpec(
+    # sext(b + o) == sext(b) + o for k-bit signed values, when b + o stays
+    # within the signed k-bit range (the "nsw" justification for signed
+    # loop counters; PsimC signed overflow is UB like C).
+    name="sext_no_signed_wrap",
+    variables=("b", "o"),
+    parameters=lambda bits: [{"k": k} for k in range(2, bits)],
+    precondition=lambda e, bits: _sext_pre(e, bits),
+    lhs=lambda e, bits: _sext(( _signed(e["b"], e["k"]) + _signed(e["o"], e["k"]) ), e["k"], bits),
+    rhs=lambda e, bits: (_sext(_signed(e["b"], e["k"]), e["k"], bits) + _signed(e["o"], e["k"])),
+))
+
+
+def _signed(v: int, k: int) -> int:
+    v &= _mask(k)
+    return v - (1 << k) if v >= (1 << (k - 1)) else v
+
+
+def _sext_pre(e: dict, bits: int) -> bool:
+    sb, so = _signed(e["b"], e["k"]), _signed(e["o"], e["k"])
+    lo, hi = -(1 << (e["k"] - 1)), (1 << (e["k"] - 1)) - 1
+    return lo <= sb + so <= hi
+
+
+def _sext(v: int, k: int, bits: int) -> int:
+    return v & _mask(bits)

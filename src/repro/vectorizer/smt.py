@@ -1,0 +1,82 @@
+"""Bounded model checking of shape-transformation rules.
+
+The paper verifies its conditional shape transformations with z3 in an
+offline phase, then checks only the (cheap) preconditions online during
+compilation (§4.2.2).  With no SMT solver available offline here, we
+substitute *exhaustive bounded model checking over small bit-vectors*:
+every rule identity is checked for **all** valuations at a reduced width
+(plus randomized sampling at full width), which is sound for the
+bit-vector fragment these rules live in at the checked widths, and gives
+the same workflow: a rule must pass ``verify_rule`` before the analysis
+may apply it, and the analysis still evaluates each rule's precondition
+against the tracked facts before every application.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+__all__ = ["RuleSpec", "verify_rule", "CounterExample"]
+
+
+@dataclass
+class CounterExample(Exception):
+    """A valuation under which a rule's identity fails."""
+
+    rule: str
+    assignment: dict
+
+    def __str__(self) -> str:  # pragma: no cover
+        return f"rule {self.rule!r} fails for {self.assignment}"
+
+
+@dataclass
+class RuleSpec:
+    """A conditional rewrite over bit-vectors.
+
+    ``variables`` names the free bit-vector variables; ``parameters`` names
+    compile-time parameters with explicit candidate values (e.g. shift
+    amounts, mask widths).  ``precondition``, ``lhs`` and ``rhs`` all
+    receive ``(env, bits)`` where ``env`` maps names to ints; the identity
+    is ``precondition ⟹ lhs ≡ rhs (mod 2^bits)``.
+    """
+
+    name: str
+    variables: Sequence[str]
+    lhs: Callable
+    rhs: Callable
+    precondition: Callable = lambda env, bits: True
+    parameters: Callable = lambda bits: [{}]  # yields param dicts
+
+
+def verify_rule(rule: RuleSpec, bits: int = 6, samples_at: int = 64, samples: int = 4000,
+                seed: int = 0) -> None:
+    """Exhaustively check ``rule`` at ``bits`` width, then randomly sample at
+    ``samples_at`` width.  Raises :class:`CounterExample` on failure."""
+    mask = (1 << bits) - 1
+    space = range(1 << bits)
+    for params in rule.parameters(bits):
+        for values in itertools.product(space, repeat=len(rule.variables)):
+            env = dict(zip(rule.variables, values))
+            env.update(params)
+            _check_one(rule, env, bits, mask)
+
+    rng = random.Random(seed)
+    mask64 = (1 << samples_at) - 1
+    for params in rule.parameters(samples_at):
+        for _ in range(samples):
+            env = {v: rng.getrandbits(samples_at) for v in rule.variables}
+            env.update(params)
+            _check_one(rule, env, samples_at, mask64)
+
+
+def _check_one(rule: RuleSpec, env: dict, bits: int, mask: int) -> None:
+    if not rule.precondition(env, bits):
+        return
+    lhs = rule.lhs(env, bits) & mask
+    rhs = rule.rhs(env, bits) & mask
+    if lhs != rhs:
+        raise CounterExample(rule.name, dict(env))

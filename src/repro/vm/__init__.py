@@ -1,0 +1,9 @@
+"""``repro.vm`` — execution engine: flat memory + IR interpreter with
+cycle cost accounting (substitutes for running on the paper's AVX-512
+Xeon; see DESIGN.md)."""
+
+from .memory import Memory, MemoryError_
+from .interp import ExecutionLimitExceeded, Interpreter
+from .ops import VMTrap
+
+__all__ = ["Memory", "MemoryError_", "Interpreter", "VMTrap", "ExecutionLimitExceeded"]

@@ -1,0 +1,367 @@
+"""The VM: a direct interpreter for the IR with cycle cost accounting.
+
+Executes scalar *and* vector IR (one unified engine), so the same machine
+runs the un-vectorized baseline, the auto-vectorized code, the ispc-mode
+output, the Parsimony output, and the hand-written intrinsics kernels —
+exactly the five configurations the paper measures (§5).
+
+Every dynamically executed instruction is charged by the
+:class:`~repro.backend.costmodel.CostModel` on the configured
+:class:`~repro.backend.machine.Machine`; ``run()`` returns the result plus
+:class:`~repro.backend.machine.ExecStats` with cycles and per-opcode
+counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..backend.costmodel import DEFAULT_COST_MODEL, CostModel
+from ..backend.machine import AVX512, ExecStats, Machine
+from ..ir.instructions import (
+    CAST_OPS,
+    FLOAT_BINOPS,
+    INT_BINOPS,
+    Instruction,
+    REDUCE_OPS,
+    UNARY_OPS,
+)
+from ..ir.module import BasicBlock, ExternalFunction, Function, Module
+from ..ir.types import FloatType, IntType, PointerType, Type, VectorType
+from ..ir.values import Argument, Constant, UndefValue, Value
+from .memory import Memory
+from .nputil import elem_dtype, mask_int, to_signed
+from .ops import (
+    VMTrap,
+    eval_scalar_binop,
+    eval_scalar_cast,
+    eval_scalar_fcmp,
+    eval_scalar_icmp,
+    eval_scalar_unop,
+    eval_vector_binop,
+    eval_vector_cast,
+    eval_vector_fcmp,
+    eval_vector_icmp,
+    eval_vector_unop,
+    round_float,
+)
+
+__all__ = ["Interpreter", "VMTrap", "ExecutionLimitExceeded"]
+
+
+class ExecutionLimitExceeded(VMTrap):
+    """The dynamic instruction budget was exhausted (likely infinite loop)."""
+
+
+_MAX_CALL_DEPTH = 256
+
+
+class Interpreter:
+    """Executes functions from one module against a flat memory."""
+
+    def __init__(
+        self,
+        module: Module,
+        machine: Machine = AVX512,
+        cost_model: Optional[CostModel] = None,
+        memory: Optional[Memory] = None,
+        max_instructions: int = 500_000_000,
+    ):
+        self.module = module
+        self.machine = machine
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+        self.memory = memory or Memory()
+        self.max_instructions = max_instructions
+        self.stats = ExecStats()
+        self._cost_cache: Dict[int, float] = {}
+
+    # -- public API -----------------------------------------------------------------
+
+    def run(self, function, *args):
+        """Execute ``function`` (a ``Function`` or name) with Python args."""
+        if isinstance(function, str):
+            function = self.module.get(function)
+        if len(args) != len(function.args):
+            raise TypeError(
+                f"@{function.name} takes {len(function.args)} args, got {len(args)}"
+            )
+        argvals = [
+            _coerce_arg(a.type, v) for a, v in zip(function.args, args)
+        ]
+        return self._exec_function(function, argvals, depth=0)
+
+    # -- execution ---------------------------------------------------------------------
+
+    def _exec_function(self, function: Function, argvals: List, depth: int):
+        if depth > _MAX_CALL_DEPTH:
+            raise VMTrap(f"call depth exceeded calling @{function.name}")
+        env: Dict[Value, object] = dict(zip(function.args, argvals))
+        stack_mark = self.memory._brk  # frame-local alloca discipline
+        block = function.entry
+        prev: Optional[BasicBlock] = None
+        stats = self.stats
+        try:
+            while True:
+                instructions = block.instructions
+                # Evaluate phis in parallel against the incoming edge.
+                n_phi = 0
+                if instructions and instructions[0].opcode == "phi":
+                    phi_vals = []
+                    for instr in instructions:
+                        if instr.opcode != "phi":
+                            break
+                        n_phi += 1
+                        phi_vals.append(
+                            self._value(env, instr.phi_value_for(prev))
+                        )
+                        stats.charge("phi", 0.0)
+                    for instr, val in zip(instructions[:n_phi], phi_vals):
+                        env[instr] = val
+                for instr in instructions[n_phi:]:
+                    stats.charge(instr.opcode, self._cost(instr))
+                    if stats.instructions > self.max_instructions:
+                        raise ExecutionLimitExceeded(
+                            f"exceeded {self.max_instructions} instructions in @{function.name}"
+                        )
+                    op = instr.opcode
+                    if op == "br":
+                        prev, block = block, instr.operands[0]
+                        break
+                    if op == "condbr":
+                        cond = self._value(env, instr.operands[0])
+                        target = instr.operands[1] if cond else instr.operands[2]
+                        prev, block = block, target
+                        break
+                    if op == "ret":
+                        if instr.operands:
+                            return self._value(env, instr.operands[0])
+                        return None
+                    if op == "unreachable":
+                        raise VMTrap(f"reached 'unreachable' in @{function.name}")
+                    env[instr] = self._exec_instr(env, instr, depth)
+        finally:
+            self.memory._brk = stack_mark
+
+    def _exec_instr(self, env: Dict, instr: Instruction, depth: int):
+        op = instr.opcode
+        ops = instr.operands
+        vec = isinstance(instr.type, VectorType)
+
+        if op in INT_BINOPS or op in FLOAT_BINOPS:
+            a = self._value(env, ops[0])
+            b = self._value(env, ops[1])
+            if vec:
+                return eval_vector_binop(op, instr.type.elem, a, b)
+            return eval_scalar_binop(op, instr.type, a, b)
+        if op in UNARY_OPS:
+            a = self._value(env, ops[0])
+            if vec:
+                return eval_vector_unop(op, instr.type.elem, a)
+            return eval_scalar_unop(op, instr.type, a)
+        if op == "icmp":
+            a, b = self._value(env, ops[0]), self._value(env, ops[1])
+            src_t = ops[0].type
+            if isinstance(src_t, VectorType):
+                return eval_vector_icmp(instr.attrs["pred"], src_t.elem, a, b)
+            return eval_scalar_icmp(instr.attrs["pred"], src_t, a, b)
+        if op == "fcmp":
+            a, b = self._value(env, ops[0]), self._value(env, ops[1])
+            if isinstance(ops[0].type, VectorType):
+                return eval_vector_fcmp(instr.attrs["pred"], a, b)
+            return eval_scalar_fcmp(instr.attrs["pred"], a, b)
+        if op in CAST_OPS:
+            v = self._value(env, ops[0])
+            from_t, to_t = ops[0].type, instr.type
+            if isinstance(to_t, VectorType):
+                return eval_vector_cast(op, from_t.elem, to_t.elem, v)
+            return eval_scalar_cast(op, from_t, to_t, v)
+        if op == "select":
+            cond = self._value(env, ops[0])
+            a, b = self._value(env, ops[1]), self._value(env, ops[2])
+            if isinstance(ops[0].type, VectorType) or vec:
+                return np.where(cond, a, b)
+            return a if cond else b
+        if op == "fma":
+            a, b, c = (self._value(env, o) for o in ops)
+            if vec:
+                return a * b + c
+            return round_float(instr.type, round_float(instr.type, a * b) + c)
+
+        # -- memory -------------------------------------------------------------------
+        if op == "load":
+            return self.memory.load_scalar(self._value(env, ops[0]), instr.type)
+        if op == "store":
+            value = self._value(env, ops[0])
+            self.memory.store_scalar(self._value(env, ops[1]), ops[0].type, value)
+            return None
+        if op == "gep":
+            base = self._value(env, ops[0])
+            idx = self._value(env, ops[1])
+            idx = to_signed(idx, ops[1].type.bits)
+            return mask_int(base + idx * instr.type.pointee.size_bytes(), 64)
+        if op == "alloca":
+            size = instr.type.pointee.size_bytes() * instr.attrs.get("count", 1)
+            return self.memory.alloc(max(size, 1))
+        if op == "atomicrmw":
+            addr = self._value(env, ops[0])
+            val = self._value(env, ops[1])
+            old = self.memory.load_scalar(addr, ops[1].type)
+            new = eval_scalar_binop(
+                {"add": "add", "sub": "sub", "and": "and", "or": "or",
+                 "xor": "xor", "umax": "umax", "umin": "umin"}[instr.attrs["op"]],
+                ops[1].type, old, val,
+            )
+            self.memory.store_scalar(addr, ops[1].type, new)
+            return old
+
+        # -- vector -------------------------------------------------------------------
+        if op == "broadcast":
+            scalar = self._value(env, ops[0])
+            return np.full(instr.type.count, scalar, dtype=elem_dtype(instr.type.elem))
+        if op == "extractelement":
+            v = self._value(env, ops[0])
+            idx = self._value(env, ops[1])
+            lane = v[int(idx) % len(v)]
+            return float(lane) if instr.type.is_float else int(lane)
+        if op == "insertelement":
+            v = self._value(env, ops[0]).copy()
+            idx = self._value(env, ops[1])
+            v[int(idx) % len(v)] = self._value(env, ops[2])
+            return v
+        if op == "shuffle":
+            src = self._value(env, ops[0])
+            idx = self._value(env, ops[1]).astype(np.int64) % len(src)
+            return src[idx]
+        if op == "shuffle2":
+            both = np.concatenate(
+                [self._value(env, ops[0]), self._value(env, ops[1])]
+            )
+            idx = self._value(env, ops[2]).astype(np.int64) % len(both)
+            return both[idx]
+        if op == "vload":
+            addr = self._value(env, ops[0])
+            mask = self._value(env, ops[1])
+            return self.memory.load_packed(addr, instr.type.elem, instr.type.count, mask)
+        if op == "vstore":
+            value = self._value(env, ops[0])
+            addr = self._value(env, ops[1])
+            mask = self._value(env, ops[2])
+            self.memory.store_packed(addr, ops[0].type.elem, value, mask)
+            return None
+        if op == "gather":
+            addrs = self._value(env, ops[0])
+            mask = self._value(env, ops[1])
+            return self.memory.gather(addrs, instr.type.elem, mask)
+        if op == "scatter":
+            value = self._value(env, ops[0])
+            addrs = self._value(env, ops[1])
+            mask = self._value(env, ops[2])
+            self.memory.scatter(addrs, ops[0].type.elem, value, mask)
+            return None
+        if op == "sad":
+            a = self._value(env, ops[0]).astype(np.int64)
+            b = self._value(env, ops[1]).astype(np.int64)
+            diffs = np.abs(a - b).reshape(-1, 8).sum(axis=1)
+            return diffs.astype(np.uint64)
+        if op in REDUCE_OPS:
+            return self._reduce(op, instr, self._value(env, ops[0]))
+        if op == "mask_any":
+            return 1 if bool(self._value(env, ops[0]).any()) else 0
+        if op == "mask_all":
+            return 1 if bool(self._value(env, ops[0]).all()) else 0
+        if op == "mask_popcnt":
+            return int(self._value(env, ops[0]).sum())
+
+        # -- calls --------------------------------------------------------------------
+        if op == "call":
+            callee = ops[0]
+            args = [self._value(env, o) for o in ops[1:]]
+            if isinstance(callee, ExternalFunction):
+                cost = callee.cost
+                if callable(cost):
+                    cost = cost(self.machine, [o.type for o in ops[1:]])
+                self.stats.charge(f"ext:{callee.name}", float(cost))
+                return callee.impl(*args)
+            return self._exec_function(callee, args, depth + 1)
+
+        raise NotImplementedError(f"interpreter: opcode {op}")
+
+    def _reduce(self, op: str, instr: Instruction, v: np.ndarray):
+        elem = instr.operands[0].type.elem
+        if op == "reduce_add":
+            if elem.is_float:
+                return round_float(instr.type, float(np.sum(v, dtype=v.dtype)))
+            if elem.bits == 1:
+                return 1 if bool(np.bitwise_xor.reduce(v)) else 0
+            return int(np.add.reduce(v, dtype=v.dtype))
+        if op in ("reduce_min_s", "reduce_max_s"):
+            from .nputil import from_signed, signed_view
+
+            sv = signed_view(v)
+            r = int(sv.min() if op.endswith("min_s") else sv.max())
+            return from_signed(r, elem.bits)
+        if op == "reduce_min_u":
+            r = v.min()
+            return float(r) if elem.is_float else int(r)
+        if op == "reduce_max_u":
+            r = v.max()
+            return float(r) if elem.is_float else int(r)
+        if op == "reduce_and":
+            if elem.bits == 1:
+                return 1 if bool(v.all()) else 0
+            return int(np.bitwise_and.reduce(v))
+        if op == "reduce_or":
+            if elem.bits == 1:
+                return 1 if bool(v.any()) else 0
+            return int(np.bitwise_or.reduce(v))
+        raise NotImplementedError(op)
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _value(self, env: Dict, value: Value):
+        if isinstance(value, (Instruction, Argument)):
+            return env[value]
+        if isinstance(value, Constant):
+            return _constant_payload(value)
+        if isinstance(value, UndefValue):
+            return _undef_payload(value.type)
+        if isinstance(value, (BasicBlock, Function, ExternalFunction)):
+            return value
+        raise TypeError(f"cannot evaluate {value!r}")
+
+    def _cost(self, instr: Instruction) -> float:
+        key = id(instr)
+        cost = self._cost_cache.get(key)
+        if cost is None:
+            cost = self.cost_model.cost(instr, self.machine)
+            self._cost_cache[key] = cost
+        return cost
+
+
+def _constant_payload(const: Constant):
+    type = const.type
+    if isinstance(type, VectorType):
+        return np.array(const.value, dtype=elem_dtype(type.elem))
+    if type.is_float:
+        return round_float(type, const.value)
+    return const.value
+
+
+def _undef_payload(type: Type):
+    if isinstance(type, VectorType):
+        return np.zeros(type.count, dtype=elem_dtype(type.elem))
+    if type.is_float:
+        return 0.0
+    return 0
+
+
+def _coerce_arg(type: Type, value):
+    if isinstance(type, VectorType):
+        return np.asarray(value, dtype=elem_dtype(type.elem))
+    if isinstance(type, FloatType):
+        return round_float(type, float(value))
+    if isinstance(type, (IntType, PointerType)):
+        return mask_int(int(value), getattr(type, "bits", 64))
+    raise TypeError(f"cannot pass argument of type {type}")

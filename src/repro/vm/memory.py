@@ -1,0 +1,161 @@
+"""Flat byte-addressable memory for the VM.
+
+A single ``numpy.uint8`` buffer with a bump allocator stands in for the
+process address space.  Pointers in the IR are plain 64-bit byte addresses
+into this buffer, which is what makes the vectorizer's *address shape*
+decisions (§4.2.2) observable: packed accesses touch consecutive bytes,
+strided/gathered accesses do not.
+
+Address 0 is reserved as NULL; any access to the page ``[0, 16)`` traps.
+Masked vector accesses never touch memory in inactive lanes (so
+out-of-bounds addresses under a false mask bit are fine, as on real
+hardware).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir.types import Type
+from .nputil import elem_dtype
+
+__all__ = ["Memory", "MemoryError_"]
+
+
+class MemoryError_(Exception):
+    """Raised on out-of-bounds or NULL-page access."""
+
+
+_NULL_GUARD = 16
+
+
+class Memory:
+    """Flat memory with a bump allocator."""
+
+    def __init__(self, size: int = 1 << 22):
+        self.data = np.zeros(size, dtype=np.uint8)
+        self._brk = 64  # leave a NULL guard region at the bottom
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    # -- allocation ---------------------------------------------------------------
+
+    def alloc(self, nbytes: int, align: int = 64) -> int:
+        """Allocate ``nbytes`` and return the base address."""
+        addr = (self._brk + align - 1) & ~(align - 1)
+        if addr + nbytes > self.size:
+            raise MemoryError_(
+                f"out of VM memory: want {nbytes} bytes at {addr}, size {self.size}"
+            )
+        self._brk = addr + nbytes
+        return addr
+
+    def alloc_array(self, array: np.ndarray, align: int = 64) -> int:
+        """Allocate and copy a numpy array in; returns its address."""
+        flat = np.ascontiguousarray(array).reshape(-1)
+        raw = flat.view(np.uint8)
+        addr = self.alloc(raw.nbytes, align)
+        self.data[addr : addr + raw.nbytes] = raw
+        return addr
+
+    def read_array(self, addr: int, dtype, count: int) -> np.ndarray:
+        """Copy ``count`` elements of ``dtype`` out of memory."""
+        dtype = np.dtype(dtype)
+        nbytes = dtype.itemsize * count
+        self._check(addr, nbytes)
+        return self.data[addr : addr + nbytes].view(dtype).copy()
+
+    def write_array(self, addr: int, array: np.ndarray) -> None:
+        flat = np.ascontiguousarray(array).reshape(-1)
+        raw = flat.view(np.uint8)
+        self._check(addr, raw.nbytes)
+        self.data[addr : addr + raw.nbytes] = raw
+
+    # -- scalar access ------------------------------------------------------------
+
+    def load_scalar(self, addr: int, type: Type):
+        dtype = elem_dtype(type)
+        self._check(addr, dtype.itemsize)
+        cell = self.data[addr : addr + dtype.itemsize].view(dtype)[0]
+        if type.is_float:
+            return float(cell)
+        return int(cell)
+
+    def store_scalar(self, addr: int, type: Type, value) -> None:
+        dtype = elem_dtype(type)
+        self._check(addr, dtype.itemsize)
+        self.data[addr : addr + dtype.itemsize].view(dtype)[0] = value
+
+    # -- vector access ------------------------------------------------------------
+
+    def load_packed(self, addr: int, type: Type, count: int, mask=None) -> np.ndarray:
+        """Packed load of ``count`` consecutive elements.
+
+        With a mask, inactive lanes read as zero and, when every lane is
+        inactive, the address is never validated (mirrors hardware masked
+        loads never faulting on inactive lanes).
+        """
+        dtype = elem_dtype(type)
+        if mask is None or mask.all():
+            nbytes = dtype.itemsize * count
+            self._check(addr, nbytes)
+            return self.data[addr : addr + nbytes].view(dtype).copy()
+        if not mask.any():
+            return np.zeros(count, dtype=dtype)
+        # Bounds are only required up to the last active lane, as on real
+        # hardware masked loads: a tail gang at the end of an array must not
+        # fault on its inactive lanes.
+        needed = int(np.nonzero(mask)[0][-1]) + 1
+        nbytes = dtype.itemsize * needed
+        self._check(addr, nbytes)
+        out = np.zeros(count, dtype=dtype)
+        out[:needed] = self.data[addr : addr + nbytes].view(dtype)
+        out[~mask] = 0
+        return out
+
+    def store_packed(self, addr: int, type: Type, values: np.ndarray, mask=None) -> None:
+        dtype = elem_dtype(type)
+        if mask is None or mask.all():
+            nbytes = dtype.itemsize * len(values)
+            self._check(addr, nbytes)
+            self.data[addr : addr + nbytes].view(dtype)[:] = values.astype(dtype, copy=False)
+            return
+        if not mask.any():
+            return
+        needed = int(np.nonzero(mask)[0][-1]) + 1
+        nbytes = dtype.itemsize * needed
+        self._check(addr, nbytes)
+        view = self.data[addr : addr + nbytes].view(dtype)
+        view[mask[:needed]] = values.astype(dtype, copy=False)[:needed][mask[:needed]]
+
+    def gather(self, addrs: np.ndarray, type: Type, mask=None) -> np.ndarray:
+        dtype = elem_dtype(type)
+        count = len(addrs)
+        out = np.zeros(count, dtype=dtype)
+        active = range(count) if mask is None else np.nonzero(mask)[0]
+        for lane in active:
+            addr = int(addrs[lane])
+            self._check(addr, dtype.itemsize)
+            out[lane] = self.data[addr : addr + dtype.itemsize].view(dtype)[0]
+        return out
+
+    def scatter(self, addrs: np.ndarray, type: Type, values: np.ndarray, mask=None) -> None:
+        dtype = elem_dtype(type)
+        vals = values.astype(dtype, copy=False)
+        active = range(len(addrs)) if mask is None else np.nonzero(mask)[0]
+        for lane in active:
+            addr = int(addrs[lane])
+            self._check(addr, dtype.itemsize)
+            self.data[addr : addr + dtype.itemsize].view(dtype)[0] = vals[lane]
+
+    # -- internal -----------------------------------------------------------------
+
+    def _check(self, addr: int, nbytes: int) -> None:
+        if addr < _NULL_GUARD:
+            raise MemoryError_(f"NULL-page access at address {addr}")
+        if addr + nbytes > self.size:
+            raise MemoryError_(
+                f"out-of-bounds access: [{addr}, {addr + nbytes}) of {self.size}"
+            )

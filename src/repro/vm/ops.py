@@ -1,0 +1,457 @@
+"""Operational semantics for IR arithmetic, compares, and casts.
+
+Two evaluation paths share these tables: scalar values (Python ints /
+floats) and vector values (numpy arrays).  Integer semantics are two's
+complement with silent wraparound, matching LLVM's sign-less integers;
+signedness comes from the opcode (``sdiv`` vs ``udiv`` etc.).
+
+f32 scalar results are rounded through ``numpy.float32`` so that scalar
+and vectorized executions of the same program produce bit-identical
+results — the property every benchmark's cross-implementation check
+relies on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..ir.types import FloatType, IntType, Type
+from .nputil import (
+    as_unsigned,
+    elem_dtype,
+    from_signed,
+    mask_int,
+    signed_dtype,
+    signed_view,
+    to_signed,
+)
+
+__all__ = [
+    "VMTrap",
+    "eval_scalar_binop",
+    "eval_vector_binop",
+    "eval_scalar_unop",
+    "eval_vector_unop",
+    "eval_scalar_icmp",
+    "eval_vector_icmp",
+    "eval_scalar_fcmp",
+    "eval_vector_fcmp",
+    "eval_scalar_cast",
+    "eval_vector_cast",
+    "round_float",
+]
+
+
+class VMTrap(Exception):
+    """Runtime trap (division by zero, unreachable, ...)."""
+
+
+def round_float(type: Type, value: float) -> float:
+    """Round a scalar float result to the storage precision of ``type``."""
+    if isinstance(type, FloatType) and type.bits == 32:
+        return float(np.float32(value))
+    return float(value)
+
+
+# --------------------------------------------------------------------------------
+# scalar integer binops
+# --------------------------------------------------------------------------------
+
+
+def _sdiv(a: int, b: int) -> int:
+    if b == 0:
+        raise VMTrap("signed division by zero")
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def eval_scalar_binop(opcode: str, type: Type, a, b):
+    if isinstance(type, FloatType):
+        return _scalar_float_binop(opcode, type, a, b)
+    bits = type.bits
+    half = 1 << (bits - 1)
+    top = (1 << bits) - 1
+    sa, sb = to_signed(a, bits), to_signed(b, bits)
+    if opcode == "add":
+        return mask_int(a + b, bits)
+    if opcode == "sub":
+        return mask_int(a - b, bits)
+    if opcode == "mul":
+        return mask_int(a * b, bits)
+    if opcode == "and":
+        return a & b
+    if opcode == "or":
+        return a | b
+    if opcode == "xor":
+        return a ^ b
+    if opcode == "shl":
+        return mask_int(a << (b & (bits - 1)), bits)
+    if opcode == "lshr":
+        return a >> (b & (bits - 1))
+    if opcode == "ashr":
+        return from_signed(sa >> (b & (bits - 1)), bits)
+    if opcode == "sdiv":
+        return from_signed(_sdiv(sa, sb), bits)
+    if opcode == "udiv":
+        if b == 0:
+            raise VMTrap("unsigned division by zero")
+        return a // b
+    if opcode == "srem":
+        if sb == 0:
+            raise VMTrap("signed remainder by zero")
+        return from_signed(sa - _sdiv(sa, sb) * sb, bits)
+    if opcode == "urem":
+        if b == 0:
+            raise VMTrap("unsigned remainder by zero")
+        return a % b
+    if opcode == "smin":
+        return from_signed(min(sa, sb), bits)
+    if opcode == "smax":
+        return from_signed(max(sa, sb), bits)
+    if opcode == "umin":
+        return min(a, b)
+    if opcode == "umax":
+        return max(a, b)
+    if opcode == "addsat_u":
+        return min(a + b, top)
+    if opcode == "subsat_u":
+        return max(a - b, 0)
+    if opcode == "addsat_s":
+        return from_signed(max(-half, min(half - 1, sa + sb)), bits)
+    if opcode == "subsat_s":
+        return from_signed(max(-half, min(half - 1, sa - sb)), bits)
+    if opcode == "mulhi_s":
+        return from_signed((sa * sb) >> bits, bits)
+    if opcode == "mulhi_u":
+        return (a * b) >> bits
+    if opcode == "avg_u":
+        return (a + b + 1) >> 1
+    if opcode == "abd_u":
+        return max(a, b) - min(a, b)
+    raise NotImplementedError(f"scalar int binop {opcode}")
+
+
+def _scalar_float_binop(opcode: str, type: Type, a: float, b: float) -> float:
+    if opcode == "fadd":
+        r = a + b
+    elif opcode == "fsub":
+        r = a - b
+    elif opcode == "fmul":
+        r = a * b
+    elif opcode == "fdiv":
+        r = a / b if b != 0.0 else math.copysign(math.inf, a) * math.copysign(1.0, b) if a != 0.0 else math.nan
+    elif opcode == "frem":
+        r = math.fmod(a, b) if b != 0.0 else math.nan
+    elif opcode == "fmin":
+        r = min(a, b)
+    elif opcode == "fmax":
+        r = max(a, b)
+    else:
+        raise NotImplementedError(f"scalar float binop {opcode}")
+    return round_float(type, r)
+
+
+# --------------------------------------------------------------------------------
+# vector binops
+# --------------------------------------------------------------------------------
+
+_WIDER = {np.uint8: np.uint16, np.uint16: np.uint32, np.uint32: np.uint64}
+_WIDER_S = {np.uint8: np.int16, np.uint16: np.int32, np.uint32: np.int64}
+
+
+def _widen_u(a: np.ndarray):
+    wider = _WIDER.get(a.dtype.type)
+    if wider is None:
+        raise NotImplementedError(f"no wider dtype for {a.dtype}")
+    return a.astype(wider)
+
+
+def eval_vector_binop(opcode: str, elem: Type, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if isinstance(elem, FloatType):
+        return _vector_float_binop(opcode, a, b)
+    if elem.bits == 1:
+        return _vector_bool_binop(opcode, a, b)
+    bits = elem.bits
+    dtype = elem_dtype(elem)
+    sa, sb = signed_view(a), signed_view(b)
+    if opcode == "add":
+        return a + b
+    if opcode == "sub":
+        return a - b
+    if opcode == "mul":
+        return a * b
+    if opcode == "and":
+        return a & b
+    if opcode == "or":
+        return a | b
+    if opcode == "xor":
+        return a ^ b
+    if opcode == "shl":
+        return a << (b & np.uint64(bits - 1)).astype(dtype)
+    if opcode == "lshr":
+        return a >> (b & np.uint64(bits - 1)).astype(dtype)
+    if opcode == "ashr":
+        amount = signed_view((b & np.uint64(bits - 1)).astype(dtype))
+        return as_unsigned(sa >> amount)
+    if opcode == "udiv":
+        if (b == 0).any():
+            raise VMTrap("vector unsigned division by zero")
+        return a // b
+    if opcode == "urem":
+        if (b == 0).any():
+            raise VMTrap("vector unsigned remainder by zero")
+        return a % b
+    if opcode == "sdiv":
+        if (sb == 0).any():
+            raise VMTrap("vector signed division by zero")
+        q = np.abs(sa.astype(np.int64)) // np.abs(sb.astype(np.int64))
+        q = np.where((sa < 0) != (sb < 0), -q, q)
+        return q.astype(signed_dtype(elem)).view(dtype)
+    if opcode == "srem":
+        q = eval_vector_binop("sdiv", elem, a, b)
+        return a - eval_vector_binop("mul", elem, q, b)
+    if opcode == "smin":
+        return as_unsigned(np.minimum(sa, sb))
+    if opcode == "smax":
+        return as_unsigned(np.maximum(sa, sb))
+    if opcode == "umin":
+        return np.minimum(a, b)
+    if opcode == "umax":
+        return np.maximum(a, b)
+    if opcode == "addsat_u":
+        # Width-generic: unsigned overflow iff the wrapped sum is smaller.
+        wrapped = a + b
+        return np.where(wrapped < a, np.array((1 << bits) - 1, dtype=dtype), wrapped)
+    if opcode == "subsat_u":
+        return np.where(a < b, np.array(0, dtype=dtype), a - b)
+    if opcode == "addsat_s":
+        wrapped = signed_view(a + b)
+        pos_ovf = (sa > 0) & (sb > 0) & (wrapped < 0)
+        neg_ovf = (sa < 0) & (sb < 0) & (wrapped >= 0)
+        smax_c = np.array((1 << (bits - 1)) - 1, dtype=wrapped.dtype)
+        smin_c = np.array(-(1 << (bits - 1)), dtype=wrapped.dtype)
+        return as_unsigned(np.where(pos_ovf, smax_c, np.where(neg_ovf, smin_c, wrapped)))
+    if opcode == "subsat_s":
+        wrapped = signed_view(a - b)
+        pos_ovf = (sa >= 0) & (sb < 0) & (wrapped < 0)
+        neg_ovf = (sa < 0) & (sb > 0) & (wrapped >= 0)
+        smax_c = np.array((1 << (bits - 1)) - 1, dtype=wrapped.dtype)
+        smin_c = np.array(-(1 << (bits - 1)), dtype=wrapped.dtype)
+        return as_unsigned(np.where(pos_ovf, smax_c, np.where(neg_ovf, smin_c, wrapped)))
+    if opcode == "mulhi_s":
+        if bits < 64:
+            wide = sa.astype(np.int64) * sb.astype(np.int64)
+            return ((wide >> bits) & ((1 << bits) - 1)).astype(dtype)
+        vals = [((to_signed(int(x), 64) * to_signed(int(y), 64)) >> 64) & ((1 << 64) - 1)
+                for x, y in zip(a, b)]
+        return np.array(vals, dtype=dtype)
+    if opcode == "mulhi_u":
+        if bits < 64:
+            wide = a.astype(np.uint64) * b.astype(np.uint64)
+            return (wide >> np.uint64(bits)).astype(dtype)
+        vals = [(int(x) * int(y)) >> 64 for x, y in zip(a, b)]
+        return np.array(vals, dtype=dtype)
+    if opcode == "avg_u":
+        # (a >> 1) + (b >> 1) + ((a | b) & 1): rounding average, no widening.
+        one = np.array(1, dtype=dtype)
+        return (a >> one) + (b >> one) + ((a | b) & one)
+    if opcode == "abd_u":
+        return np.maximum(a, b) - np.minimum(a, b)
+    raise NotImplementedError(f"vector int binop {opcode}")
+
+
+def _vector_bool_binop(opcode: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if opcode in ("and", "umin", "mul", "smax"):
+        return a & b
+    if opcode in ("or", "umax"):
+        return a | b
+    if opcode in ("xor", "add", "sub"):
+        return a ^ b
+    raise NotImplementedError(f"i1 vector binop {opcode}")
+
+
+def _vector_float_binop(opcode: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    # Inactive lanes legitimately hold garbage in linearized SPMD code, so
+    # overflow/invalid warnings from them are expected and suppressed.
+    if opcode == "fadd":
+        with np.errstate(all="ignore"):
+            return a + b
+    if opcode == "fsub":
+        with np.errstate(all="ignore"):
+            return a - b
+    if opcode == "fmul":
+        with np.errstate(all="ignore"):
+            return a * b
+    if opcode == "fdiv":
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return a / b
+    if opcode == "frem":
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.fmod(a, b)
+    if opcode == "fmin":
+        return np.minimum(a, b)
+    if opcode == "fmax":
+        return np.maximum(a, b)
+    raise NotImplementedError(f"vector float binop {opcode}")
+
+
+# --------------------------------------------------------------------------------
+# unary ops
+# --------------------------------------------------------------------------------
+
+
+def eval_scalar_unop(opcode: str, type: Type, a):
+    if opcode == "fneg":
+        return round_float(type, -a)
+    if opcode == "fabs":
+        return round_float(type, abs(a))
+    if opcode == "fsqrt":
+        return round_float(type, math.sqrt(a) if a >= 0 else math.nan)
+    if opcode == "iabs":
+        sa = to_signed(a, type.bits)
+        return from_signed(abs(sa), type.bits)
+    if opcode == "not":
+        return mask_int(~a, type.bits)
+    raise NotImplementedError(f"scalar unop {opcode}")
+
+
+def eval_vector_unop(opcode: str, elem: Type, a: np.ndarray) -> np.ndarray:
+    if opcode == "fneg":
+        return -a
+    if opcode == "fabs":
+        return np.abs(a)
+    if opcode == "fsqrt":
+        with np.errstate(invalid="ignore"):
+            return np.sqrt(a)
+    if opcode == "iabs":
+        return as_unsigned(np.abs(signed_view(a)))
+    if opcode == "not":
+        if elem.bits == 1:
+            return ~a
+        return ~a
+    raise NotImplementedError(f"vector unop {opcode}")
+
+
+# --------------------------------------------------------------------------------
+# compares
+# --------------------------------------------------------------------------------
+
+
+def eval_scalar_icmp(pred: str, type: Type, a: int, b: int) -> int:
+    bits = getattr(type, "bits", 64)
+    sa, sb = to_signed(a, bits), to_signed(b, bits)
+    table = {
+        "eq": a == b,
+        "ne": a != b,
+        "ult": a < b,
+        "ule": a <= b,
+        "ugt": a > b,
+        "uge": a >= b,
+        "slt": sa < sb,
+        "sle": sa <= sb,
+        "sgt": sa > sb,
+        "sge": sa >= sb,
+    }
+    return 1 if table[pred] else 0
+
+
+def eval_vector_icmp(pred: str, elem: Type, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if pred in ("slt", "sle", "sgt", "sge"):
+        a, b = signed_view(a), signed_view(b)
+    op = {
+        "eq": np.equal, "ne": np.not_equal,
+        "ult": np.less, "ule": np.less_equal, "ugt": np.greater, "uge": np.greater_equal,
+        "slt": np.less, "sle": np.less_equal, "sgt": np.greater, "sge": np.greater_equal,
+    }[pred]
+    return op(a, b)
+
+
+def eval_scalar_fcmp(pred: str, a: float, b: float) -> int:
+    if math.isnan(a) or math.isnan(b):
+        return 0
+    table = {
+        "oeq": a == b, "one": a != b,
+        "olt": a < b, "ole": a <= b, "ogt": a > b, "oge": a >= b,
+    }
+    return 1 if table[pred] else 0
+
+
+def eval_vector_fcmp(pred: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    ordered = ~(np.isnan(a) | np.isnan(b))
+    op = {
+        "oeq": np.equal, "one": np.not_equal,
+        "olt": np.less, "ole": np.less_equal, "ogt": np.greater, "oge": np.greater_equal,
+    }[pred]
+    with np.errstate(invalid="ignore"):
+        return op(a, b) & ordered
+
+
+# --------------------------------------------------------------------------------
+# casts
+# --------------------------------------------------------------------------------
+
+
+def eval_scalar_cast(opcode: str, from_t: Type, to_t: Type, v):
+    if opcode in ("bitcast", "ptrtoint", "inttoptr"):
+        if from_t.is_float or to_t.is_float:
+            src = elem_dtype(from_t)
+            dst = elem_dtype(to_t)
+            return _bit_reinterpret_scalar(v, src, dst, to_t)
+        return mask_int(int(v), getattr(to_t, "bits", 64))
+    if opcode == "trunc":
+        return mask_int(v, to_t.bits)
+    if opcode == "zext":
+        return v
+    if opcode == "sext":
+        return from_signed(to_signed(v, from_t.bits), to_t.bits)
+    if opcode in ("fptrunc", "fpext"):
+        return round_float(to_t, v)
+    if opcode == "fptosi":
+        return from_signed(int(v), to_t.bits)
+    if opcode == "fptoui":
+        return mask_int(int(v), to_t.bits)
+    if opcode == "sitofp":
+        return round_float(to_t, float(to_signed(v, from_t.bits)))
+    if opcode == "uitofp":
+        return round_float(to_t, float(v))
+    raise NotImplementedError(f"scalar cast {opcode}")
+
+
+def _bit_reinterpret_scalar(v, src_dtype, dst_dtype, to_t: Type):
+    arr = np.array([v], dtype=src_dtype).view(dst_dtype)
+    return float(arr[0]) if to_t.is_float else int(arr[0])
+
+
+def eval_vector_cast(opcode: str, from_elem: Type, to_elem: Type, v: np.ndarray) -> np.ndarray:
+    dst = elem_dtype(to_elem)
+    if opcode == "bitcast":
+        return v.view(dst) if v.dtype.itemsize == dst.itemsize else v.astype(dst)
+    if opcode in ("ptrtoint", "inttoptr"):
+        return v.astype(dst)
+    if opcode == "trunc":
+        return v.astype(dst)
+    if opcode == "zext":
+        if from_elem.bits == 1:
+            return v.astype(dst)
+        return v.astype(dst)
+    if opcode == "sext":
+        if from_elem.bits == 1:
+            return as_unsigned(np.where(v, -1, 0).astype(signed_dtype(to_elem)))
+        return as_unsigned(signed_view(v).astype(signed_dtype(to_elem)))
+    if opcode in ("fptrunc", "fpext"):
+        return v.astype(dst)
+    if opcode == "fptosi":
+        with np.errstate(invalid="ignore"):
+            return np.trunc(v).astype(np.int64).astype(signed_dtype(to_elem)).view(dst)
+    if opcode == "fptoui":
+        with np.errstate(invalid="ignore"):
+            return (np.trunc(v).astype(np.int64) & ((1 << to_elem.bits) - 1)).astype(dst)
+    if opcode == "sitofp":
+        return signed_view(v).astype(dst)
+    if opcode == "uitofp":
+        if v.dtype == np.bool_:
+            return v.astype(dst)
+        return v.astype(dst)
+    raise NotImplementedError(f"vector cast {opcode}")

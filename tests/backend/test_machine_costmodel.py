@@ -1,0 +1,69 @@
+"""Unit tests for the machine model and cycle cost model."""
+
+import pytest
+
+from repro.backend import AVX2, AVX512, SSE4, CostModel, Machine
+from repro.ir import (
+    I1,
+    I8,
+    I32,
+    Constant,
+    Function,
+    FunctionType,
+    IRBuilder,
+    PointerType,
+    VectorType,
+)
+
+
+def test_legalization_factors():
+    assert AVX512.legalize_factor(VectorType(I32, 16)) == 1  # 512b exactly
+    assert AVX512.legalize_factor(VectorType(I32, 64)) == 4  # 2048b -> 4 ops
+    assert AVX512.legalize_factor(VectorType(I8, 64)) == 1  # 512b of bytes
+    assert AVX2.legalize_factor(VectorType(I32, 16)) == 2
+    assert SSE4.legalize_factor(VectorType(I32, 16)) == 4
+    # masks live in predicate registers
+    assert AVX512.legalize_factor(VectorType(I1, 64)) == 1
+
+
+def test_native_lane_counts():
+    assert AVX512.lanes(8) == 64
+    assert AVX512.lanes(32) == 16
+    assert SSE4.lanes(32) == 4
+
+
+def test_gather_costs_order_of_magnitude_more_than_packed():
+    """The §4.2.2 claim the memory selection logic exists for."""
+    f = Function("t", FunctionType(I32, (PointerType(I32),)), ["p"])
+    b = IRBuilder(f, f.add_block("entry"))
+    mask = b.all_ones_mask(16)
+    packed = b.vload(f.args[0], 16, mask)
+    base = b.broadcast(b.ptrtoint(f.args[0]), 16)
+    ptrs = b.inttoptr(base, VectorType(PointerType(I32), 16))
+    gathered = b.gather(ptrs, mask)
+    model = CostModel()
+    assert model.cost(gathered, AVX512) >= 8 * model.cost(packed, AVX512)
+
+
+def test_wide_vector_ops_pay_legalization():
+    f = Function("t", FunctionType(I32, ()), [])
+    b = IRBuilder(f, f.add_block("entry"))
+    narrow = b.add(b.splat_const(I32, 1, 16), b.splat_const(I32, 2, 16))
+    wide = b.add(b.splat_const(I32, 1, 64), b.splat_const(I32, 2, 64))
+    model = CostModel()
+    assert model.cost(wide, AVX512) == 4 * model.cost(narrow, AVX512)
+
+
+def test_division_is_expensive():
+    f = Function("t", FunctionType(I32, (I32, I32)), ["a", "b"])
+    b = IRBuilder(f, f.add_block("entry"))
+    add = b.add(f.args[0], f.args[1])
+    div = b.udiv(f.args[0], f.args[1])
+    model = CostModel()
+    assert model.cost(div, AVX512) >= 10 * model.cost(add, AVX512)
+
+
+def test_custom_machine_widths():
+    m = Machine(name="sve1024", vector_bits=1024)
+    assert m.lanes(8) == 128
+    assert m.legalize_factor(VectorType(I8, 64)) == 1

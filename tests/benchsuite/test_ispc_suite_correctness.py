@@ -1,0 +1,12 @@
+"""Cross-implementation correctness for the 7 ispc-suite benchmarks:
+serial-scalar, auto-vectorized, Parsimony, and ispc-mode must agree."""
+
+import pytest
+
+from repro.benchsuite import check_kernel
+from repro.benchsuite.ispc_suite import BENCHMARKS
+
+
+@pytest.mark.parametrize("spec", BENCHMARKS, ids=lambda s: s.name)
+def test_ispc_benchmark_all_impls_agree(spec):
+    check_kernel(spec, impls=("scalar", "autovec", "parsimony", "ispc"))

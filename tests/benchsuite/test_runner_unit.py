@@ -1,0 +1,74 @@
+"""Unit tests for the benchmark runner and measurement plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.benchsuite import (
+    IMPLEMENTATIONS,
+    build_impl,
+    check_kernel,
+    geomean,
+    measure_kernel,
+    run_impl,
+)
+from repro.benchsuite.simdlib import BY_NAME, KERNELS
+
+
+def test_geomean_basics():
+    assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geomean([5.0]) == pytest.approx(5.0)
+    assert geomean([]) == 0.0
+    assert geomean([0.0, 4.0]) == pytest.approx(4.0)  # non-positive dropped
+
+
+def test_registry_has_72_unique_kernels():
+    assert len(KERNELS) == 72
+    assert len(BY_NAME) == 72
+    groups = {spec.group for spec in KERNELS}
+    assert {"copyfill", "arith", "blend", "convert", "filter",
+            "background", "stat", "misc"} <= groups
+    # every kernel documents itself and defines all four implementations
+    for spec in KERNELS:
+        assert spec.doc
+        assert spec.hand_build is not None
+
+
+def test_build_impl_produces_distinct_modules():
+    spec = BY_NAME["Copy"]
+    modules = {impl: build_impl(spec, impl) for impl in IMPLEMENTATIONS}
+    assert len({id(m) for m in modules.values()}) == 4
+    for module in modules.values():
+        assert "kernel" in module.functions
+
+
+def test_build_impl_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown implementation"):
+        build_impl(BY_NAME["Copy"], "gcc")
+
+
+def test_run_impl_is_deterministic():
+    spec = BY_NAME["AbsDifference"]
+    first = run_impl(spec, "parsimony")
+    second = run_impl(spec, "parsimony")
+    assert first.cycles == second.cycles
+    np.testing.assert_array_equal(first.outputs[0], second.outputs[0])
+
+
+def test_measure_kernel_reports_all_impls():
+    speedups = measure_kernel(BY_NAME["Fill"])
+    assert set(speedups) == set(IMPLEMENTATIONS)
+    assert speedups["scalar"] == pytest.approx(1.0)
+    assert speedups["parsimony"] > 1.0
+
+
+def test_check_kernel_catches_divergence():
+    """Corrupt one implementation's source; the gate must fire."""
+    import dataclasses
+
+    spec = BY_NAME["Fill"]
+    broken = dataclasses.replace(
+        spec, psim_src=spec.psim_src.replace("dst[i] = value;",
+                                             "dst[i] = value + 1;")
+    )
+    with pytest.raises(AssertionError, match="differs"):
+        check_kernel(broken, impls=("scalar", "parsimony"))

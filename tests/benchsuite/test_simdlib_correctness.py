@@ -1,0 +1,17 @@
+"""Cross-implementation correctness for every Simd Library kernel.
+
+For each of the suite's kernels, all four implementations (scalar,
+auto-vectorized, Parsimony, hand-written) must produce identical outputs
+on the seeded workload — and match the independent numpy reference where
+one is defined.  This is the suite's master integration test.
+"""
+
+import pytest
+
+from repro.benchsuite import check_kernel
+from repro.benchsuite.simdlib import KERNELS
+
+
+@pytest.mark.parametrize("spec", KERNELS, ids=lambda s: s.name)
+def test_kernel_all_impls_agree(spec):
+    check_kernel(spec)

@@ -1,0 +1,179 @@
+"""Tests for SPMD region outlining (paper §4.1, Listing 6)."""
+
+import pytest
+
+from repro.frontend import SemaError, compile_source
+from repro.ir import print_function
+
+
+SRC = """
+void scale(f32* a, f32* b, u64 n, f32 k) {
+    psim (gang_size=16, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        b[i] = a[i] * k;
+    }
+}
+"""
+
+
+def test_outlined_functions_created():
+    module = compile_source(SRC)
+    names = set(module.functions)
+    assert names == {"scale", "scale.psim0", "scale.psim0.tail"}
+
+
+def test_spmd_annotations():
+    module = compile_source(SRC)
+    full = module.functions["scale.psim0"]
+    tail = module.functions["scale.psim0.tail"]
+    assert full.spmd is not None and not full.spmd.partial
+    assert tail.spmd is not None and tail.spmd.partial
+    assert full.spmd.gang_size == 16
+    # captured (in first-reference order): b, a, k — n is only used as the
+    # thread count, outside the body, so it is not captured
+    assert [a.name for a in full.args] == ["b", "a", "k", "__gang_base", "__num_threads"]
+
+
+def test_partial_variant_has_thread_guard():
+    module = compile_source(SRC)
+    tail = print_function(module.functions["scale.psim0.tail"])
+    assert "icmp ult" in tail and "in_range" in tail
+    full = print_function(module.functions["scale.psim0"])
+    assert "in_range" not in full
+
+
+def test_gang_loop_dispatches_full_and_partial():
+    module = compile_source(SRC)
+    text = print_function(module.functions["scale"])
+    assert "call void @scale.psim0(" in text
+    assert "call void @scale.psim0.tail(" in text
+    # Listing 6 specialization: full gangs run in a tight loop over
+    # n & ~(G-1); the partial gang is a single guarded call.
+    assert "n_full" in text and "has_tail" in text
+
+
+def test_static_exact_multiple_skips_tail():
+    src = """
+    void f(f32* a) {
+        psim (gang_size=8, num_threads=64) {
+            u64 i = psim_get_thread_num();
+            a[i] = 1.0f;
+        }
+    }
+    """
+    module = compile_source(src)
+    text = print_function(module.functions["f"])
+    assert "call void @f.psim0(" in text
+    assert "@f.psim0.tail(" not in text  # statically exact: no tail dispatch
+
+
+def test_num_gangs_spelling():
+    src = """
+    void f(f32* a, u64 g) {
+        psim (gang_size=4, num_gangs=g) {
+            u64 i = psim_get_thread_num();
+            a[i] = 0.0f;
+        }
+    }
+    """
+    module = compile_source(src)
+    text = print_function(module.functions["f"])
+    assert "mul" in text  # n_threads = g * 4
+
+
+def test_gang_size_must_be_constant():
+    src = """
+    void f(f32* a, u64 g) {
+        psim (gang_size=g, num_threads=64) { a[0] = 0.0f; }
+    }
+    """
+    with pytest.raises(SemaError, match="compile-time constant"):
+        compile_source(src)
+
+
+def test_gang_size_must_be_power_of_two():
+    src = """
+    void f(f32* a) {
+        psim (gang_size=12, num_threads=64) { a[0] = 0.0f; }
+    }
+    """
+    with pytest.raises(SemaError, match="power of two"):
+        compile_source(src)
+
+
+def test_no_nested_psim():
+    src = """
+    void f(f32* a) {
+        psim (gang_size=4, num_threads=16) {
+            psim (gang_size=4, num_threads=16) { a[0] = 0.0f; }
+        }
+    }
+    """
+    with pytest.raises(SemaError, match="nest"):
+        compile_source(src)
+
+
+def test_no_return_inside_psim():
+    src = """
+    void f(f32* a) {
+        psim (gang_size=4, num_threads=16) { return; }
+    }
+    """
+    with pytest.raises(SemaError, match="return"):
+        compile_source(src)
+
+
+def test_cannot_assign_to_captured_scalar():
+    src = """
+    void f(f32* a, f32 k) {
+        psim (gang_size=4, num_threads=16) { k = 1.0f; }
+    }
+    """
+    with pytest.raises(SemaError, match="captured"):
+        compile_source(src)
+
+
+def test_psim_intrinsics_only_inside_region():
+    with pytest.raises(SemaError, match="psim region"):
+        compile_source("u64 f() { return psim_get_lane_num(); }")
+
+
+def test_intrinsic_lowering_shapes():
+    src = """
+    void f(u32* a, u64 n) {
+        psim (gang_size=8, num_threads=n) {
+            u64 lane = psim_get_lane_num();
+            u64 tid = psim_get_thread_num();
+            u64 gang = psim_get_gang_num();
+            u64 total = psim_get_num_threads();
+            bool head = psim_is_head_gang();
+            bool tail = psim_is_tail_gang();
+            a[tid] = (u32)(lane + gang + total) + (u32)head + (u32)tail;
+        }
+    }
+    """
+    module = compile_source(src)
+    text = print_function(module.functions["f.psim0"])
+    assert "call i64 @psim.lane_num()" in text
+    assert "lshr" in text  # gang_num = base >> log2(G)
+
+
+def test_horizontal_ops_lower_to_psim_externals():
+    src = """
+    void f(f32* a, u64 n) {
+        psim (gang_size=8, num_threads=n) {
+            u64 i = psim_get_thread_num();
+            f32 v = a[i];
+            psim_gang_sync();
+            f32 s = psim_shuffle_sync(v, psim_get_lane_num() + 1);
+            f32 r = psim_reduce_add_sync(s);
+            bool any = psim_any_sync(v > 0.0f);
+            a[i] = r + (f32)any;
+        }
+    }
+    """
+    module = compile_source(src)
+    assert "psim.gang_sync" in module.externals
+    assert "psim.shuffle.f32" in module.externals
+    assert "psim.reduce_add.f32" in module.externals
+    assert "psim.any" in module.externals

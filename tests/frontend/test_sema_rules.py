@@ -1,0 +1,130 @@
+"""Unit tests for PsimC semantic analysis: C conversions and diagnostics."""
+
+import pytest
+
+from repro.frontend import SemaError, compile_source, parse_program, analyze
+from repro.frontend.ctypes import SCALAR_TYPES
+from repro.frontend.sema import integer_promote, usual_arithmetic_conversion
+
+I8T, U8T = SCALAR_TYPES["i8"], SCALAR_TYPES["u8"]
+I16T, U16T = SCALAR_TYPES["i16"], SCALAR_TYPES["u16"]
+I32T, U32T = SCALAR_TYPES["i32"], SCALAR_TYPES["u32"]
+I64T, U64T = SCALAR_TYPES["i64"], SCALAR_TYPES["u64"]
+F32T, F64T = SCALAR_TYPES["f32"], SCALAR_TYPES["f64"]
+BOOL = SCALAR_TYPES["bool"]
+
+
+def test_integer_promotion():
+    assert integer_promote(U8T) == I32T
+    assert integer_promote(I16T) == I32T
+    assert integer_promote(BOOL) == I32T
+    assert integer_promote(U32T) == U32T
+    assert integer_promote(I64T) == I64T
+
+
+@pytest.mark.parametrize(
+    "a, b, expected",
+    [
+        (U8T, U8T, I32T),       # both promote
+        (I32T, U32T, U32T),     # same width: unsigned wins
+        (I32T, I64T, I64T),     # wider wins
+        (U32T, I64T, I64T),     # unsigned narrow fits signed wide
+        (I64T, U64T, U64T),
+        (I32T, F32T, F32T),     # float wins
+        (F32T, F64T, F64T),
+        (U64T, F64T, F64T),
+    ],
+)
+def test_usual_arithmetic_conversions(a, b, expected):
+    assert usual_arithmetic_conversion(a, b) == expected
+    assert usual_arithmetic_conversion(b, a) == expected
+
+
+def test_signed_division_operator_selection():
+    module = compile_source("""
+    i32 sd(i32 a, i32 b) { return a / b; }
+    u32 ud(u32 a, u32 b) { return a / b; }
+    i32 sr(i32 a, i32 b) { return a >> b; }
+    u32 ur(u32 a, u32 b) { return a >> b; }
+    """)
+    from repro.ir import print_function
+
+    assert "sdiv" in print_function(module.functions["sd"])
+    assert "udiv" in print_function(module.functions["ud"])
+    assert "ashr" in print_function(module.functions["sr"])
+    assert "lshr" in print_function(module.functions["ur"])
+
+
+def test_condition_coercion_to_bool():
+    # ints and pointers are usable as conditions (implicit != 0)
+    compile_source("""
+    i32 f(i32 x, i32* p) {
+        if (x) { return 1; }
+        if (p) { return 2; }
+        return 0;
+    }
+    """)
+
+
+def test_pointer_arithmetic_rules():
+    compile_source("void f(f32* p, i32 i) { f32* q = p + i; *q = 0.0f; }")
+    with pytest.raises(SemaError, match="pointer"):
+        compile_source("void f(f32* p, f32* q) { f32* r = p + q; }")
+
+
+def test_incompatible_pointer_comparison_rejected():
+    with pytest.raises(SemaError, match="incompatible"):
+        compile_source("bool f(f32* p, u8* q) { return p == q; }")
+
+
+def test_float_modulo_rejected():
+    with pytest.raises(SemaError, match="integer operands"):
+        compile_source("f32 f(f32 a, f32 b) { return a % b; }")
+
+
+def test_array_is_not_assignable():
+    with pytest.raises(SemaError, match="array"):
+        compile_source("void f(f32* p) { f32 t[4]; t = p; }")
+
+
+def test_duplicate_declarations_rejected():
+    with pytest.raises(SemaError, match="redeclaration"):
+        compile_source("void f() { i32 x = 0; i32 x = 1; }")
+    with pytest.raises(SemaError, match="duplicate function"):
+        compile_source("void f() { } void f() { }")
+
+
+def test_call_arity_and_types_checked():
+    with pytest.raises(SemaError, match="expects 2 arguments"):
+        compile_source("""
+        i32 g(i32 a, i32 b) { return a; }
+        i32 f() { return g(1); }
+        """)
+    with pytest.raises(SemaError, match="implicitly convert"):
+        compile_source("""
+        i32 g(i32* p) { return 0; }
+        i32 f(i32 x) { return g(x); }
+        """)
+
+
+def test_capture_by_value_semantics():
+    """Captured scalars are snapshots: region writes through pointers only."""
+    import numpy as np
+
+    from repro.driver import compile_parsimony
+    from repro.vm import Interpreter
+
+    module = compile_parsimony("""
+    void f(u32* out, u64 n) {
+        u32 k = 7;
+        psim (gang_size=8, num_threads=n) {
+            u64 i = psim_get_thread_num();
+            out[i] = k;
+        }
+        k = 9;  // after the region: must not affect the captured snapshot
+    }
+    """)
+    interp = Interpreter(module)
+    out = interp.memory.alloc_array(np.zeros(8, np.uint32))
+    interp.run("f", out, 8)
+    assert interp.memory.read_array(out, np.uint32, 8).tolist() == [7] * 8

@@ -1,0 +1,135 @@
+"""Unit tests for IR construction, printing, and verification."""
+
+import pytest
+
+from repro.ir import (
+    F32,
+    I1,
+    I32,
+    I64,
+    VOID,
+    Constant,
+    Function,
+    FunctionType,
+    IRBuilder,
+    Module,
+    PointerType,
+    VectorType,
+    VerificationError,
+    print_function,
+    verify_function,
+)
+
+
+def make_add_function():
+    f = Function("add2", FunctionType(I32, (I32, I32)), ["a", "b"])
+    entry = f.add_block("entry")
+    b = IRBuilder(f, entry)
+    s = b.add(f.args[0], f.args[1], "sum")
+    b.ret(s)
+    return f, s
+
+
+def test_simple_function_verifies():
+    f, _ = make_add_function()
+    verify_function(f)
+    text = print_function(f)
+    assert "@add2" in text
+    assert "add i32 %a, i32 %b" in text
+
+
+def test_operand_use_lists():
+    f, s = make_add_function()
+    assert (s, 0) in f.args[0].uses
+    assert (s, 1) in f.args[1].uses
+
+
+def test_replace_all_uses_with():
+    f, s = make_add_function()
+    c = Constant(I32, 7)
+    f.args[0].replace_all_uses_with(c)
+    assert s.operands[0] is c
+    assert not f.args[0].uses
+    verify_function(f)
+
+
+def test_missing_terminator_fails_verify():
+    f = Function("bad", FunctionType(VOID, ()))
+    f.add_block("entry")
+    with pytest.raises(VerificationError, match="terminator"):
+        verify_function(f)
+
+
+def test_type_mismatch_rejected_by_builder():
+    f = Function("bad", FunctionType(I32, (I32, I64)), ["a", "b"])
+    b = IRBuilder(f, f.add_block("entry"))
+    with pytest.raises(TypeError):
+        b.add(f.args[0], f.args[1])
+
+
+def test_use_before_def_fails_verify():
+    f = Function("bad", FunctionType(I32, (I32,)), ["a"])
+    entry = f.add_block("entry")
+    other = f.add_block("other")
+    b = IRBuilder(f, other)
+    x = b.add(f.args[0], f.args[0], "x")
+    b.ret(x)
+    b.position_at_end(entry)
+    y = b.add(x, x, "y")  # uses x, which is defined in a non-dominating block
+    b.condbr(b.icmp("eq", y, y), other, other)
+    with pytest.raises(VerificationError, match="dominate"):
+        verify_function(f)
+
+
+def test_phi_incoming_must_match_preds():
+    f = Function("bad", FunctionType(I32, (I32,)), ["a"])
+    entry = f.add_block("entry")
+    exit_ = f.add_block("exit")
+    b = IRBuilder(f, entry)
+    b.br(exit_)
+    b.position_at_end(exit_)
+    phi = b.phi(I32, "p")
+    # no incoming edges registered
+    b.ret(phi)
+    with pytest.raises(VerificationError, match="phi"):
+        verify_function(f)
+
+
+def test_vector_types_and_masks():
+    v16 = VectorType(I32, 16)
+    f = Function("vec", FunctionType(VOID, (PointerType(I32),)), ["p"])
+    b = IRBuilder(f, f.add_block("entry"))
+    mask = b.all_ones_mask(16)
+    x = b.vload(f.args[0], 16, mask, "x")
+    y = b.add(x, x)
+    assert y.type == v16
+    b.vstore(y, f.args[0], mask)
+    b.ret()
+    verify_function(f)
+
+
+def test_bad_mask_width_rejected():
+    f = Function("vec", FunctionType(VOID, (PointerType(I32),)), ["p"])
+    b = IRBuilder(f, f.add_block("entry"))
+    with pytest.raises(TypeError, match="mask"):
+        b.vload(f.args[0], 16, b.all_ones_mask(8))
+
+
+def test_icmp_produces_i1():
+    f, _ = make_add_function()
+    b = IRBuilder(f, f.blocks[0])
+    b.position_before(f.blocks[0].instructions[-1])
+    c = b.icmp("slt", f.args[0], f.args[1])
+    assert c.type == I1
+
+
+def test_sad_types():
+    from repro.ir import I8
+
+    f = Function("s", FunctionType(VOID, ()), [])
+    b = IRBuilder(f, f.add_block("entry"))
+    a = b.splat_const(I8, 3, 64)
+    r = b.sad(a, a)
+    assert r.type == VectorType(I64, 8)
+    b.ret()
+    verify_function(f)

@@ -1,0 +1,127 @@
+"""Unit tests for CFG analyses: RPO, dominators, frontiers, loops."""
+
+from repro.ir import (
+    I1,
+    I32,
+    Constant,
+    DominatorTree,
+    Function,
+    FunctionType,
+    IRBuilder,
+    dominance_frontiers,
+    find_loops,
+    reverse_postorder,
+)
+
+
+def diamond():
+    """entry -> {then, else} -> join -> exit"""
+    f = Function("d", FunctionType(I32, (I1,)), ["c"])
+    entry = f.add_block("entry")
+    then = f.add_block("then")
+    els = f.add_block("else")
+    join = f.add_block("join")
+    b = IRBuilder(f, entry)
+    b.condbr(f.args[0], then, els)
+    b.position_at_end(then)
+    b.br(join)
+    b.position_at_end(els)
+    b.br(join)
+    b.position_at_end(join)
+    b.ret(Constant(I32, 0))
+    return f, entry, then, els, join
+
+
+def test_reverse_postorder_visits_preds_first():
+    f, entry, then, els, join = diamond()
+    rpo = reverse_postorder(f)
+    assert rpo[0] is entry
+    assert rpo.index(join) > rpo.index(then)
+    assert rpo.index(join) > rpo.index(els)
+
+
+def test_dominators_of_diamond():
+    f, entry, then, els, join = diamond()
+    dt = DominatorTree(f)
+    assert dt.idom[then] is entry
+    assert dt.idom[els] is entry
+    assert dt.idom[join] is entry  # neither branch dominates the join
+    assert dt.dominates(entry, join)
+    assert not dt.dominates(then, join)
+    assert dt.strictly_dominates(entry, then)
+    assert not dt.strictly_dominates(entry, entry)
+
+
+def test_dominance_frontiers_of_diamond():
+    f, entry, then, els, join = diamond()
+    dt = DominatorTree(f)
+    df = dominance_frontiers(dt)
+    assert df[then] == {join}
+    assert df[els] == {join}
+    assert df[join] == set()
+
+
+def loop_cfg():
+    """entry -> header <-> body ; header -> exit"""
+    f = Function("l", FunctionType(I32, (I32,)), ["n"])
+    entry = f.add_block("entry")
+    header = f.add_block("header")
+    body = f.add_block("body")
+    exit_ = f.add_block("exit")
+    b = IRBuilder(f, entry)
+    b.br(header)
+    b.position_at_end(header)
+    phi = b.phi(I32, "i")
+    phi.append_operand(Constant(I32, 0))
+    phi.append_operand(entry)
+    b.condbr(b.icmp("slt", phi, f.args[0]), body, exit_)
+    b.position_at_end(body)
+    nxt = b.add(phi, Constant(I32, 1))
+    phi.append_operand(nxt)
+    phi.append_operand(body)
+    b.br(header)
+    b.position_at_end(exit_)
+    b.ret(phi)
+    return f, header, body, exit_
+
+
+def test_natural_loop_discovery():
+    f, header, body, exit_ = loop_cfg()
+    loops = find_loops(f)
+    assert len(loops) == 1
+    loop = loops[0]
+    assert loop.header is header
+    assert loop.blocks == {header, body}
+    assert loop.latches == [body]
+    assert loop.exit_blocks() == [exit_]
+    assert loop.exiting_blocks() == [header]
+    assert loop.is_innermost()
+    assert loop.depth == 1
+
+
+def test_nested_loop_depths():
+    from repro.frontend import compile_source
+    from repro.passes import mem2reg
+
+    module = compile_source("""
+    i32 f(i32 n) {
+        i32 acc = 0;
+        for (i32 i = 0; i < n; i++) {
+            for (i32 j = 0; j < n; j++) {
+                acc += i * j;
+            }
+        }
+        return acc;
+    }
+    """)
+    func = module.functions["f"]
+    mem2reg(func)
+    loops = find_loops(func)
+    assert len(loops) == 2
+    depths = sorted(loop.depth for loop in loops)
+    assert depths == [1, 2]
+    inner = next(l for l in loops if l.depth == 2)
+    outer = next(l for l in loops if l.depth == 1)
+    assert inner.parent is outer
+    assert inner in outer.children
+    assert not outer.is_innermost()

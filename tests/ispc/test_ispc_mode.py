@@ -1,0 +1,82 @@
+"""ispc-mode tests, including the paper's Listing 2 semantic hazard."""
+
+import numpy as np
+import pytest
+
+from repro.backend import AVX2, AVX512, SSE4
+from repro.ispc import ispc_compile, ispc_gang_size
+from repro.vm import Interpreter
+
+
+def test_gang_size_follows_machine_flag():
+    assert ispc_gang_size(AVX512) == 16
+    assert ispc_gang_size(AVX2) == 8
+    assert ispc_gang_size(SSE4) == 4
+
+
+ADJACENT_COPY = """
+void foo(u32* a, u64 n) {
+    psim (gang_size=1, num_threads=n) {  // gang_size is overridden by the flag!
+        u64 i = psim_get_thread_num();
+        u32 tmp = a[i];
+        psim_gang_sync();
+        a[i + 1] = tmp;
+    }
+}
+"""
+
+
+def run_adjacent_copy(machine, n):
+    module = ispc_compile(ADJACENT_COPY, machine)
+    interp = Interpreter(module, machine=machine)
+    a = np.arange(n + 1, dtype=np.uint32)
+    addr = interp.memory.alloc_array(a)
+    interp.run("foo", addr, n)
+    return interp.memory.read_array(addr, np.uint32, n + 1)
+
+
+def test_listing2_correct_when_n_fits_one_gang():
+    """Paper §2.2, Listing 2: with N <= gang size the gang-synchronous copy
+    is 'correct' — all loads happen before all stores."""
+    out = run_adjacent_copy(AVX512, 16)  # N == gang size (16 on AVX-512)
+    np.testing.assert_array_equal(out[1:], np.arange(16, dtype=np.uint32))
+
+
+def test_listing2_breaks_when_gang_flag_shrinks():
+    """The same program compiled for a narrower target (smaller gang flag)
+    silently changes behaviour: gang 4 stores clobber the next gang's
+    inputs.  This is exactly the coupling the paper criticizes."""
+    out = run_adjacent_copy(SSE4, 16)  # gang size 4 < N
+    expect_ok = np.arange(16, dtype=np.uint32)
+    assert not np.array_equal(out[1:], expect_ok)
+    # lane 0 of gang 1 read the value gang 0's lane 3 stored (0,1,2,3 -> 3)
+    assert out[4] == 3
+
+
+def test_parsimony_same_program_is_target_independent():
+    """The Parsimony model fixes the gang size in the program (§3), so the
+    same source gives the same answer on every machine."""
+    from repro.driver import compile_parsimony
+
+    src = ADJACENT_COPY.replace("gang_size=1", "gang_size=16")
+    for machine in (AVX512, AVX2, SSE4):
+        module = compile_parsimony(src)
+        interp = Interpreter(module, machine=machine)
+        a = np.arange(17, dtype=np.uint32)
+        addr = interp.memory.alloc_array(a)
+        interp.run("foo", addr, 16)
+        out = interp.memory.read_array(addr, np.uint32, 17)
+        np.testing.assert_array_equal(out[1:], np.arange(16, dtype=np.uint32))
+
+
+def test_ispc_uses_builtin_math_flavour():
+    src = """
+    void vpow(f32* x, f32* y, u64 n) {
+        psim (gang_size=1, num_threads=n) {
+            u64 i = psim_get_thread_num();
+            y[i] = pow(x[i], 2.5f);
+        }
+    }
+    """
+    module = ispc_compile(src, AVX512)
+    assert any(name.startswith("ml.ispc.pow") for name in module.externals)

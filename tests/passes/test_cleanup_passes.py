@@ -1,0 +1,220 @@
+"""Unit tests for CSE, LICM, narrowing, loop-simplify, and if-conversion."""
+
+import numpy as np
+import pytest
+
+from repro.autovec.ifconvert import if_convert
+from repro.frontend import compile_source
+from repro.ir import print_function, verify_function
+from repro.passes import (
+    cse,
+    constant_fold,
+    dce,
+    licm,
+    loop_simplify,
+    mem2reg,
+    narrow_ints,
+    simplify_cfg,
+)
+from repro.vm import Interpreter
+
+
+def prep(src, name="f"):
+    module = compile_source(src)
+    func = module.functions[name]
+    mem2reg(func)
+    constant_fold(func)
+    dce(func)
+    return module, func
+
+
+def count_op(func, opcode):
+    return sum(1 for i in func.instructions() if i.opcode == opcode)
+
+
+# -- CSE ---------------------------------------------------------------------------
+
+
+def test_cse_unifies_repeated_geps_and_arith():
+    module, f = prep("""
+    i32 f(i32* a, i32 i) {
+        return a[i] + a[i];
+    }
+    """)
+    before = count_op(f, "gep")
+    cse(f)
+    dce(f)
+    assert count_op(f, "gep") < before
+    verify_function(f)
+    interp = Interpreter(module)
+    addr = interp.memory.alloc_array(np.array([5, 9], np.uint32))
+    assert interp.run("f", addr, 1) == 18
+
+
+def test_cse_respects_dominance():
+    # The same expression in two sibling branches must NOT be unified.
+    module, f = prep("""
+    i32 f(i32 x, bool c) {
+        i32 r;
+        if (c) { r = x * 3; } else { r = x * 3 + 1; }
+        return r;
+    }
+    """)
+    muls = count_op(f, "mul")
+    cse(f)
+    assert count_op(f, "mul") == muls  # siblings: both kept
+    assert Interpreter(module).run("f", 5, 1) == 15
+    assert Interpreter(module).run("f", 5, 0) == 16
+
+
+# -- LICM --------------------------------------------------------------------------
+
+
+def test_licm_hoists_invariant_arithmetic():
+    module, f = prep("""
+    void f(i32* a, i32 k, i32 n) {
+        for (i32 i = 0; i < n; i++) {
+            a[i] = k * k + i;
+        }
+    }
+    """)
+    licm(f)
+    verify_function(f)
+    # the k*k multiply must now be outside the loop body
+    from repro.ir import find_loops
+
+    loops = find_loops(f)
+    assert loops
+    loop_muls = sum(
+        1
+        for block in loops[0].blocks
+        for i in block.instructions
+        if i.opcode == "mul" and i.operands[0].type.is_int
+    )
+    # only the possible index-scaling mul may remain inside
+    interp = Interpreter(module)
+    addr = interp.memory.alloc_array(np.zeros(8, np.uint32))
+    interp.run("f", addr, 3, 8)
+    got = interp.memory.read_array(addr, np.uint32, 8)
+    np.testing.assert_array_equal(got, 9 + np.arange(8, dtype=np.uint32))
+
+
+def test_licm_does_not_hoist_trapping_division():
+    module, f = prep("""
+    i32 f(i32 a, i32 b, i32 n) {
+        i32 acc = 0;
+        for (i32 i = 0; i < n; i++) {
+            acc += a / b;   // must not execute if the loop runs 0 times
+        }
+        return acc;
+    }
+    """)
+    licm(f)
+    # division by zero with n == 0 must not trap
+    assert Interpreter(module).run("f", 1, 0, 0) == 0
+
+
+# -- narrowing ------------------------------------------------------------------------
+
+
+def test_narrowing_collapses_promoted_u8_ops():
+    module, f = prep("""
+    void f(u8* a, u8* b, u8* c, u64 n) {
+        for (u64 i = 0; i < n; i++) {
+            c[i] = a[i] & b[i];   // promoted to i32 by C rules
+        }
+    }
+    """)
+    assert count_op(f, "zext") >= 2
+    narrow_ints(f)
+    constant_fold(f)
+    dce(f)
+    verify_function(f)
+    # the & now happens at i8: no extensions survive
+    and_widths = [i.type.bits for i in f.instructions() if i.opcode == "and"]
+    assert 8 in and_widths
+
+
+def test_narrowing_refuses_range_overflow():
+    module, f = prep("""
+    void f(u8* a, u8* b, u8* c, u64 n) {
+        for (u64 i = 0; i < n; i++) {
+            // a+b can be 510: the >> needs exact high bits, so the tree
+            // must be evaluated at 16 bits, not 8.
+            c[i] = (u8)(((i32)a[i] + (i32)b[i]) >> 1);
+        }
+    }
+    """)
+    narrow_ints(f)
+    dce(f)
+    verify_function(f)
+    widths = {i.type.bits for i in f.instructions() if i.opcode == "lshr"}
+    assert 8 not in widths
+    interp = Interpreter(module)
+    a = interp.memory.alloc_array(np.full(4, 255, np.uint8))
+    b = interp.memory.alloc_array(np.full(4, 255, np.uint8))
+    c = interp.memory.alloc_array(np.zeros(4, np.uint8))
+    interp.run("f", a, b, c, 4)
+    assert interp.memory.read_array(c, np.uint8, 4).tolist() == [255] * 4
+
+
+# -- loop-simplify ----------------------------------------------------------------------
+
+
+def test_loop_simplify_canonical_form():
+    module, f = prep("""
+    i32 f(i32 n) {
+        i32 acc = 0;
+        i32 i = 0;
+        while (i < n) {
+            i++;
+            if (i == 3) { continue; }   // second latch edge
+            acc += i;
+        }
+        return acc;
+    }
+    """)
+    simplify_cfg(f)
+    loop_simplify(f)
+    verify_function(f)
+    from repro.ir import find_loops
+
+    for loop in find_loops(f):
+        assert loop.preheader is not None
+        assert len(loop.latches) == 1
+        for exit_block in loop.exit_blocks():
+            assert all(p in loop.blocks for p in exit_block.predecessors)
+    assert Interpreter(module).run("f", 5) == 1 + 2 + 4 + 5
+
+
+# -- if-conversion -------------------------------------------------------------------------
+
+
+def test_if_convert_triangle_to_select():
+    module, f = prep("""
+    i32 f(i32 x) {
+        i32 r = x;
+        if (x < 0) { r = 0; }
+        return r;
+    }
+    """)
+    simplify_cfg(f)
+    assert if_convert(f)
+    verify_function(f)
+    assert len(f.blocks) == 1
+    assert count_op(f, "select") == 1
+    assert Interpreter(module).run("f", -5 & 0xFFFFFFFF) == 0
+    assert Interpreter(module).run("f", 7) == 7
+
+
+def test_if_convert_refuses_unsafe_speculation():
+    module, f = prep("""
+    i32 f(i32* p, bool c) {
+        i32 r = 0;
+        if (c) { r = p[0]; }   // speculating the load could fault
+        return r;
+    }
+    """)
+    simplify_cfg(f)
+    assert not if_convert(f)
+    assert Interpreter(module).run("f", 0, 0) == 0  # NULL never dereferenced

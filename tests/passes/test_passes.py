@@ -1,0 +1,217 @@
+"""Unit tests for the scalar optimization passes."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    I32,
+    VOID,
+    Constant,
+    Function,
+    FunctionType,
+    IRBuilder,
+    Module,
+    PointerType,
+    print_function,
+    verify_function,
+)
+from repro.passes import (
+    constant_fold,
+    dce,
+    inline_function_calls,
+    mem2reg,
+    simplify_cfg,
+    standard_pipeline,
+)
+from repro.vm import Interpreter
+
+
+def build_abs_function():
+    """if (x < 0) r = -x; else r = x; return r  — via an alloca'd local."""
+    module = Module("t")
+    f = Function("myabs", FunctionType(I32, (I32,)), ["x"])
+    module.add_function(f)
+    entry = f.add_block("entry")
+    then = f.add_block("then")
+    els = f.add_block("else")
+    join = f.add_block("join")
+    b = IRBuilder(f, entry)
+    r = b.alloca(I32, 1, "r")
+    cond = b.icmp("slt", f.args[0], Constant(I32, 0))
+    b.condbr(cond, then, els)
+    b.position_at_end(then)
+    b.store(b.sub(Constant(I32, 0), f.args[0]), r)
+    b.br(join)
+    b.position_at_end(els)
+    b.store(f.args[0], r)
+    b.br(join)
+    b.position_at_end(join)
+    b.ret(b.load(r))
+    verify_function(f)
+    return module, f
+
+
+def test_mem2reg_removes_allocas_and_preserves_semantics():
+    module, f = build_abs_function()
+    before = Interpreter(module).run(f, -5 & 0xFFFFFFFF)
+    assert mem2reg(f)
+    verify_function(f)
+    text = print_function(f)
+    assert "alloca" not in text
+    assert "phi" in text
+    after = Interpreter(module).run(f, -5 & 0xFFFFFFFF)
+    assert before == after == 5
+
+
+def test_mem2reg_idempotent():
+    module, f = build_abs_function()
+    mem2reg(f)
+    assert not mem2reg(f)
+
+
+def test_mem2reg_skips_escaping_alloca():
+    module = Module("t")
+    callee = Function("sink", FunctionType(VOID, (PointerType(I32),)), ["p"])
+    module.add_function(callee)
+    b = IRBuilder(callee, callee.add_block("entry"))
+    b.ret()
+
+    f = Function("f", FunctionType(I32, ()), [])
+    module.add_function(f)
+    b = IRBuilder(f, f.add_block("entry"))
+    r = b.alloca(I32, 1, "r")
+    b.store(Constant(I32, 3), r)
+    b.call(callee, [r])  # address escapes
+    b.ret(b.load(r))
+    verify_function(f)
+    mem2reg(f)
+    assert "alloca" in print_function(f)
+
+
+def test_constfold_scalar_arith():
+    module = Module("t")
+    f = Function("f", FunctionType(I32, (I32,)), ["x"])
+    module.add_function(f)
+    b = IRBuilder(f, f.add_block("entry"))
+    c = b.add(Constant(I32, 2), Constant(I32, 3))
+    d = b.mul(c, Constant(I32, 4))
+    e = b.add(f.args[0], d)
+    b.ret(e)
+    constant_fold(f)
+    dce(f)
+    verify_function(f)
+    # 2+3=5, 5*4=20 folded into a single add of 20
+    assert Interpreter(module).run(f, 1) == 21
+    assert sum(len(blk.instructions) for blk in f.blocks) == 2  # add + ret
+
+
+def test_constfold_identities():
+    module = Module("t")
+    f = Function("f", FunctionType(I32, (I32,)), ["x"])
+    module.add_function(f)
+    b = IRBuilder(f, f.add_block("entry"))
+    y = b.add(f.args[0], Constant(I32, 0))
+    z = b.mul(y, Constant(I32, 1))
+    b.ret(z)
+    constant_fold(f)
+    dce(f)
+    assert sum(len(blk.instructions) for blk in f.blocks) == 1  # just ret x
+
+
+def test_constfold_keeps_div_by_zero_for_runtime():
+    module = Module("t")
+    f = Function("f", FunctionType(I32, ()), [])
+    module.add_function(f)
+    b = IRBuilder(f, f.add_block("entry"))
+    d = b.udiv(Constant(I32, 1), Constant(I32, 0))
+    b.ret(d)
+    constant_fold(f)
+    assert any(i.opcode == "udiv" for i in f.entry.instructions)
+
+
+def test_dce_removes_unused_chain():
+    module = Module("t")
+    f = Function("f", FunctionType(I32, (I32,)), ["x"])
+    module.add_function(f)
+    b = IRBuilder(f, f.add_block("entry"))
+    dead1 = b.add(f.args[0], Constant(I32, 1))
+    dead2 = b.mul(dead1, dead1)
+    b.ret(f.args[0])
+    assert dce(f)
+    assert sum(len(blk.instructions) for blk in f.blocks) == 1
+
+
+def test_simplify_cfg_folds_constant_branch():
+    module = Module("t")
+    f = Function("f", FunctionType(I32, ()), [])
+    module.add_function(f)
+    entry = f.add_block("entry")
+    then = f.add_block("then")
+    els = f.add_block("else")
+    b = IRBuilder(f, entry)
+    from repro.ir import I1
+
+    b.condbr(Constant(I1, 1), then, els)
+    b.position_at_end(then)
+    b.ret(Constant(I32, 10))
+    b.position_at_end(els)
+    b.ret(Constant(I32, 20))
+    assert simplify_cfg(f)
+    verify_function(f)
+    assert len(f.blocks) == 1
+    assert Interpreter(module).run(f) == 10
+
+
+def test_inline_simple_call():
+    module = Module("t")
+    callee = Function("sq", FunctionType(I32, (I32,)), ["v"])
+    module.add_function(callee)
+    b = IRBuilder(callee, callee.add_block("entry"))
+    b.ret(b.mul(callee.args[0], callee.args[0]))
+
+    f = Function("f", FunctionType(I32, (I32,)), ["x"])
+    module.add_function(f)
+    b = IRBuilder(f, f.add_block("entry"))
+    r = b.call(callee, [f.args[0]])
+    b.ret(b.add(r, Constant(I32, 1)))
+    verify_function(f)
+
+    assert inline_function_calls(f)
+    verify_function(f)
+    assert "call" not in print_function(f)
+    assert Interpreter(module).run(f, 4) == 17
+
+
+def test_inline_multi_return_callee():
+    module = Module("t")
+    callee = Function("clamp0", FunctionType(I32, (I32,)), ["v"])
+    module.add_function(callee)
+    entry = callee.add_block("entry")
+    neg = callee.add_block("neg")
+    pos = callee.add_block("pos")
+    b = IRBuilder(callee, entry)
+    b.condbr(b.icmp("slt", callee.args[0], Constant(I32, 0)), neg, pos)
+    b.position_at_end(neg)
+    b.ret(Constant(I32, 0))
+    b.position_at_end(pos)
+    b.ret(callee.args[0])
+
+    f = Function("f", FunctionType(I32, (I32,)), ["x"])
+    module.add_function(f)
+    b = IRBuilder(f, f.add_block("entry"))
+    r = b.call(callee, [f.args[0]])
+    b.ret(r)
+    assert inline_function_calls(f)
+    verify_function(f)
+    assert Interpreter(module).run(f, -3 & 0xFFFFFFFF) == 0
+    assert Interpreter(module).run(f, 9) == 9
+
+
+def test_standard_pipeline_end_to_end():
+    module, f = build_abs_function()
+    standard_pipeline().run(module)
+    verify_function(f)
+    text = print_function(f)
+    assert "alloca" not in text
+    for x in (-7, 0, 7):
+        assert Interpreter(module).run(f, x & 0xFFFFFFFF) == abs(x)

@@ -1,0 +1,67 @@
+"""Unit tests for the SLEEF / ispc vector math flavours."""
+
+import numpy as np
+import pytest
+
+from repro.backend import AVX512
+from repro.ir import F32, F64, Module
+from repro.runtime.mathlib import (
+    ISPC_BUILTIN,
+    POW_SLEEF_OVER_ISPC,
+    SLEEF,
+    scalar_math_external,
+    vector_math_external,
+)
+
+
+def test_pow_cost_ratio_matches_paper():
+    """§6: SLEEF's AVX-512 pow is 2.6x slower than ispc's built-in."""
+    module = Module("m")
+    sleef = vector_math_external(module, "pow", F32, 16, SLEEF)
+    ispc = vector_math_external(module, "pow", F32, 16, ISPC_BUILTIN)
+    ratio = sleef.cost(AVX512, None) / ispc.cost(AVX512, None)
+    assert ratio == pytest.approx(POW_SLEEF_OVER_ISPC)
+
+
+def test_other_functions_cost_the_same_in_both_flavours():
+    module = Module("m")
+    for fn in ("exp", "log", "sin", "cos", "atan2"):
+        sleef = vector_math_external(module, fn, F32, 16, SLEEF)
+        ispc = vector_math_external(module, fn, F32, 16, ISPC_BUILTIN)
+        assert sleef.cost(AVX512, None) == ispc.cost(AVX512, None)
+
+
+def test_vector_cost_scales_with_legalization():
+    module = Module("m")
+    narrow = vector_math_external(module, "exp", F32, 16, SLEEF)
+    wide = vector_math_external(module, "exp", F32, 64, SLEEF)
+    assert wide.cost(AVX512, None) == 4 * narrow.cost(AVX512, None)
+
+
+def test_scalar_f32_impl_rounds_to_float32():
+    module = Module("m")
+    ext = scalar_math_external(module, "exp", F32)
+    got = ext.impl(0.5)
+    assert got == float(np.exp(np.float32(0.5), dtype=np.float32))
+
+
+def test_vector_impl_preserves_dtype_and_values():
+    module = Module("m")
+    ext = vector_math_external(module, "log", F32, 8, SLEEF)
+    x = np.linspace(0.5, 2.0, 8, dtype=np.float32)
+    out = ext.impl(x)
+    assert out.dtype == np.float32
+    np.testing.assert_allclose(out, np.log(x), rtol=1e-6)
+
+
+def test_externals_are_cached_per_module():
+    module = Module("m")
+    a = vector_math_external(module, "exp", F32, 16, SLEEF)
+    b = vector_math_external(module, "exp", F32, 16, SLEEF)
+    assert a is b
+
+
+def test_unknown_function_rejected():
+    module = Module("m")
+    with pytest.raises(KeyError):
+        scalar_math_external(module, "gamma", F64)

@@ -1,0 +1,43 @@
+"""Offline verification of the shape-transformation rule set.
+
+Reproduces the paper's two-phase scheme (§4.2.2): every rule the shape
+analysis may apply is verified here — exhaustively over small bit-vectors
+and by sampling at 64-bit — before being trusted online.
+"""
+
+import pytest
+
+from repro.vectorizer.rules import RULES
+from repro.vectorizer.smt import CounterExample, RuleSpec, verify_rule
+
+
+@pytest.mark.parametrize("name", sorted(RULES))
+def test_rule_verifies(name):
+    verify_rule(RULES[name], bits=6, samples=1500)
+
+
+def test_checker_catches_bogus_rule():
+    bogus = RuleSpec(
+        name="and_without_alignment_precondition",
+        variables=("b", "o"),
+        parameters=lambda bits: [{"k": 3}],
+        # Missing the base-alignment precondition: must be rejected.
+        precondition=lambda e, bits: 0 <= e["o"] < 8,
+        lhs=lambda e, bits: ((e["b"] + e["o"]) & ((1 << bits) - 1)) & 7,
+        rhs=lambda e, bits: (e["b"] & 7) + e["o"],
+    )
+    with pytest.raises(CounterExample):
+        verify_rule(bogus, bits=6, samples=100)
+
+
+def test_checker_catches_wrapping_zext():
+    bogus = RuleSpec(
+        name="zext_ignoring_wraparound",
+        variables=("b", "o"),
+        parameters=lambda bits: [{"k": 4}],
+        precondition=lambda e, bits: e["b"] <= 15 and e["o"] <= 15,  # can wrap!
+        lhs=lambda e, bits: (e["b"] + e["o"]) & 15,
+        rhs=lambda e, bits: (e["b"] & 15) + e["o"],
+    )
+    with pytest.raises(CounterExample):
+        verify_rule(bogus, bits=6, samples=100)

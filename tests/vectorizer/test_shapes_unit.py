@@ -1,0 +1,144 @@
+"""Unit tests for the shape analysis (§4.2.2) on hand-built SPMD IR."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_source
+from repro.passes import constant_fold, dce, mem2reg
+from repro.vectorizer import ShapeAnalysis
+from repro.vectorizer.shape import Shape, lane_shape
+
+
+def analyze(body, gang=8, params="u32* a, u32* b"):
+    src = f"""
+    void f({params}, u64 n) {{
+        psim (gang_size={gang}, num_threads=n) {{
+            u64 i = psim_get_thread_num();
+            {body}
+        }}
+    }}
+    """
+    module = compile_source(src)
+    func = module.functions["f.psim0"]
+    mem2reg(func)
+    constant_fold(func)
+    dce(func)
+    analysis = ShapeAnalysis(func, gang)
+    named = {}
+    for instr in func.instructions():
+        if not instr.type.is_void:
+            named[instr.name] = analysis.shape_of(instr)
+    return analysis, named, func
+
+
+def find(named, prefix):
+    for name, shape in named.items():
+        if name.startswith(prefix):
+            return shape
+    raise KeyError(prefix)
+
+
+def test_lane_is_stride_one():
+    _, named, _ = analyze("a[i] = (u32)psim_get_lane_num();")
+    assert find(named, "lane").stride() == 1
+
+
+def test_thread_num_keeps_stride_through_add():
+    _, named, _ = analyze("a[i] = (u32)i;")
+    assert find(named, "thread_num").stride() == 1
+
+
+def test_gep_scales_stride_by_element_size():
+    _, named, _ = analyze("a[i] = b[i];")
+    geps = [s for n, s in named.items() if n.startswith("gep")]
+    assert geps and all(s.stride() == 4 for s in geps)  # u32 elements
+
+
+def test_mul_by_constant_scales_offsets():
+    _, named, _ = analyze("a[i] = b[3 * i];")
+    strides = {s.stride() for n, s in named.items() if n.startswith("gep")}
+    assert 12 in strides  # 3 elements * 4 bytes
+
+
+def test_xor_low_bits_permutes_offsets():
+    _, named, _ = analyze("a[i] = b[i ^ 1];")
+    shapes = [s for n, s in named.items() if n.startswith("xor")]
+    assert shapes and shapes[0].is_indexed
+    # offsets are a permutation: pairwise swapped relative to lanes
+    offs = shapes[0].offsets
+    base_plus = offs + 1  # scalar base is b ^ 1 == b + 1
+    assert sorted((base_plus).tolist()) == list(range(8))
+
+
+def test_uniform_load_stays_uniform():
+    _, named, _ = analyze("a[i] = b[0] + (u32)i;")
+    loads = [s for n, s in named.items() if n.startswith("ld")]
+    assert any(s.is_uniform for s in loads)
+
+
+def test_data_dependent_index_is_varying():
+    _, named, _ = analyze("a[i] = b[(u64)b[i]];")
+    geps = [s for n, s in named.items() if n.startswith("gep")]
+    assert any(s.is_varying for s in geps)
+
+
+def test_reduction_result_is_uniform():
+    _, named, _ = analyze("u32 s = psim_reduce_add_sync(b[i]); a[i] = s;")
+    assert find(named, "psim.reduce").is_uniform
+
+
+def test_divergent_branch_detection():
+    analysis, _, func = analyze(
+        "if (b[i] > 10u) { a[i] = 1; } else { a[i] = 2; }"
+    )
+    assert analysis.divergent_branches
+
+
+def test_uniform_branch_not_divergent():
+    analysis, _, _ = analyze(
+        "if (psim_get_num_threads() > 10ul) { a[i] = 1; }"
+    )
+    assert not analysis.divergent_branches
+
+
+def test_divergent_loop_taints_header_phis():
+    analysis, named, func = analyze(
+        """
+        u32 v = b[i];
+        u32 c = 0;
+        while (v > 1u) { v = v / 2; c += 1; }
+        a[i] = c;
+        """
+    )
+    assert analysis.divergent_loops
+    for block in func.blocks:
+        for phi in block.phis():
+            assert analysis.shape_of(phi).is_varying
+
+
+def test_uniform_loop_keeps_scalar_counter():
+    analysis, named, func = analyze(
+        """
+        u32 acc = 0;
+        for (u64 j = 0; j < n; j++) { acc += b[i]; }
+        a[i] = acc;
+        """
+    )
+    assert not analysis.divergent_loops
+    # the j counter phi stays uniform (scalar register, §4.2.2)
+    counter_shapes = [
+        analysis.shape_of(phi)
+        for block in func.blocks
+        for phi in block.phis()
+        if phi.name.startswith("j")
+    ]
+    assert counter_shapes and all(s.is_uniform for s in counter_shapes)
+
+
+def test_shape_helpers():
+    s = lane_shape(4)
+    assert s.stride() == 1 and s.is_indexed and not s.is_uniform
+    assert Shape.uniform(4).stride() == 0
+    assert Shape.varying().stride() is None
+    assert Shape.indexed([0, 2, 4, 6]).stride() == 2
+    assert Shape.indexed([0, 3, 1, 2]).stride() is None

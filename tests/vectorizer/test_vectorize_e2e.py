@@ -1,0 +1,313 @@
+"""End-to-end Parsimony tests: PsimC psim regions → vectorized IR → VM."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_source
+from repro.passes import standard_pipeline
+from repro.vectorizer import VectorizeConfig, vectorize_module
+from repro.vm import Interpreter
+
+
+def build(source, config=None):
+    module = compile_source(source)
+    standard_pipeline().run(module)
+    vectorize_module(module, config)
+    return module
+
+
+def run(module, fn, arrays, scalars=(), dtypes=None):
+    """Allocate numpy arrays into VM memory, run, return output copies."""
+    interp = Interpreter(module)
+    addrs = [interp.memory.alloc_array(a) for a in arrays]
+    interp.run(fn, *addrs, *scalars)
+    outs = [
+        interp.memory.read_array(addr, a.dtype, a.size)
+        for addr, a in zip(addrs, arrays)
+    ]
+    return outs, interp
+
+
+def test_elementwise_packed():
+    src = """
+    void scale(f32* a, f32* b, u64 n, f32 k) {
+        psim (gang_size=16, num_threads=n) {
+            u64 i = psim_get_thread_num();
+            b[i] = a[i] * k;
+        }
+    }
+    """
+    module = build(src)
+    a = np.arange(64, dtype=np.float32)
+    b = np.zeros(64, dtype=np.float32)
+    (a_out, b_out), interp = run(module, "scale", [a, b], scalars=(64, 3.0))
+    np.testing.assert_array_equal(b_out, a * np.float32(3.0))
+    # shape analysis must have selected packed accesses, not gathers
+    assert interp.stats.count("gather", "scatter") == 0
+    assert interp.stats.count("vload") > 0
+    assert interp.stats.count("vstore") > 0
+
+
+def test_tail_gang_partial():
+    src = """
+    void inc(u32* a, u64 n) {
+        psim (gang_size=8, num_threads=n) {
+            u64 i = psim_get_thread_num();
+            a[i] = a[i] + 1;
+        }
+    }
+    """
+    module = build(src)
+    a = np.zeros(21, dtype=np.uint32)  # 21 = 2 full gangs + tail of 5
+    (a_out,), _ = run(module, "inc", [a], scalars=(21,))
+    np.testing.assert_array_equal(a_out, np.ones(21, dtype=np.uint32))
+
+
+def test_divergent_if():
+    src = """
+    void clampneg(i32* a, u64 n) {
+        psim (gang_size=8, num_threads=n) {
+            u64 i = psim_get_thread_num();
+            i32 v = a[i];
+            if (v < 0) {
+                a[i] = -v;
+            }
+        }
+    }
+    """
+    module = build(src)
+    rng = np.random.default_rng(0)
+    a = rng.integers(-100, 100, 32).astype(np.int32)
+    (a_out,), _ = run(module, "clampneg", [a.view(np.uint32)], scalars=(32,))
+    np.testing.assert_array_equal(a_out.view(np.int32), np.abs(a))
+
+
+def test_if_else_phi_select():
+    src = """
+    void pick(f32* a, f32* b, f32* c, u64 n) {
+        psim (gang_size=8, num_threads=n) {
+            u64 i = psim_get_thread_num();
+            f32 r;
+            if (a[i] > b[i]) { r = a[i]; } else { r = b[i]; }
+            c[i] = r;
+        }
+    }
+    """
+    module = build(src)
+    rng = np.random.default_rng(1)
+    a = rng.random(32).astype(np.float32)
+    b = rng.random(32).astype(np.float32)
+    c = np.zeros(32, dtype=np.float32)
+    (_, _, c_out), _ = run(module, "pick", [a, b, c], scalars=(32,))
+    np.testing.assert_array_equal(c_out, np.maximum(a, b))
+
+
+def test_strided_window_not_gather():
+    src = """
+    void even(u32* src, u32* dst, u64 n) {
+        psim (gang_size=8, num_threads=n) {
+            u64 i = psim_get_thread_num();
+            dst[i] = src[2 * i];
+        }
+    }
+    """
+    module = build(src)
+    src_a = np.arange(64, dtype=np.uint32)
+    dst = np.zeros(32, dtype=np.uint32)
+    (_, dst_out), interp = run(module, "even", [src_a, dst], scalars=(32,))
+    np.testing.assert_array_equal(dst_out, src_a[::2])
+    # stride-2 fits the 4x-gang window: packed + shuffle, no gather (§4.2.3)
+    assert interp.stats.count("gather") == 0
+    assert interp.stats.count("shuffle") > 0
+
+
+def test_indirect_access_gathers():
+    src = """
+    void permute(u32* src, u32* idx, u32* dst, u64 n) {
+        psim (gang_size=8, num_threads=n) {
+            u64 i = psim_get_thread_num();
+            dst[i] = src[idx[i]];
+        }
+    }
+    """
+    module = build(src)
+    rng = np.random.default_rng(2)
+    src_a = np.arange(100, dtype=np.uint32) * 7
+    idx = rng.integers(0, 100, 32).astype(np.uint32)
+    dst = np.zeros(32, dtype=np.uint32)
+    (_, _, dst_out), interp = run(module, "permute", [src_a, idx, dst], scalars=(32,))
+    np.testing.assert_array_equal(dst_out, src_a[idx])
+    assert interp.stats.count("gather") > 0
+
+
+def test_shuffle_horizontal_op():
+    src = """
+    void rotate(u32* a, u32* b, u64 n) {
+        psim (gang_size=8, num_threads=n) {
+            u64 i = psim_get_thread_num();
+            u32 v = a[i];
+            u32 r = psim_shuffle_sync(v, psim_get_lane_num() + 1);
+            b[i] = r;
+        }
+    }
+    """
+    module = build(src)
+    a = np.arange(8, dtype=np.uint32)
+    b = np.zeros(8, dtype=np.uint32)
+    (_, b_out), _ = run(module, "rotate", [a, b], scalars=(8,))
+    np.testing.assert_array_equal(b_out, np.roll(a, -1))
+
+
+def test_gang_reduction():
+    src = """
+    void gsum(u32* a, u32* out, u64 n) {
+        psim (gang_size=8, num_threads=n) {
+            u64 i = psim_get_thread_num();
+            u32 s = psim_reduce_add_sync(a[i]);
+            if (psim_get_lane_num() == 0) {
+                out[psim_get_gang_num()] = s;
+            }
+        }
+    }
+    """
+    module = build(src)
+    a = np.arange(16, dtype=np.uint32)
+    out = np.zeros(2, dtype=np.uint32)
+    (_, out_v), _ = run(module, "gsum", [a, out], scalars=(16,))
+    np.testing.assert_array_equal(out_v, [a[:8].sum(), a[8:].sum()])
+
+
+def test_uniform_loop_inside_region():
+    src = """
+    void poly(f32* x, f32* y, f32* coef, u64 n, u64 degree) {
+        psim (gang_size=8, num_threads=n) {
+            u64 i = psim_get_thread_num();
+            f32 acc = 0.0f;
+            f32 xv = x[i];
+            for (u64 d = 0; d < degree; d++) {
+                acc = acc * xv + coef[d];
+            }
+            y[i] = acc;
+        }
+    }
+    """
+    module = build(src)
+    x = np.linspace(-1, 1, 16, dtype=np.float32)
+    y = np.zeros(16, dtype=np.float32)
+    coef = np.array([1.0, -2.0, 0.5], dtype=np.float32)
+    (_, y_out, _), _ = run(module, "poly", [x, y, coef], scalars=(16, 3))
+    expect = np.zeros(16, dtype=np.float32)
+    for c in coef:
+        expect = expect * x + np.float32(c)
+    np.testing.assert_array_equal(y_out, expect)
+
+
+def test_divergent_while_loop():
+    # Collatz-style per-lane iteration counts: a genuinely divergent loop.
+    src = """
+    void steps(u32* a, u32* out, u64 n) {
+        psim (gang_size=8, num_threads=n) {
+            u64 i = psim_get_thread_num();
+            u32 v = a[i];
+            u32 count = 0;
+            while (v > 1) {
+                if (v % 2 == 0) { v = v / 2; }
+                else { v = 3 * v + 1; }
+                count = count + 1;
+            }
+            out[i] = count;
+        }
+    }
+    """
+    module = build(src)
+    a = np.array([1, 2, 3, 4, 5, 6, 7, 27], dtype=np.uint32)
+    out = np.zeros(8, dtype=np.uint32)
+    (_, out_v), _ = run(module, "steps", [a, out], scalars=(8,))
+
+    def collatz(v):
+        c = 0
+        while v > 1:
+            v = v // 2 if v % 2 == 0 else 3 * v + 1
+            c += 1
+        return c
+
+    np.testing.assert_array_equal(out_v, [collatz(int(v)) for v in a])
+
+
+def test_divergent_break_loop():
+    # First index where key appears in each lane's row (early exit / break).
+    src = """
+    void find(u32* data, u32* out, u64 n, u64 width, u32 key) {
+        psim (gang_size=4, num_threads=n) {
+            u64 i = psim_get_thread_num();
+            u32 found = width;
+            for (u64 j = 0; j < width; j++) {
+                if (data[i * width + j] == key) {
+                    found = (u32)j;
+                    break;
+                }
+            }
+            out[i] = found;
+        }
+    }
+    """
+    module = build(src)
+    data = np.array(
+        [[9, 9, 5, 9], [5, 9, 9, 9], [9, 9, 9, 9], [9, 9, 9, 5]], dtype=np.uint32
+    )
+    out = np.zeros(4, dtype=np.uint32)
+    (_, out_v), _ = run(module, "find", [data.reshape(-1), out], scalars=(4, 4, 5))
+    np.testing.assert_array_equal(out_v, [2, 0, 4, 3])
+
+
+def test_u8_wide_gang():
+    src = """
+    void blend(u8* a, u8* b, u8* c, u64 n) {
+        psim (gang_size=64, num_threads=n) {
+            u64 i = psim_get_thread_num();
+            c[i] = avgr(a[i], b[i]);
+        }
+    }
+    """
+    module = build(src)
+    rng = np.random.default_rng(3)
+    a = rng.integers(0, 256, 192).astype(np.uint8)
+    b = rng.integers(0, 256, 192).astype(np.uint8)
+    c = np.zeros(192, dtype=np.uint8)
+    (_, _, c_out), interp = run(module, "blend", [a, b, c], scalars=(192,))
+    expect = ((a.astype(np.uint16) + b + 1) >> 1).astype(np.uint8)
+    np.testing.assert_array_equal(c_out, expect)
+
+
+def test_vector_math_call():
+    src = """
+    void vexp(f32* x, f32* y, u64 n) {
+        psim (gang_size=16, num_threads=n) {
+            u64 i = psim_get_thread_num();
+            y[i] = exp(x[i]);
+        }
+    }
+    """
+    module = build(src)
+    x = np.linspace(0, 1, 32, dtype=np.float32)
+    y = np.zeros(32, dtype=np.float32)
+    (_, y_out), interp = run(module, "vexp", [x, y], scalars=(32,))
+    np.testing.assert_allclose(y_out, np.exp(x), rtol=1e-6)
+    assert interp.stats.count("ext:ml.sleef.exp.f32x16") == 2
+
+
+def test_shape_analysis_ablation_forces_gathers():
+    src = """
+    void copy(u32* a, u32* b, u64 n) {
+        psim (gang_size=8, num_threads=n) {
+            u64 i = psim_get_thread_num();
+            b[i] = a[i];
+        }
+    }
+    """
+    module = build(src, VectorizeConfig(enable_shape_analysis=False))
+    a = np.arange(16, dtype=np.uint32)
+    b = np.zeros(16, dtype=np.uint32)
+    (_, b_out), interp = run(module, "copy", [a, b], scalars=(16,))
+    np.testing.assert_array_equal(b_out, a)
+    assert interp.stats.count("gather") > 0  # no shapes -> everything gathers

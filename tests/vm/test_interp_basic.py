@@ -1,0 +1,217 @@
+"""Interpreter unit tests: arithmetic semantics, control flow, memory."""
+
+import numpy as np
+import pytest
+
+from repro.backend import AVX512
+from repro.ir import (
+    F32,
+    I8,
+    I32,
+    I64,
+    VOID,
+    Constant,
+    Function,
+    FunctionType,
+    IRBuilder,
+    Module,
+    PointerType,
+    VectorType,
+    verify_function,
+)
+from repro.vm import Interpreter, Memory, VMTrap
+
+
+def run_fn(build, ret_type, arg_types, args, arg_names=None):
+    """Build a single-function module with ``build(builder, func)`` and run it."""
+    module = Module("t")
+    f = Function("f", FunctionType(ret_type, tuple(arg_types)), arg_names)
+    module.add_function(f)
+    b = IRBuilder(f, f.add_block("entry"))
+    build(b, f)
+    verify_function(f)
+    interp = Interpreter(module)
+    return interp.run(f, *args)
+
+
+def test_add_and_ret():
+    def build(b, f):
+        b.ret(b.add(f.args[0], f.args[1]))
+
+    assert run_fn(build, I32, [I32, I32], [5, 7]) == 12
+
+
+def test_wraparound_semantics():
+    def build(b, f):
+        b.ret(b.add(f.args[0], f.args[1]))
+
+    assert run_fn(build, I8, [I8, I8], [200, 100]) == (300 & 0xFF)
+
+
+def test_signed_division_truncates_toward_zero():
+    def build(b, f):
+        b.ret(b.sdiv(f.args[0], f.args[1]))
+
+    # -7 / 2 == -3 (trunc), not -4 (floor)
+    result = run_fn(build, I32, [I32, I32], [-7 & 0xFFFFFFFF, 2])
+    assert result == (-3 & 0xFFFFFFFF)
+
+
+def test_division_by_zero_traps():
+    def build(b, f):
+        b.ret(b.udiv(f.args[0], f.args[1]))
+
+    with pytest.raises(VMTrap):
+        run_fn(build, I32, [I32, I32], [1, 0])
+
+
+def test_loop_sum():
+    """for (i = 0; i < n; i++) acc += i  — exercises phis and branches."""
+
+    module = Module("t")
+    f = Function("sum", FunctionType(I32, (I32,)), ["n"])
+    module.add_function(f)
+    entry = f.add_block("entry")
+    header = f.add_block("header")
+    body = f.add_block("body")
+    exit_ = f.add_block("exit")
+    b = IRBuilder(f, entry)
+    zero = Constant(I32, 0)
+    one = Constant(I32, 1)
+    b.br(header)
+
+    b.position_at_end(header)
+    i_phi = b.phi(I32, "i")
+    acc_phi = b.phi(I32, "acc")
+    cond = b.icmp("slt", i_phi, f.args[0])
+    b.condbr(cond, body, exit_)
+
+    b.position_at_end(body)
+    acc2 = b.add(acc_phi, i_phi)
+    i2 = b.add(i_phi, one)
+    b.br(header)
+
+    i_phi.append_operand(zero)
+    i_phi.append_operand(entry)
+    i_phi.append_operand(i2)
+    i_phi.append_operand(body)
+    acc_phi.append_operand(zero)
+    acc_phi.append_operand(entry)
+    acc_phi.append_operand(acc2)
+    acc_phi.append_operand(body)
+
+    b.position_at_end(exit_)
+    b.ret(acc_phi)
+    verify_function(f)
+
+    interp = Interpreter(module)
+    assert interp.run(f, 10) == 45
+    assert interp.stats.cycles > 0
+    assert interp.stats.counts["condbr"] == 11
+
+
+def test_memory_load_store():
+    def build(b, f):
+        ptr = f.args[0]
+        x = b.load(ptr)
+        p1 = b.gep(ptr, Constant(I32, 1))
+        b.store(b.add(x, Constant(I32, 100)), p1)
+        b.ret()
+
+    module = Module("t")
+    f = Function("f", FunctionType(VOID, (PointerType(I32),)), ["p"])
+    module.add_function(f)
+    b = IRBuilder(f, f.add_block("entry"))
+    build(b, f)
+    verify_function(f)
+    interp = Interpreter(module)
+    addr = interp.memory.alloc_array(np.array([42, 0], dtype=np.uint32))
+    interp.run(f, addr)
+    assert interp.memory.read_array(addr, np.uint32, 2).tolist() == [42, 142]
+
+
+def test_vector_ops_and_masks():
+    from repro.ir import I1
+
+    module = Module("t")
+    f = Function("f", FunctionType(VOID, (PointerType(I32),)), ["p"])
+    module.add_function(f)
+    b = IRBuilder(f, f.add_block("entry"))
+    full = b.all_ones_mask(8)
+    half = Constant(VectorType(I1, 8), [1, 1, 1, 1, 0, 0, 0, 0])
+    x = b.vload(f.args[0], 8, full)
+    y = b.add(x, b.broadcast(Constant(I32, 10), 8))
+    b.vstore(y, f.args[0], half)
+    b.ret()
+    verify_function(f)
+    interp = Interpreter(module)
+    addr = interp.memory.alloc_array(np.arange(8, dtype=np.uint32))
+    interp.run(f, addr)
+    out = interp.memory.read_array(addr, np.uint32, 8).tolist()
+    assert out == [10, 11, 12, 13, 4, 5, 6, 7]
+
+
+def test_gather_scatter_and_shuffle():
+    module = Module("t")
+    f = Function("f", FunctionType(VOID, (PointerType(I32), PointerType(I32))), ["src", "dst"])
+    module.add_function(f)
+    b = IRBuilder(f, f.add_block("entry"))
+    full = b.all_ones_mask(4)
+    base = b.ptrtoint(f.args[0])
+    basev = b.broadcast(base, 4)
+    # reversed indices: 3,2,1,0 scaled by 4 bytes
+    offs = Constant(VectorType(I64, 4), [12, 8, 4, 0])
+    addrs = b.inttoptr(b.add(basev, offs), VectorType(PointerType(I32), 4))
+    g = b.gather(addrs, full)
+    b.vstore(g, f.args[1], full)
+    b.ret()
+    verify_function(f)
+    interp = Interpreter(module)
+    src = interp.memory.alloc_array(np.array([1, 2, 3, 4], dtype=np.uint32))
+    dst = interp.memory.alloc_array(np.zeros(4, dtype=np.uint32))
+    interp.run(f, src, dst)
+    assert interp.memory.read_array(dst, np.uint32, 4).tolist() == [4, 3, 2, 1]
+    # gather must be costed much higher than a packed load
+    gather_cost = interp.stats.counts.get("gather")
+    assert gather_cost == 1
+
+
+def test_f32_rounding_consistency():
+    """Scalar f32 math must round like numpy float32 vector math."""
+
+    def build(b, f):
+        b.ret(b.fmul(f.args[0], f.args[1]))
+
+    r = run_fn(build, F32, [F32, F32], [1.1, 2.3])
+    assert r == float(np.float32(np.float32(1.1) * np.float32(2.3)))
+
+
+def test_saturating_ops():
+    def build(b, f):
+        b.ret(b.addsat_u(f.args[0], f.args[1]))
+
+    assert run_fn(build, I8, [I8, I8], [200, 100]) == 255
+
+    def build2(b, f):
+        b.ret(b.subsat_u(f.args[0], f.args[1]))
+
+    assert run_fn(build2, I8, [I8, I8], [10, 100]) == 0
+
+
+def test_call_between_functions():
+    module = Module("t")
+    callee = Function("sq", FunctionType(I32, (I32,)), ["x"])
+    module.add_function(callee)
+    b = IRBuilder(callee, callee.add_block("entry"))
+    b.ret(b.mul(callee.args[0], callee.args[0]))
+
+    caller = Function("main", FunctionType(I32, (I32,)), ["x"])
+    module.add_function(caller)
+    b = IRBuilder(caller, caller.add_block("entry"))
+    r = b.call(callee, [caller.args[0]])
+    b.ret(b.add(r, Constant(I32, 1)))
+    verify_function(caller)
+    verify_function(callee)
+
+    interp = Interpreter(module)
+    assert interp.run(caller, 6) == 37

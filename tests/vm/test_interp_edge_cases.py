@@ -1,0 +1,139 @@
+"""Interpreter edge cases: traps, limits, undef, stack discipline."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    I32,
+    I64,
+    VOID,
+    Constant,
+    Function,
+    FunctionType,
+    IRBuilder,
+    Module,
+    UndefValue,
+)
+from repro.vm import ExecutionLimitExceeded, Interpreter, VMTrap
+
+
+def build_module(make):
+    module = Module("t")
+    make(module)
+    return module
+
+
+def test_infinite_loop_hits_instruction_limit():
+    def make(module):
+        f = Function("spin", FunctionType(VOID, ()), [])
+        module.add_function(f)
+        entry = f.add_block("entry")
+        loop = f.add_block("loop")
+        b = IRBuilder(f, entry)
+        b.br(loop)
+        b.position_at_end(loop)
+        b.br(loop)
+
+    module = build_module(make)
+    interp = Interpreter(module, max_instructions=10_000)
+    with pytest.raises(ExecutionLimitExceeded):
+        interp.run("spin")
+
+
+def test_unreachable_traps():
+    def make(module):
+        f = Function("f", FunctionType(VOID, ()), [])
+        module.add_function(f)
+        b = IRBuilder(f, f.add_block("entry"))
+        b.unreachable()
+
+    with pytest.raises(VMTrap, match="unreachable"):
+        Interpreter(build_module(make)).run("f")
+
+
+def test_call_depth_limit():
+    def make(module):
+        f = Function("rec", FunctionType(I32, (I32,)), ["x"])
+        module.add_function(f)
+        b = IRBuilder(f, f.add_block("entry"))
+        r = b.call(f, [f.args[0]])
+        b.ret(r)
+
+    with pytest.raises(VMTrap, match="depth"):
+        Interpreter(build_module(make)).run("rec", 1)
+
+
+def test_wrong_arity_rejected():
+    def make(module):
+        f = Function("f", FunctionType(I32, (I32,)), ["x"])
+        module.add_function(f)
+        b = IRBuilder(f, f.add_block("entry"))
+        b.ret(f.args[0])
+
+    interp = Interpreter(build_module(make))
+    with pytest.raises(TypeError, match="takes 1 args"):
+        interp.run("f")
+
+
+def test_undef_values_execute_as_zero():
+    def make(module):
+        f = Function("f", FunctionType(I32, ()), [])
+        module.add_function(f)
+        b = IRBuilder(f, f.add_block("entry"))
+        v = b.add(UndefValue(I32), Constant(I32, 5))
+        b.ret(v)
+
+    assert Interpreter(build_module(make)).run("f") == 5
+
+
+def test_alloca_stack_discipline_across_calls():
+    """Frame-local allocas are reclaimed on return: many calls must not
+    exhaust VM memory."""
+
+    def make(module):
+        callee = Function("worker", FunctionType(I32, ()), [])
+        module.add_function(callee)
+        b = IRBuilder(callee, callee.add_block("entry"))
+        slot = b.alloca(I64, 4096, "big")
+        b.store(Constant(I64, 7), slot)
+        b.ret(b.trunc(b.load(slot), I32))
+
+        f = Function("main", FunctionType(I32, ()), [])
+        module.add_function(f)
+        entry = f.add_block("entry")
+        header = f.add_block("header")
+        body = f.add_block("body")
+        exit_ = f.add_block("exit")
+        b = IRBuilder(f, entry)
+        b.br(header)
+        b.position_at_end(header)
+        i = b.phi(I32, "i")
+        i.append_operand(Constant(I32, 0))
+        i.append_operand(entry)
+        b.condbr(b.icmp("ult", i, Constant(I32, 1000)), body, exit_)
+        b.position_at_end(body)
+        b.call(callee, [])
+        nxt = b.add(i, Constant(I32, 1))
+        i.append_operand(nxt)
+        i.append_operand(body)
+        b.br(header)
+        b.position_at_end(exit_)
+        b.ret(Constant(I32, 0))
+
+    # 1000 calls x 32KiB alloca would blow the default arena without the
+    # per-frame reset.
+    Interpreter(build_module(make)).run("main")
+
+
+def test_stats_accumulate_across_runs():
+    def make(module):
+        f = Function("f", FunctionType(I32, (I32,)), ["x"])
+        module.add_function(f)
+        b = IRBuilder(f, f.add_block("entry"))
+        b.ret(b.add(f.args[0], Constant(I32, 1)))
+
+    interp = Interpreter(build_module(make))
+    interp.run("f", 1)
+    once = interp.stats.instructions
+    interp.run("f", 2)
+    assert interp.stats.instructions == 2 * once

@@ -1,0 +1,81 @@
+"""Unit tests for the flat VM memory (bounds, guards, masked semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.ir.types import F32, I8, I16, I32
+from repro.vm import Memory, MemoryError_
+
+
+def test_alloc_alignment():
+    mem = Memory()
+    a = mem.alloc(10, align=64)
+    b = mem.alloc(10, align=64)
+    assert a % 64 == 0 and b % 64 == 0 and b >= a + 10
+
+
+def test_null_page_traps():
+    mem = Memory()
+    with pytest.raises(MemoryError_, match="NULL"):
+        mem.load_scalar(0, I32)
+    with pytest.raises(MemoryError_, match="NULL"):
+        mem.store_scalar(4, I8, 1)
+
+
+def test_out_of_bounds_traps():
+    mem = Memory(size=4096)
+    with pytest.raises(MemoryError_, match="out-of-bounds"):
+        mem.load_scalar(4095, I32)
+
+
+def test_scalar_roundtrip_types():
+    mem = Memory()
+    addr = mem.alloc(64)
+    mem.store_scalar(addr, I16, 0xBEEF)
+    assert mem.load_scalar(addr, I16) == 0xBEEF
+    mem.store_scalar(addr, F32, 1.5)
+    assert mem.load_scalar(addr, F32) == 1.5
+
+
+def test_masked_tail_load_does_not_fault_at_array_end():
+    """A tail gang's inactive lanes may point past the array; masked packed
+    loads must only require bounds up to the last active lane."""
+    mem = Memory(size=4096)
+    addr = mem.alloc(4096 - 128)  # consume almost everything
+    tail = mem.alloc(8)  # 8 bytes left at the very end
+    mask = np.zeros(64, dtype=bool)
+    mask[:8] = True
+    out = mem.load_packed(tail, I8, 64, mask)  # full width would fault
+    assert len(out) == 64
+    # all-inactive: no bounds check at all
+    none = mem.load_packed(tail + 10_000, I8, 64, np.zeros(64, dtype=bool))
+    assert (none == 0).all()
+
+
+def test_masked_store_preserves_inactive_lanes():
+    mem = Memory()
+    addr = mem.alloc_array(np.arange(16, dtype=np.uint8))
+    mask = np.zeros(16, dtype=bool)
+    mask[::2] = True
+    mem.store_packed(addr, I8, np.full(16, 99, np.uint8), mask)
+    got = mem.read_array(addr, np.uint8, 16)
+    assert (got[::2] == 99).all()
+    assert (got[1::2] == np.arange(16, dtype=np.uint8)[1::2]).all()
+
+
+def test_gather_scatter_masked():
+    mem = Memory()
+    addr = mem.alloc_array(np.arange(32, dtype=np.uint32))
+    addrs = np.array([addr + 4 * i for i in (3, 1, 30, 7)], dtype=np.uint64)
+    mask = np.array([True, False, True, True])
+    out = mem.gather(addrs, I32, mask)
+    assert out.tolist() == [3, 0, 30, 7]
+    mem.scatter(addrs, I32, np.array([100, 101, 102, 103], np.uint32), mask)
+    data = mem.read_array(addr, np.uint32, 32)
+    assert data[3] == 100 and data[1] == 1 and data[30] == 102 and data[7] == 103
+
+
+def test_out_of_memory():
+    mem = Memory(size=1024)
+    with pytest.raises(MemoryError_, match="out of VM memory"):
+        mem.alloc(4096)
