@@ -2,7 +2,12 @@
 """Regenerate Figure 4: Parsimony and ispc performance on the 7 ispc
 benchmarks, normalized to LLVM auto-vectorization (paper §6).
 
-    python examples/fig4_report.py
+    python examples/fig4_report.py [--smoke] [--telemetry out.json]
+
+``--smoke`` runs only the mandelbrot benchmark (the CI smoke target);
+``--telemetry PATH`` collects pipeline observability — pass timings,
+vectorizer shape/memory-form counters, per-function VM cycle
+attribution — and writes it as structured JSON.
 
 Paper reference points: geomean speedup over auto-vectorization is 5.9x
 (Parsimony) and 6.0x (ispc); Parsimony matches ispc on every benchmark
@@ -10,17 +15,20 @@ except Binomial Options (0.71x of ispc), a gap the paper traces to
 SLEEF's AVX-512 ``pow`` being 2.6x slower than ispc's built-in.
 """
 
-from repro.benchsuite import geomean, run_impl
+import argparse
+
+from repro import telemetry
+from repro.benchsuite import geomean, run_impl, summarize_telemetry
 from repro.benchsuite.ispc_suite import BENCHMARKS
 
 IMPLS = ("scalar", "autovec", "parsimony", "ispc")
 
 
-def main():
+def report(specs):
     print("Figure 4 — speedup over LLVM auto-vectorization (model cycles)")
     print(f"{'benchmark':20s} {'parsimony':>10s} {'ispc':>10s} {'psim/ispc':>10s}")
     rows = []
-    for spec in BENCHMARKS:
+    for spec in specs:
         cycles = {impl: run_impl(spec, impl).cycles for impl in IMPLS}
         base = cycles["autovec"]
         parsimony = base / cycles["parsimony"]
@@ -34,6 +42,34 @@ def main():
     print()
     print("paper: geomean 5.9 (Parsimony) vs 6.0 (ispc); parity everywhere")
     print("       except binomial_options, where SLEEF pow costs 2.6x ispc's.")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run only the mandelbrot benchmark (CI smoke target)",
+    )
+    parser.add_argument(
+        "--telemetry", metavar="PATH",
+        help="write pipeline telemetry (pass timings, vectorizer counters, "
+             "VM hot-spots) as JSON to PATH",
+    )
+    args = parser.parse_args()
+
+    specs = BENCHMARKS
+    if args.smoke:
+        specs = [s for s in BENCHMARKS if s.name == "mandelbrot"]
+
+    if args.telemetry:
+        with telemetry.collect() as session:
+            report(specs)
+        session.meta["figure"] = "fig4"
+        session.meta["cycles_by_kernel"] = summarize_telemetry(session)
+        session.write(args.telemetry)
+        print(f"\ntelemetry written to {args.telemetry}")
+    else:
+        report(specs)
 
 
 if __name__ == "__main__":

@@ -3,21 +3,25 @@
 the 72 Simd Library kernels, for hand-written intrinsics, Parsimony, and
 LLVM auto-vectorization (paper §6).
 
-    python examples/fig5_report.py [--full]
+    python examples/fig5_report.py [--full] [--telemetry out.json]
+
+``--telemetry PATH`` collects pipeline observability — pass timings,
+vectorizer shape/memory-form counters, per-function VM cycle
+attribution — and writes it as structured JSON.
 
 Paper reference points: geomeans 7.91x (hand-written), 7.70x (Parsimony),
 3.46x (auto-vectorization); Parsimony reaches 0.97x of hand-written and
 2.23x of auto-vectorization.
 """
 
-import sys
+import argparse
 
-from repro.benchsuite import geomean, measure_kernel
+from repro import telemetry
+from repro.benchsuite import geomean, measure_kernel, summarize_telemetry
 from repro.benchsuite.simdlib import KERNELS
 
 
-def main():
-    full = "--full" in sys.argv
+def report(full: bool):
     print("Figure 5 — speedup over scalar (model cycles), 72 Simd Library kernels")
     if full:
         print(f"{'#':>3s} {'kernel':38s} {'autovec':>8s} {'psim':>8s} {'hand':>8s}")
@@ -42,6 +46,29 @@ def main():
     av_ratio = geomean([s["parsimony"] / s["autovec"] for _, s in rows])
     print(f"\nParsimony / hand-written: {ratio:.2f}   (paper: 0.97)")
     print(f"Parsimony / auto-vec:     {av_ratio:.2f}   (paper: 2.23)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full", action="store_true", help="print the per-kernel table"
+    )
+    parser.add_argument(
+        "--telemetry", metavar="PATH",
+        help="write pipeline telemetry (pass timings, vectorizer counters, "
+             "VM hot-spots) as JSON to PATH",
+    )
+    args = parser.parse_args()
+
+    if args.telemetry:
+        with telemetry.collect() as session:
+            report(args.full)
+        session.meta["figure"] = "fig5"
+        session.meta["cycles_by_kernel"] = summarize_telemetry(session)
+        session.write(args.telemetry)
+        print(f"\ntelemetry written to {args.telemetry}")
+    else:
+        report(args.full)
 
 
 if __name__ == "__main__":

@@ -10,12 +10,13 @@ from .runner import (
     geomean,
     measure_kernel,
     run_impl,
+    summarize_telemetry,
 )
 from .workloads import Workload, f32_array, gray_image, planar_image, rng_for
 
 __all__ = [
     "KernelSpec", "elementwise_sources", "reduction_sources", "rowwise_sources",
     "IMPLEMENTATIONS", "KernelResult", "build_impl", "check_kernel",
-    "geomean", "measure_kernel", "run_impl",
+    "geomean", "measure_kernel", "run_impl", "summarize_telemetry",
     "Workload", "f32_array", "gray_image", "planar_image", "rng_for",
 ]

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..backend.machine import AVX512, ExecStats, Machine
 from ..driver import compile_autovec, compile_ispc, compile_parsimony, compile_scalar
 from ..ir.module import Module
@@ -30,6 +31,7 @@ __all__ = [
     "check_kernel",
     "measure_kernel",
     "geomean",
+    "summarize_telemetry",
 ]
 
 IMPLEMENTATIONS = ("scalar", "autovec", "parsimony", "handwritten")
@@ -81,16 +83,21 @@ def build_impl(spec: KernelSpec, impl: str, machine: Machine = AVX512) -> Module
 
 def run_impl(spec: KernelSpec, impl: str, machine: Machine = AVX512,
              module: Optional[Module] = None,
-             workload: Optional[Workload] = None) -> KernelResult:
+             workload: Optional[Workload] = None,
+             predecode: bool = True) -> KernelResult:
     """Execute one implementation on the kernel's seeded workload."""
     module = module or build_impl(spec, impl, machine)
     workload = workload or spec.workload()
-    interp = Interpreter(module, machine=machine)
+    interp = Interpreter(module, machine=machine, predecode=predecode)
     addrs = []
     for array in workload.arrays:
         addrs.append(interp.memory.alloc_array(array))
         interp.memory.alloc(_GUARD_BYTES)
+    # Interpreter stats accumulate across run() calls; start this
+    # measurement from a known-zero state.
+    interp.reset_stats()
     returned = interp.run("kernel", *addrs, *workload.scalars)
+    telemetry.record_vm_run(f"{spec.name}/{impl}", interp.stats, interp.hotspots())
     outputs = [
         interp.memory.read_array(addrs[idx], workload.arrays[idx].dtype,
                                  workload.arrays[idx].size)
@@ -149,3 +156,17 @@ def geomean(values: Sequence[float]) -> float:
     if not values:
         return 0.0
     return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def summarize_telemetry(session: "telemetry.Telemetry") -> Dict[str, Dict[str, float]]:
+    """Fold a telemetry session's VM runs into a kernel × impl cycle table.
+
+    ``run_impl`` labels each run ``"<kernel>/<impl>"``; later runs of the
+    same pair overwrite earlier ones (each run's stats are self-contained
+    thanks to ``reset_stats``).
+    """
+    table: Dict[str, Dict[str, float]] = {}
+    for run in session.vm_runs:
+        kernel, _, impl = run["label"].partition("/")
+        table.setdefault(kernel, {})[impl] = run["cycles"]
+    return table

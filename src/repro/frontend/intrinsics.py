@@ -142,7 +142,8 @@ PSIM_INTRINSICS = frozenset(
        psim_gang_sync psim_shuffle_sync psim_broadcast_sync
        psim_reduce_add_sync psim_reduce_min_sync psim_reduce_max_sync
        psim_sad_sync psim_any_sync psim_all_sync
-       psim_atomic_add psim_atomic_min psim_atomic_max""".split()
+       psim_atomic_add psim_atomic_min psim_atomic_max
+       psim_atomic_smin psim_atomic_smax""".split()
 )
 
 
@@ -187,7 +188,13 @@ def _psim_sig(name: str, args: List[CType]) -> BuiltinSig:
         if args[0] != U8T or args[1] != U8T:
             raise BuiltinError("psim_sad_sync expects two u8 values")
         return BuiltinSig(name, U64T, [U8T, U8T], "psim")
-    if name in ("psim_atomic_add", "psim_atomic_min", "psim_atomic_max"):
+    if name in (
+        "psim_atomic_add",
+        "psim_atomic_min",
+        "psim_atomic_max",
+        "psim_atomic_smin",
+        "psim_atomic_smax",
+    ):
         _expect_args(name, args, 2)
         if not args[0].is_pointer or args[0].pointee is None or not args[0].pointee.is_int:
             raise BuiltinError(f"{name} expects an integer pointer")

@@ -631,6 +631,10 @@ class _FunctionLowering:
             return self.b.atomicrmw("umin", args[0], args[1])
         if name == "psim_atomic_max":
             return self.b.atomicrmw("umax", args[0], args[1])
+        if name == "psim_atomic_smin":
+            return self.b.atomicrmw("smin", args[0], args[1])
+        if name == "psim_atomic_smax":
+            return self.b.atomicrmw("smax", args[0], args[1])
         raise LowerError(f"unhandled psim intrinsic {name}")
 
     def _lane(self) -> Value:

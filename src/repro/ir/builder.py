@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Union
 
 from .instructions import (
+    ATOMIC_RMW_OPS,
     CAST_OPS,
     FCMP_PREDS,
     FLOAT_BINOPS,
@@ -243,6 +244,11 @@ class IRBuilder:
         return self.insert(Instruction("gep", ptr.type, [ptr, index], name or "gep"))
 
     def atomicrmw(self, op: str, ptr: Value, value: Value, ordering: str = "relaxed"):
+        if op not in ATOMIC_RMW_OPS:
+            raise ValueError(
+                f"atomicrmw: unsupported op {op!r} (expected one of "
+                f"{', '.join(sorted(ATOMIC_RMW_OPS))})"
+            )
         if not ptr.type.is_pointer or ptr.type.pointee != value.type:
             raise TypeError("atomicrmw type mismatch")
         return self.insert(

@@ -51,6 +51,7 @@ __all__ = [
     "VECTOR_MEM_OPS",
     "REDUCE_OPS",
     "TERMINATORS",
+    "ATOMIC_RMW_OPS",
     "ICMP_PREDS",
     "FCMP_PREDS",
     "COMMUTATIVE_OPS",
@@ -72,6 +73,10 @@ REDUCE_OPS = frozenset(
     "reduce_add reduce_min_s reduce_min_u reduce_max_s reduce_max_u reduce_and reduce_or".split()
 )
 TERMINATORS = frozenset("br condbr ret unreachable".split())
+
+#: Ops accepted by ``atomicrmw`` — every one is also a scalar integer binop,
+#: so the VM can evaluate the read-modify-write through the binop tables.
+ATOMIC_RMW_OPS = frozenset("add sub and or xor umax umin smax smin".split())
 
 ICMP_PREDS = frozenset("eq ne slt sle sgt sge ult ule ugt uge".split())
 FCMP_PREDS = frozenset("oeq one olt ole ogt oge".split())

@@ -9,7 +9,7 @@ from .simplify_cfg import remove_unreachable_blocks, simplify_cfg
 from .constfold import constant_fold
 from .dce import dce
 from .inline import inline_call, inline_function_calls, inline_module_calls
-from .clone import clone_blocks, clone_function
+from .clone import clone_blocks, clone_function, clone_module
 from .loop_simplify import loop_simplify
 from .cse import cse
 from .narrow import narrow_ints
@@ -28,6 +28,7 @@ __all__ = [
     "inline_module_calls",
     "clone_blocks",
     "clone_function",
+    "clone_module",
     "loop_simplify",
     "cse",
     "narrow_ints",

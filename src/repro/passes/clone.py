@@ -6,10 +6,10 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..ir.instructions import Instruction
-from ..ir.module import BasicBlock, Function
-from ..ir.values import Value
+from ..ir.module import BasicBlock, ExternalFunction, Function, Module
+from ..ir.values import Constant, UndefValue, Value
 
-__all__ = ["clone_blocks", "clone_function"]
+__all__ = ["clone_blocks", "clone_function", "clone_module"]
 
 
 def clone_blocks(
@@ -74,4 +74,47 @@ def clone_function(source: Function, new_name: str, module=None) -> Function:
     clone_blocks(source.blocks, clone, value_map)
     if module is not None:
         module.add_function(clone)
+    return clone
+
+
+def clone_module(source: Module, name: Optional[str] = None) -> Module:
+    """Deep-copy a whole module into a fresh, fully disjoint one.
+
+    Every ``Value`` with def-use bookkeeping — functions, externals,
+    constants, undefs, arguments, instructions, blocks — is freshly
+    created, so passes mutating the clone can never corrupt ``source``
+    (the property the driver's compile cache relies on).  Immutable
+    payloads (types, ``SpmdInfo``, external ``impl`` callables) are
+    shared.
+    """
+    clone = Module(name if name is not None else source.name)
+    value_map: Dict[Value, Value] = {}
+    for ext in source.externals.values():
+        new_ext = ExternalFunction(ext.name, ext.ftype, ext.impl, ext.cost)
+        clone.add_external(new_ext)
+        value_map[ext] = new_ext
+    # Function shells first so cross-function calls resolve either way.
+    shells: List[tuple] = []
+    for func in source.functions.values():
+        shell = Function(func.name, func.ftype, [a.name for a in func.args])
+        shell.attrs = dict(func.attrs)
+        shell.spmd = func.spmd
+        clone.add_function(shell)
+        value_map[func] = shell
+        for src_arg, dst_arg in zip(func.args, shell.args):
+            value_map[src_arg] = dst_arg
+        shells.append((func, shell))
+    for func, shell in shells:
+        # Fresh constants/undefs per clone: ``clone_blocks`` falls back to
+        # sharing unmapped operands, which would thread the clone's uses
+        # into the source module's Constant objects.
+        for instr in func.instructions():
+            for op in instr.operands:
+                if op in value_map:
+                    continue
+                if isinstance(op, Constant):
+                    value_map[op] = Constant(op.type, op.value)
+                elif isinstance(op, UndefValue):
+                    value_map[op] = UndefValue(op.type, op.name)
+        clone_blocks(func.blocks, shell, value_map)
     return clone

@@ -12,8 +12,10 @@ pipeline around the vectorizer.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Iterable, List, Optional
 
+from .. import telemetry
 from ..ir.module import Function, Module
 from ..ir.verifier import verify_function
 
@@ -22,8 +24,21 @@ __all__ = ["FunctionPass", "PassManager"]
 FunctionPass = Callable[[Function], bool]
 
 
+def _pass_name(pass_: FunctionPass) -> str:
+    return getattr(pass_, "__name__", None) or type(pass_).__name__
+
+
+def _instr_count(function: Function) -> int:
+    return sum(len(block.instructions) for block in function.blocks)
+
+
 class PassManager:
-    """Runs function passes over a module in order."""
+    """Runs function passes over a module in order.
+
+    When a :mod:`repro.telemetry` session is active, every pass invocation
+    is timed and its IR-size delta recorded; with no session the
+    instrumentation costs one module-global check per pass.
+    """
 
     def __init__(self, passes: Optional[Iterable] = None, verify_each: bool = True):
         self.passes: List = list(passes or [])
@@ -33,13 +48,25 @@ class PassManager:
         self.passes.append(pass_)
         return self
 
+    def _apply(self, pass_: FunctionPass, function: Function) -> bool:
+        if telemetry.current() is None:
+            return pass_(function)
+        before = _instr_count(function)
+        t0 = time.perf_counter()
+        changed = pass_(function)
+        seconds = time.perf_counter() - t0
+        telemetry.record_pass(
+            _pass_name(pass_), function.name, seconds, before, _instr_count(function)
+        )
+        return changed
+
     def run(self, module: Module) -> bool:
         changed = False
         for pass_ in self.passes:
             for function in list(module.functions.values()):
                 if not function.blocks:
                     continue
-                if pass_(function):
+                if self._apply(pass_, function):
                     changed = True
                 if self.verify_each:
                     verify_function(function)
@@ -48,7 +75,7 @@ class PassManager:
     def run_function(self, function: Function) -> bool:
         changed = False
         for pass_ in self.passes:
-            if pass_(function):
+            if self._apply(pass_, function):
                 changed = True
             if self.verify_each:
                 verify_function(function)

@@ -1,0 +1,200 @@
+"""``repro.telemetry`` — structured observability for the pipeline.
+
+Collects three kinds of evidence about a compile-and-execute session and
+emits them as one JSON document:
+
+* **pass telemetry** — wall-clock time and IR-size deltas per optimization
+  pass, recorded by :class:`~repro.passes.pass_manager.PassManager`;
+* **vectorizer counters** — per vectorized function: shape classifications
+  (uniform / indexed / varying, §4.2.1), memory-form selections
+  (uniform / packed / window / gather-scatter, §4.2.2-4.2.3), and mask
+  operations in the emitted code;
+* **VM attribution** — per executed run: cost-model cycles, instruction
+  counts, and per-function hot-spot attribution from the interpreter.
+
+Collection is opt-in and thread-unsafe-by-design (one active session):
+
+    with telemetry.collect() as t:
+        ...compile and run things...
+    t.write("out.json")
+
+All recording hooks are no-ops when no session is active, so the
+instrumented code paths cost nothing in normal runs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "Telemetry",
+    "collect",
+    "current",
+    "record_pass",
+    "record_vectorization",
+    "record_vm_run",
+]
+
+SCHEMA = "repro-telemetry/1"
+
+
+class Telemetry:
+    """One collection session's worth of pipeline evidence."""
+
+    def __init__(self):
+        #: pass name -> {calls, seconds, instrs_before, instrs_after}
+        self.passes: Dict[str, Dict[str, float]] = {}
+        #: one entry per vectorized function
+        self.vectorized: List[Dict[str, object]] = []
+        #: one entry per VM run
+        self.vm_runs: List[Dict[str, object]] = []
+        self.meta: Dict[str, object] = {"started_at": time.time()}
+
+    # -- recording -------------------------------------------------------------------
+
+    def record_pass(
+        self,
+        pass_name: str,
+        function_name: str,
+        seconds: float,
+        instrs_before: int,
+        instrs_after: int,
+    ) -> None:
+        entry = self.passes.get(pass_name)
+        if entry is None:
+            entry = self.passes[pass_name] = {
+                "calls": 0,
+                "seconds": 0.0,
+                "instrs_before": 0,
+                "instrs_after": 0,
+            }
+        entry["calls"] += 1
+        entry["seconds"] += seconds
+        entry["instrs_before"] += instrs_before
+        entry["instrs_after"] += instrs_after
+
+    def record_vectorization(
+        self,
+        function_name: str,
+        gang_size: int,
+        shapes: Dict[str, int],
+        memory_forms: Dict[str, int],
+        mask_ops: Dict[str, int],
+        warnings: List[str],
+    ) -> None:
+        self.vectorized.append(
+            {
+                "function": function_name,
+                "gang_size": gang_size,
+                "shapes": dict(shapes),
+                "memory_forms": dict(memory_forms),
+                "mask_ops": dict(mask_ops),
+                "warnings": list(warnings),
+            }
+        )
+
+    def record_vm_run(self, label: str, stats, hotspots: List[Dict]) -> None:
+        self.vm_runs.append(
+            {
+                "label": label,
+                "cycles": stats.cycles,
+                "instructions": stats.instructions,
+                "counts": dict(stats.counts),
+                "hotspots": list(hotspots),
+            }
+        )
+
+    # -- reporting -------------------------------------------------------------------
+
+    def pass_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-pass aggregates with the IR-size delta made explicit."""
+        summary = {}
+        for name, entry in self.passes.items():
+            summary[name] = {
+                **entry,
+                "instrs_delta": entry["instrs_after"] - entry["instrs_before"],
+            }
+        return summary
+
+    def vectorizer_totals(self) -> Dict[str, Dict[str, int]]:
+        """Shape / memory-form / mask-op counters summed over functions."""
+        totals: Dict[str, Dict[str, int]] = {
+            "shapes": {},
+            "memory_forms": {},
+            "mask_ops": {},
+        }
+        for entry in self.vectorized:
+            for section in totals:
+                for key, n in entry[section].items():  # type: ignore[union-attr]
+                    totals[section][key] = totals[section].get(key, 0) + n
+        return totals
+
+    def as_dict(self) -> Dict[str, object]:
+        from . import driver
+
+        return {
+            "schema": SCHEMA,
+            "meta": self.meta,
+            "passes": self.pass_summary(),
+            "vectorizer": {
+                "functions": self.vectorized,
+                "totals": self.vectorizer_totals(),
+            },
+            "vm": {"runs": self.vm_runs},
+            "compile_cache": driver.compile_cache_stats(),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+
+_current: Optional[Telemetry] = None
+
+
+def current() -> Optional[Telemetry]:
+    """The active session, or ``None`` (hooks check this and bail)."""
+    return _current
+
+
+@contextmanager
+def collect() -> Iterator[Telemetry]:
+    """Activate a collection session for the dynamic extent of the block."""
+    global _current
+    session = Telemetry()
+    previous = _current
+    _current = session
+    try:
+        yield session
+    finally:
+        session.meta["duration_seconds"] = time.time() - session.meta["started_at"]
+        _current = previous
+
+
+# Module-level convenience hooks: no-ops without an active session.
+
+def record_pass(pass_name, function_name, seconds, instrs_before, instrs_after):
+    if _current is not None:
+        _current.record_pass(
+            pass_name, function_name, seconds, instrs_before, instrs_after
+        )
+
+
+def record_vectorization(function_name, gang_size, shapes, memory_forms,
+                         mask_ops, warnings):
+    if _current is not None:
+        _current.record_vectorization(
+            function_name, gang_size, shapes, memory_forms, mask_ops, warnings
+        )
+
+
+def record_vm_run(label, stats, hotspots):
+    if _current is not None:
+        _current.record_vm_run(label, stats, hotspots)

@@ -10,8 +10,9 @@ flow linearization, and shape-directed instruction transformation.
 pipeline, which is the integration property the paper argues for.
 """
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from .. import telemetry
 from ..ir.module import Function, Module
 from ..ir.verifier import verify_function
 from ..passes import constant_fold, dce, loop_simplify, mem2reg, simplify_cfg
@@ -73,7 +74,52 @@ def vectorize_function(
     module.functions[name] = vectorized
     function.replace_all_uses_with(vectorized)
     vectorized.attrs["parsimony_warnings"] = vectorizer.warnings
+
+    counters = {
+        "shapes": _shape_counts(analysis),
+        "memory_forms": dict(vectorizer.memform_counts),
+        "mask_ops": _mask_op_counts(vectorized),
+    }
+    vectorized.attrs["parsimony_telemetry"] = counters
+    telemetry.record_vectorization(
+        name,
+        function.spmd.gang_size,
+        counters["shapes"],
+        counters["memory_forms"],
+        counters["mask_ops"],
+        vectorizer.warnings,
+    )
     return vectorized
+
+
+def _shape_counts(analysis: ShapeAnalysis) -> Dict[str, int]:
+    """Classify every analyzed value as uniform / indexed / varying (§4.2.1)."""
+    counts = {"uniform": 0, "indexed": 0, "varying": 0}
+    for shape in analysis.shapes.values():
+        if shape.is_uniform:
+            counts["uniform"] += 1
+        elif shape.is_indexed:
+            counts["indexed"] += 1
+        else:
+            counts["varying"] += 1
+    return counts
+
+
+def _mask_op_counts(function: Function) -> Dict[str, int]:
+    """Mask operations in the emitted code: explicit mask tests plus
+    mask-conditioned blends (vector-i1 selects from linearization)."""
+    counts: Dict[str, int] = {}
+    for instr in function.instructions():
+        op = instr.opcode
+        if op in ("mask_any", "mask_all", "mask_popcnt"):
+            counts[op] = counts.get(op, 0) + 1
+        elif op == "select":
+            cond = instr.operands[0]
+            if cond.type.is_vector:
+                counts["blend_select"] = counts.get("blend_select", 0) + 1
+        elif op in ("vload", "vstore", "gather", "scatter"):
+            counts["masked_memory"] = counts.get("masked_memory", 0) + 1
+    return counts
 
 
 def vectorize_module(

@@ -97,6 +97,9 @@ class Vectorizer:
         self.gang = sfunc.spmd.gang_size
         self.shapes = analysis
         self.warnings: List[str] = []
+        #: Memory-form selections ("load.packed", "store.scatter", ...) made
+        #: while emitting this function, for telemetry (§4.2.2-4.2.3).
+        self.memform_counts: Dict[str, int] = {}
 
         self.mask_type = VectorType(I1, self.gang)
         self.rpo = reverse_postorder(sfunc)
@@ -743,11 +746,15 @@ class Vectorizer:
             )
         return False
 
+    def _count_form(self, form: str) -> None:
+        self.memform_counts[form] = self.memform_counts.get(form, 0) + 1
+
     def _emit_load(self, instr: Instruction, mask: Optional[Value]) -> None:
         addr = instr.operands[0]
         elem = instr.type
         plan = self._address_plan(addr, elem)
         kind = plan[0]
+        self._count_form(f"load.{kind}")
         if kind == "uniform":
             cached = self._cached_load(addr, None)
             if cached is not None:
@@ -804,18 +811,22 @@ class Vectorizer:
         kind = plan[0]
         vshape = self.shapes.shape_of(value)
         if kind == "uniform":
+            self._count_form("store.uniform")
             self._emit_uniform_store(instr, plan[1], value, vshape, mask)
             return
         m = self._mask_value(mask)
         if kind == "packed":
+            self._count_form("store.packed")
             self.b.vstore(self._materialize(value), plan[1], m)
             return
         if kind == "window":
             _, first, rel_elems, k = plan
             if len(set(rel_elems.tolist())) == len(rel_elems):
+                self._count_form("store.window")
                 self._emit_window_store(first, rel_elems, k, value, m)
                 return
             plan = ("gather", self._materialize(addr))  # colliding lanes: scatter
+        self._count_form("store.scatter")
         self.b.scatter(self._materialize(value), plan[1], m)
 
     def _emit_window_store(self, first: Value, rel_elems: np.ndarray, k: int,

@@ -10,17 +10,41 @@ Every dynamically executed instruction is charged by the
 :class:`~repro.backend.machine.Machine`; ``run()`` returns the result plus
 :class:`~repro.backend.machine.ExecStats` with cycles and per-opcode
 counts.
+
+Execution engines
+-----------------
+
+The interpreter has two engines that produce bit-identical results *and*
+bit-identical ``ExecStats``:
+
+* the **pre-decoded engine** (default): each basic block is decoded once,
+  on first entry, into a :class:`_DecodedBlock` — a list of
+  ``(instr, opcode, cost, thunk)`` tuples whose thunks have already
+  resolved the opcode dispatch, operand lookups, cost-model query, and
+  type-directed specialization.  The per-dynamic-instruction work drops to
+  one tuple unpack, three counter updates, and one call;
+* the **reference engine** (``predecode=False``): the original
+  opcode-string dispatch loop, kept as the executable specification the
+  equivalence tests compare against.
+
+Both engines assume the module is not mutated once execution has started;
+call :meth:`Interpreter.clear_decode_cache` after transforming a function
+that has already run.  Constant payloads are shared across dynamic uses in
+the decoded engine — no opcode mutates its operand arrays, so this is
+observationally equivalent to the reference engine's fresh-per-use arrays.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import operator
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..backend.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..backend.machine import AVX512, ExecStats, Machine
 from ..ir.instructions import (
+    ATOMIC_RMW_OPS,
     CAST_OPS,
     FLOAT_BINOPS,
     INT_BINOPS,
@@ -46,6 +70,9 @@ from .ops import (
     eval_vector_icmp,
     eval_vector_unop,
     round_float,
+    scalar_binop_impl,
+    scalar_fcmp_impl,
+    scalar_icmp_impl,
 )
 
 __all__ = ["Interpreter", "VMTrap", "ExecutionLimitExceeded"]
@@ -56,6 +83,33 @@ class ExecutionLimitExceeded(VMTrap):
 
 
 _MAX_CALL_DEPTH = 256
+
+# Terminator kinds in decoded form.
+_T_BR = 0
+_T_CONDBR = 1
+_T_RET = 2
+_T_UNREACHABLE = 3
+
+
+class _DecodedBlock:
+    """One basic block, decoded for the fast engine.
+
+    ``phis``  — list of ``(instr, {pred_block: resolver})``;
+    ``body``  — list of ``(instr, opcode, cost, thunk)`` for the non-phi,
+    non-terminator instructions, where ``thunk(env, depth)`` computes the
+    value;
+    ``term``  — ``(_T_BR, cost, opcode, target)`` |
+    ``(_T_CONDBR, cost, opcode, cond_resolver, iftrue, iffalse)`` |
+    ``(_T_RET, cost, opcode, resolver_or_None)`` |
+    ``(_T_UNREACHABLE, cost, opcode)``.
+    """
+
+    __slots__ = ("phis", "body", "term")
+
+    def __init__(self, phis, body, term):
+        self.phis = phis
+        self.body = body
+        self.term = term
 
 
 class Interpreter:
@@ -68,14 +122,22 @@ class Interpreter:
         cost_model: Optional[CostModel] = None,
         memory: Optional[Memory] = None,
         max_instructions: int = 500_000_000,
+        predecode: bool = True,
     ):
         self.module = module
         self.machine = machine
         self.cost_model = cost_model or DEFAULT_COST_MODEL
         self.memory = memory or Memory()
         self.max_instructions = max_instructions
+        self.predecode = predecode
         self.stats = ExecStats()
-        self._cost_cache: Dict[int, float] = {}
+        #: Exclusive (self-only) cycles per function name, for hot-spot telemetry.
+        self.func_cycles: Dict[str, float] = {}
+        #: Dynamic call count per function name.
+        self.func_calls: Dict[str, int] = {}
+        self._child_cycles = 0.0
+        self._cost_cache: Dict[Instruction, float] = {}
+        self._decoded: Dict[Function, Dict[BasicBlock, _DecodedBlock]] = {}
 
     # -- public API -----------------------------------------------------------------
 
@@ -92,11 +154,430 @@ class Interpreter:
         ]
         return self._exec_function(function, argvals, depth=0)
 
+    def reset_stats(self) -> ExecStats:
+        """Zero all counters in place (``self.stats`` stays the same object).
+
+        Reusing one interpreter for several timed runs without calling this
+        silently accumulates cycles from earlier runs into every
+        measurement.
+        """
+        stats = self.stats
+        stats.cycles = 0.0
+        stats.instructions = 0
+        stats.counts.clear()
+        self.func_cycles.clear()
+        self.func_calls.clear()
+        self._child_cycles = 0.0
+        return stats
+
+    def clear_decode_cache(self) -> None:
+        """Drop decoded blocks and cached costs (after mutating the module)."""
+        self._decoded.clear()
+        self._cost_cache.clear()
+
+    def hotspots(self) -> List[Dict[str, object]]:
+        """Per-function cycle attribution, hottest first (for telemetry)."""
+        return [
+            {
+                "function": name,
+                "exclusive_cycles": cycles,
+                "calls": self.func_calls.get(name, 0),
+            }
+            for name, cycles in sorted(
+                self.func_cycles.items(), key=lambda kv: -kv[1]
+            )
+        ]
+
     # -- execution ---------------------------------------------------------------------
 
     def _exec_function(self, function: Function, argvals: List, depth: int):
         if depth > _MAX_CALL_DEPTH:
             raise VMTrap(f"call depth exceeded calling @{function.name}")
+        stats = self.stats
+        cycles_at_entry = stats.cycles
+        saved_child_cycles = self._child_cycles
+        self._child_cycles = 0.0
+        try:
+            if self.predecode:
+                return self._exec_decoded(function, argvals, depth)
+            return self._exec_reference(function, argvals, depth)
+        finally:
+            inclusive = stats.cycles - cycles_at_entry
+            exclusive = inclusive - self._child_cycles
+            name = function.name
+            fc = self.func_cycles
+            fc[name] = fc.get(name, 0.0) + exclusive
+            calls = self.func_calls
+            calls[name] = calls.get(name, 0) + 1
+            self._child_cycles = saved_child_cycles + inclusive
+
+    # -- pre-decoded engine ---------------------------------------------------------
+
+    def _exec_decoded(self, function: Function, argvals: List, depth: int):
+        decoded = self._decoded.get(function)
+        if decoded is None:
+            decoded = self._decoded[function] = {}
+        env: Dict[Value, object] = dict(zip(function.args, argvals))
+        memory = self.memory
+        stack_mark = memory._brk  # frame-local alloca discipline
+        stats = self.stats
+        counts = stats.counts
+        limit = self.max_instructions
+        block = function.entry
+        prev: Optional[BasicBlock] = None
+        try:
+            while True:
+                d = decoded.get(block)
+                if d is None:
+                    d = decoded[block] = self._decode_block(block, function)
+                phis = d.phis
+                if phis:
+                    # Evaluate phis in parallel against the incoming edge.
+                    phi_vals = []
+                    for _, edges in phis:
+                        resolver = edges.get(prev)
+                        if resolver is None:
+                            raise KeyError(
+                                f"phi has no incoming edge from block {prev.name}"
+                            )
+                        phi_vals.append(resolver(env))
+                        stats.cycles += 0.0
+                        stats.instructions += 1
+                        counts["phi"] = counts.get("phi", 0) + 1
+                        if stats.instructions > limit:
+                            raise ExecutionLimitExceeded(
+                                f"exceeded {limit} instructions in @{function.name}"
+                            )
+                    for (instr, _), val in zip(phis, phi_vals):
+                        env[instr] = val
+                for instr, opcode, cost, thunk in d.body:
+                    stats.cycles += cost
+                    stats.instructions += 1
+                    counts[opcode] = counts.get(opcode, 0) + 1
+                    if stats.instructions > limit:
+                        raise ExecutionLimitExceeded(
+                            f"exceeded {limit} instructions in @{function.name}"
+                        )
+                    env[instr] = thunk(env, depth)
+                term = d.term
+                stats.cycles += term[1]
+                stats.instructions += 1
+                opcode = term[2]
+                counts[opcode] = counts.get(opcode, 0) + 1
+                if stats.instructions > limit:
+                    raise ExecutionLimitExceeded(
+                        f"exceeded {limit} instructions in @{function.name}"
+                    )
+                kind = term[0]
+                if kind == _T_BR:
+                    prev, block = block, term[3]
+                elif kind == _T_CONDBR:
+                    prev = block
+                    block = term[4] if term[3](env) else term[5]
+                elif kind == _T_RET:
+                    resolver = term[3]
+                    return resolver(env) if resolver is not None else None
+                else:
+                    raise VMTrap(f"reached 'unreachable' in @{function.name}")
+        finally:
+            memory._brk = stack_mark
+
+    # -- decoding --------------------------------------------------------------------
+
+    def _decode_block(self, block: BasicBlock, function: Function) -> _DecodedBlock:
+        instructions = block.instructions
+        if not instructions or not instructions[-1].is_terminator:
+            raise VMTrap(
+                f"block {block.name} in @{function.name} has no terminator"
+            )
+        phis = []
+        i = 0
+        while i < len(instructions) and instructions[i].opcode == "phi":
+            instr = instructions[i]
+            edges = {
+                pred: self._resolver(value)
+                for value, pred in instr.phi_incoming()
+            }
+            phis.append((instr, edges))
+            i += 1
+        body = [
+            (instr, instr.opcode, self._cost(instr), self._decode_instr(instr))
+            for instr in instructions[i:-1]
+        ]
+        term_instr = instructions[-1]
+        cost = self._cost(term_instr)
+        op = term_instr.opcode
+        tops = term_instr.operands
+        if op == "br":
+            term: Tuple = (_T_BR, cost, op, tops[0])
+        elif op == "condbr":
+            term = (_T_CONDBR, cost, op, self._resolver(tops[0]), tops[1], tops[2])
+        elif op == "ret":
+            if tops:
+                resolver = self._resolver(tops[0])
+                if isinstance(tops[0], (Constant, UndefValue)) and isinstance(
+                    tops[0].type, VectorType
+                ):
+                    # Shared constant payloads must not leak to callers who
+                    # may mutate the returned array.
+                    inner = resolver
+                    resolver = lambda env: inner(env).copy()
+                term = (_T_RET, cost, op, resolver)
+            else:
+                term = (_T_RET, cost, op, None)
+        elif op == "unreachable":
+            term = (_T_UNREACHABLE, cost, op)
+        else:
+            raise NotImplementedError(f"interpreter: terminator {op}")
+        return _DecodedBlock(phis, body, term)
+
+    def _resolver(self, value: Value):
+        """A 1-arg callable ``resolver(env)`` producing the operand's payload."""
+        if isinstance(value, (Instruction, Argument)):
+            return operator.itemgetter(value)
+        if isinstance(value, Constant):
+            payload = _constant_payload(value)
+            return lambda env: payload
+        if isinstance(value, UndefValue):
+            payload = _undef_payload(value.type)
+            return lambda env: payload
+        if isinstance(value, (BasicBlock, Function, ExternalFunction)):
+            return lambda env: value
+        raise TypeError(f"cannot evaluate {value!r}")
+
+    def _decode_instr(self, instr: Instruction):
+        """Compile one non-phi, non-terminator instruction into a thunk.
+
+        The thunk signature is ``thunk(env, depth) -> payload``; opcode
+        dispatch, operand resolution strategy, cost lookup, and
+        type-directed specialization all happen here, once per static
+        instruction.
+        """
+        op = instr.opcode
+        ops = instr.operands
+        vec = isinstance(instr.type, VectorType)
+
+        if op in INT_BINOPS or op in FLOAT_BINOPS:
+            a = self._resolver(ops[0])
+            b = self._resolver(ops[1])
+            if vec:
+                elem = instr.type.elem
+                return lambda env, depth: eval_vector_binop(op, elem, a(env), b(env))
+            impl = scalar_binop_impl(op, instr.type)
+            return lambda env, depth: impl(a(env), b(env))
+        if op in UNARY_OPS:
+            a = self._resolver(ops[0])
+            if vec:
+                elem = instr.type.elem
+                return lambda env, depth: eval_vector_unop(op, elem, a(env))
+            t = instr.type
+            return lambda env, depth: eval_scalar_unop(op, t, a(env))
+        if op == "icmp":
+            a = self._resolver(ops[0])
+            b = self._resolver(ops[1])
+            pred = instr.attrs["pred"]
+            src_t = ops[0].type
+            if isinstance(src_t, VectorType):
+                elem = src_t.elem
+                return lambda env, depth: eval_vector_icmp(pred, elem, a(env), b(env))
+            impl = scalar_icmp_impl(pred, src_t)
+            return lambda env, depth: impl(a(env), b(env))
+        if op == "fcmp":
+            a = self._resolver(ops[0])
+            b = self._resolver(ops[1])
+            pred = instr.attrs["pred"]
+            if isinstance(ops[0].type, VectorType):
+                return lambda env, depth: eval_vector_fcmp(pred, a(env), b(env))
+            impl = scalar_fcmp_impl(pred)
+            return lambda env, depth: impl(a(env), b(env))
+        if op in CAST_OPS:
+            v = self._resolver(ops[0])
+            from_t, to_t = ops[0].type, instr.type
+            if isinstance(to_t, VectorType):
+                from_e, to_e = from_t.elem, to_t.elem
+                return lambda env, depth: eval_vector_cast(op, from_e, to_e, v(env))
+            return lambda env, depth: eval_scalar_cast(op, from_t, to_t, v(env))
+        if op == "select":
+            cond = self._resolver(ops[0])
+            a = self._resolver(ops[1])
+            b = self._resolver(ops[2])
+            if isinstance(ops[0].type, VectorType) or vec:
+                return lambda env, depth: np.where(cond(env), a(env), b(env))
+            return lambda env, depth: a(env) if cond(env) else b(env)
+        if op == "fma":
+            a = self._resolver(ops[0])
+            b = self._resolver(ops[1])
+            c = self._resolver(ops[2])
+            if vec:
+                return lambda env, depth: a(env) * b(env) + c(env)
+            t = instr.type
+            return lambda env, depth: round_float(
+                t, round_float(t, a(env) * b(env)) + c(env)
+            )
+
+        # -- memory -------------------------------------------------------------------
+        memory = self.memory
+        if op == "load":
+            addr = self._resolver(ops[0])
+            t = instr.type
+            return lambda env, depth: memory.load_scalar(addr(env), t)
+        if op == "store":
+            value = self._resolver(ops[0])
+            addr = self._resolver(ops[1])
+            t = ops[0].type
+            def _store(env, depth):
+                memory.store_scalar(addr(env), t, value(env))
+                return None
+            return _store
+        if op == "gep":
+            base = self._resolver(ops[0])
+            idx = self._resolver(ops[1])
+            bits = ops[1].type.bits
+            esize = instr.type.pointee.size_bytes()
+            return lambda env, depth: mask_int(
+                base(env) + to_signed(idx(env), bits) * esize, 64
+            )
+        if op == "alloca":
+            size = max(
+                instr.type.pointee.size_bytes() * instr.attrs.get("count", 1), 1
+            )
+            return lambda env, depth: memory.alloc(size)
+        if op == "atomicrmw":
+            rmw = instr.attrs["op"]
+            if rmw not in ATOMIC_RMW_OPS:
+                raise VMTrap(f"atomicrmw: unsupported op {rmw!r}")
+            addr = self._resolver(ops[0])
+            val = self._resolver(ops[1])
+            t = ops[1].type
+            impl = scalar_binop_impl(rmw, t)
+            def _atomicrmw(env, depth):
+                a = addr(env)
+                old = memory.load_scalar(a, t)
+                memory.store_scalar(a, t, impl(old, val(env)))
+                return old
+            return _atomicrmw
+
+        # -- vector -------------------------------------------------------------------
+        if op == "broadcast":
+            scalar = self._resolver(ops[0])
+            count = instr.type.count
+            dtype = elem_dtype(instr.type.elem)
+            return lambda env, depth: np.full(count, scalar(env), dtype=dtype)
+        if op == "extractelement":
+            v = self._resolver(ops[0])
+            idx = self._resolver(ops[1])
+            if instr.type.is_float:
+                def _extract(env, depth):
+                    a = v(env)
+                    return float(a[int(idx(env)) % len(a)])
+            else:
+                def _extract(env, depth):
+                    a = v(env)
+                    return int(a[int(idx(env)) % len(a)])
+            return _extract
+        if op == "insertelement":
+            v = self._resolver(ops[0])
+            idx = self._resolver(ops[1])
+            elt = self._resolver(ops[2])
+            def _insert(env, depth):
+                a = v(env).copy()
+                a[int(idx(env)) % len(a)] = elt(env)
+                return a
+            return _insert
+        if op == "shuffle":
+            src = self._resolver(ops[0])
+            idx = self._resolver(ops[1])
+            def _shuffle(env, depth):
+                a = src(env)
+                return a[idx(env).astype(np.int64) % len(a)]
+            return _shuffle
+        if op == "shuffle2":
+            lo = self._resolver(ops[0])
+            hi = self._resolver(ops[1])
+            idx = self._resolver(ops[2])
+            def _shuffle2(env, depth):
+                both = np.concatenate([lo(env), hi(env)])
+                return both[idx(env).astype(np.int64) % len(both)]
+            return _shuffle2
+        if op == "vload":
+            addr = self._resolver(ops[0])
+            mask = self._resolver(ops[1])
+            elem, count = instr.type.elem, instr.type.count
+            return lambda env, depth: memory.load_packed(
+                addr(env), elem, count, mask(env)
+            )
+        if op == "vstore":
+            value = self._resolver(ops[0])
+            addr = self._resolver(ops[1])
+            mask = self._resolver(ops[2])
+            elem = ops[0].type.elem
+            def _vstore(env, depth):
+                memory.store_packed(addr(env), elem, value(env), mask(env))
+                return None
+            return _vstore
+        if op == "gather":
+            addrs = self._resolver(ops[0])
+            mask = self._resolver(ops[1])
+            elem = instr.type.elem
+            return lambda env, depth: memory.gather(addrs(env), elem, mask(env))
+        if op == "scatter":
+            value = self._resolver(ops[0])
+            addrs = self._resolver(ops[1])
+            mask = self._resolver(ops[2])
+            elem = ops[0].type.elem
+            def _scatter(env, depth):
+                memory.scatter(addrs(env), elem, value(env), mask(env))
+                return None
+            return _scatter
+        if op == "sad":
+            a = self._resolver(ops[0])
+            b = self._resolver(ops[1])
+            def _sad(env, depth):
+                diffs = np.abs(
+                    a(env).astype(np.int64) - b(env).astype(np.int64)
+                ).reshape(-1, 8).sum(axis=1)
+                return diffs.astype(np.uint64)
+            return _sad
+        if op in REDUCE_OPS:
+            v = self._resolver(ops[0])
+            reduce = self._reduce
+            return lambda env, depth: reduce(op, instr, v(env))
+        if op == "mask_any":
+            m = self._resolver(ops[0])
+            return lambda env, depth: 1 if bool(m(env).any()) else 0
+        if op == "mask_all":
+            m = self._resolver(ops[0])
+            return lambda env, depth: 1 if bool(m(env).all()) else 0
+        if op == "mask_popcnt":
+            m = self._resolver(ops[0])
+            return lambda env, depth: int(m(env).sum())
+
+        # -- calls --------------------------------------------------------------------
+        if op == "call":
+            callee = ops[0]
+            arg_resolvers = [self._resolver(o) for o in ops[1:]]
+            if isinstance(callee, ExternalFunction):
+                cost = callee.cost
+                if callable(cost):
+                    cost = cost(self.machine, [o.type for o in ops[1:]])
+                cost = float(cost)
+                label = f"ext:{callee.name}"
+                impl = callee.impl
+                def _ext_call(env, depth):
+                    self.stats.charge(label, cost)
+                    return impl(*[r(env) for r in arg_resolvers])
+                return _ext_call
+            def _call(env, depth):
+                return self._exec_function(
+                    callee, [r(env) for r in arg_resolvers], depth + 1
+                )
+            return _call
+
+        raise NotImplementedError(f"interpreter: opcode {op}")
+
+    # -- reference engine ------------------------------------------------------------
+
+    def _exec_reference(self, function: Function, argvals: List, depth: int):
         env: Dict[Value, object] = dict(zip(function.args, argvals))
         stack_mark = self.memory._brk  # frame-local alloca discipline
         block = function.entry
@@ -117,6 +598,11 @@ class Interpreter:
                             self._value(env, instr.phi_value_for(prev))
                         )
                         stats.charge("phi", 0.0)
+                        if stats.instructions > self.max_instructions:
+                            raise ExecutionLimitExceeded(
+                                f"exceeded {self.max_instructions} instructions"
+                                f" in @{function.name}"
+                            )
                     for instr, val in zip(instructions[:n_phi], phi_vals):
                         env[instr] = val
                 for instr in instructions[n_phi:]:
@@ -205,14 +691,13 @@ class Interpreter:
             size = instr.type.pointee.size_bytes() * instr.attrs.get("count", 1)
             return self.memory.alloc(max(size, 1))
         if op == "atomicrmw":
+            rmw = instr.attrs["op"]
+            if rmw not in ATOMIC_RMW_OPS:
+                raise VMTrap(f"atomicrmw: unsupported op {rmw!r}")
             addr = self._value(env, ops[0])
             val = self._value(env, ops[1])
             old = self.memory.load_scalar(addr, ops[1].type)
-            new = eval_scalar_binop(
-                {"add": "add", "sub": "sub", "and": "and", "or": "or",
-                 "xor": "xor", "umax": "umax", "umin": "umin"}[instr.attrs["op"]],
-                ops[1].type, old, val,
-            )
+            new = eval_scalar_binop(rmw, ops[1].type, old, val)
             self.memory.store_scalar(addr, ops[1].type, new)
             return old
 
@@ -332,11 +817,12 @@ class Interpreter:
         raise TypeError(f"cannot evaluate {value!r}")
 
     def _cost(self, instr: Instruction) -> float:
-        key = id(instr)
-        cost = self._cost_cache.get(key)
+        # Keyed by the instruction object (identity hash): unlike id(), a
+        # live key can never be recycled to alias a different instruction.
+        cost = self._cost_cache.get(instr)
         if cost is None:
             cost = self.cost_model.cost(instr, self.machine)
-            self._cost_cache[key] = cost
+            self._cost_cache[instr] = cost
         return cost
 
 

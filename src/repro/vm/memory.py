@@ -131,24 +131,59 @@ class Memory:
         view[mask[:needed]] = values.astype(dtype, copy=False)[:needed][mask[:needed]]
 
     def gather(self, addrs: np.ndarray, type: Type, mask=None) -> np.ndarray:
+        """Per-lane loads from arbitrary addresses, vectorized.
+
+        All active lanes are bounds-checked up front (the batched check
+        traps on the first bad lane, with the same message the scalar path
+        produces), then fetched with one 2-D fancy-indexing read.
+        """
         dtype = elem_dtype(type)
         count = len(addrs)
         out = np.zeros(count, dtype=dtype)
-        active = range(count) if mask is None else np.nonzero(mask)[0]
-        for lane in active:
-            addr = int(addrs[lane])
-            self._check(addr, dtype.itemsize)
-            out[lane] = self.data[addr : addr + dtype.itemsize].view(dtype)[0]
+        if mask is None:
+            lanes = None
+            active = np.asarray(addrs, dtype=np.uint64)
+        else:
+            lanes = np.nonzero(mask)[0]
+            active = np.asarray(addrs, dtype=np.uint64)[lanes]
+        if active.size == 0:
+            return out
+        itemsize = dtype.itemsize
+        self._check_lanes(active, itemsize)
+        byte_idx = active[:, None].astype(np.int64) + np.arange(itemsize, dtype=np.int64)
+        gathered = self.data[byte_idx].view(dtype)[:, 0]
+        if lanes is None:
+            out[:] = gathered
+        else:
+            out[lanes] = gathered
         return out
 
     def scatter(self, addrs: np.ndarray, type: Type, values: np.ndarray, mask=None) -> None:
+        """Per-lane stores to arbitrary addresses, vectorized.
+
+        Colliding lanes resolve last-lane-wins, matching the scalar
+        lane-order loop (numpy fancy assignment applies indices in order).
+        Unlike the scalar loop, the batched bounds check runs before any
+        lane is written, so a trapping scatter leaves memory untouched.
+        """
         dtype = elem_dtype(type)
         vals = values.astype(dtype, copy=False)
-        active = range(len(addrs)) if mask is None else np.nonzero(mask)[0]
-        for lane in active:
-            addr = int(addrs[lane])
-            self._check(addr, dtype.itemsize)
-            self.data[addr : addr + dtype.itemsize].view(dtype)[0] = vals[lane]
+        if mask is None:
+            active = np.asarray(addrs, dtype=np.uint64)
+        else:
+            lanes = np.nonzero(mask)[0]
+            active = np.asarray(addrs, dtype=np.uint64)[lanes]
+            vals = vals[lanes]
+        if active.size == 0:
+            return
+        itemsize = dtype.itemsize
+        self._check_lanes(active, itemsize)
+        byte_idx = active[:, None].astype(np.int64) + np.arange(itemsize, dtype=np.int64)
+        if dtype.kind == "b":
+            raw = vals.astype(np.uint8).reshape(-1, 1)
+        else:
+            raw = np.ascontiguousarray(vals).view(np.uint8).reshape(-1, itemsize)
+        self.data[byte_idx] = raw
 
     # -- internal -----------------------------------------------------------------
 
@@ -159,3 +194,16 @@ class Memory:
             raise MemoryError_(
                 f"out-of-bounds access: [{addr}, {addr + nbytes}) of {self.size}"
             )
+
+    def _check_lanes(self, addrs: np.ndarray, nbytes: int) -> None:
+        """Batched bounds check over a vector of lane addresses.
+
+        The comparison is phrased as ``addr > size - nbytes`` (not
+        ``addr + nbytes > size``) so uint64 addresses near 2**64 cannot
+        wrap around the addition and slip past the check.
+        """
+        bad = (addrs < _NULL_GUARD) | (addrs > self.size - nbytes)
+        if bad.any():
+            # Delegate the first offending lane (in lane order) to the
+            # scalar check so the error message is identical.
+            self._check(int(addrs[int(np.nonzero(bad)[0][0])]), nbytes)

@@ -41,6 +41,9 @@ __all__ = [
     "eval_scalar_cast",
     "eval_vector_cast",
     "round_float",
+    "scalar_binop_impl",
+    "scalar_icmp_impl",
+    "scalar_fcmp_impl",
 ]
 
 
@@ -67,90 +70,184 @@ def _sdiv(a: int, b: int) -> int:
     return -q if (a < 0) != (b < 0) else q
 
 
+def _i_add(bits, a, b):
+    return mask_int(a + b, bits)
+
+
+def _i_sub(bits, a, b):
+    return mask_int(a - b, bits)
+
+
+def _i_mul(bits, a, b):
+    return mask_int(a * b, bits)
+
+
+def _i_and(bits, a, b):
+    return a & b
+
+
+def _i_or(bits, a, b):
+    return a | b
+
+
+def _i_xor(bits, a, b):
+    return a ^ b
+
+
+def _i_shl(bits, a, b):
+    return mask_int(a << (b & (bits - 1)), bits)
+
+
+def _i_lshr(bits, a, b):
+    return a >> (b & (bits - 1))
+
+
+def _i_ashr(bits, a, b):
+    return from_signed(to_signed(a, bits) >> (b & (bits - 1)), bits)
+
+
+def _i_sdiv(bits, a, b):
+    return from_signed(_sdiv(to_signed(a, bits), to_signed(b, bits)), bits)
+
+
+def _i_udiv(bits, a, b):
+    if b == 0:
+        raise VMTrap("unsigned division by zero")
+    return a // b
+
+
+def _i_srem(bits, a, b):
+    sa, sb = to_signed(a, bits), to_signed(b, bits)
+    if sb == 0:
+        raise VMTrap("signed remainder by zero")
+    return from_signed(sa - _sdiv(sa, sb) * sb, bits)
+
+
+def _i_urem(bits, a, b):
+    if b == 0:
+        raise VMTrap("unsigned remainder by zero")
+    return a % b
+
+
+def _i_smin(bits, a, b):
+    return from_signed(min(to_signed(a, bits), to_signed(b, bits)), bits)
+
+
+def _i_smax(bits, a, b):
+    return from_signed(max(to_signed(a, bits), to_signed(b, bits)), bits)
+
+
+def _i_umin(bits, a, b):
+    return min(a, b)
+
+
+def _i_umax(bits, a, b):
+    return max(a, b)
+
+
+def _i_addsat_u(bits, a, b):
+    return min(a + b, (1 << bits) - 1)
+
+
+def _i_subsat_u(bits, a, b):
+    return max(a - b, 0)
+
+
+def _i_addsat_s(bits, a, b):
+    half = 1 << (bits - 1)
+    return from_signed(
+        max(-half, min(half - 1, to_signed(a, bits) + to_signed(b, bits))), bits
+    )
+
+
+def _i_subsat_s(bits, a, b):
+    half = 1 << (bits - 1)
+    return from_signed(
+        max(-half, min(half - 1, to_signed(a, bits) - to_signed(b, bits))), bits
+    )
+
+
+def _i_mulhi_s(bits, a, b):
+    return from_signed((to_signed(a, bits) * to_signed(b, bits)) >> bits, bits)
+
+
+def _i_mulhi_u(bits, a, b):
+    return (a * b) >> bits
+
+
+def _i_avg_u(bits, a, b):
+    return (a + b + 1) >> 1
+
+
+def _i_abd_u(bits, a, b):
+    return max(a, b) - min(a, b)
+
+
+#: Scalar integer binop implementations, ``impl(bits, a, b) -> result``.
+SCALAR_INT_BINOPS = {
+    "add": _i_add, "sub": _i_sub, "mul": _i_mul,
+    "and": _i_and, "or": _i_or, "xor": _i_xor,
+    "shl": _i_shl, "lshr": _i_lshr, "ashr": _i_ashr,
+    "sdiv": _i_sdiv, "udiv": _i_udiv, "srem": _i_srem, "urem": _i_urem,
+    "smin": _i_smin, "smax": _i_smax, "umin": _i_umin, "umax": _i_umax,
+    "addsat_u": _i_addsat_u, "subsat_u": _i_subsat_u,
+    "addsat_s": _i_addsat_s, "subsat_s": _i_subsat_s,
+    "mulhi_s": _i_mulhi_s, "mulhi_u": _i_mulhi_u,
+    "avg_u": _i_avg_u, "abd_u": _i_abd_u,
+}
+
+
+def _f_div(a, b):
+    return a / b if b != 0.0 else math.copysign(math.inf, a) * math.copysign(1.0, b) if a != 0.0 else math.nan
+
+
+def _f_rem(a, b):
+    return math.fmod(a, b) if b != 0.0 else math.nan
+
+
+#: Scalar float binop implementations (unrounded; callers round to type).
+SCALAR_FLOAT_BINOPS = {
+    "fadd": lambda a, b: a + b,
+    "fsub": lambda a, b: a - b,
+    "fmul": lambda a, b: a * b,
+    "fdiv": _f_div,
+    "frem": _f_rem,
+    "fmin": lambda a, b: min(a, b),
+    "fmax": lambda a, b: max(a, b),
+}
+
+
 def eval_scalar_binop(opcode: str, type: Type, a, b):
     if isinstance(type, FloatType):
-        return _scalar_float_binop(opcode, type, a, b)
+        impl = SCALAR_FLOAT_BINOPS.get(opcode)
+        if impl is None:
+            raise NotImplementedError(f"scalar float binop {opcode}")
+        return round_float(type, impl(a, b))
+    impl = SCALAR_INT_BINOPS.get(opcode)
+    if impl is None:
+        raise NotImplementedError(f"scalar int binop {opcode}")
+    return impl(type.bits, a, b)
+
+
+def scalar_binop_impl(opcode: str, type: Type):
+    """Resolve ``(opcode, type)`` once, returning a 2-arg callable.
+
+    Used by the pre-decoding interpreter so per-dynamic-instruction
+    dispatch reduces to one call; produces exactly the same results as
+    :func:`eval_scalar_binop`.
+    """
+    if isinstance(type, FloatType):
+        impl = SCALAR_FLOAT_BINOPS.get(opcode)
+        if impl is None:
+            raise NotImplementedError(f"scalar float binop {opcode}")
+        if type.bits == 32:
+            return lambda a, b: float(np.float32(impl(a, b)))
+        return lambda a, b: float(impl(a, b))
+    impl = SCALAR_INT_BINOPS.get(opcode)
+    if impl is None:
+        raise NotImplementedError(f"scalar int binop {opcode}")
     bits = type.bits
-    half = 1 << (bits - 1)
-    top = (1 << bits) - 1
-    sa, sb = to_signed(a, bits), to_signed(b, bits)
-    if opcode == "add":
-        return mask_int(a + b, bits)
-    if opcode == "sub":
-        return mask_int(a - b, bits)
-    if opcode == "mul":
-        return mask_int(a * b, bits)
-    if opcode == "and":
-        return a & b
-    if opcode == "or":
-        return a | b
-    if opcode == "xor":
-        return a ^ b
-    if opcode == "shl":
-        return mask_int(a << (b & (bits - 1)), bits)
-    if opcode == "lshr":
-        return a >> (b & (bits - 1))
-    if opcode == "ashr":
-        return from_signed(sa >> (b & (bits - 1)), bits)
-    if opcode == "sdiv":
-        return from_signed(_sdiv(sa, sb), bits)
-    if opcode == "udiv":
-        if b == 0:
-            raise VMTrap("unsigned division by zero")
-        return a // b
-    if opcode == "srem":
-        if sb == 0:
-            raise VMTrap("signed remainder by zero")
-        return from_signed(sa - _sdiv(sa, sb) * sb, bits)
-    if opcode == "urem":
-        if b == 0:
-            raise VMTrap("unsigned remainder by zero")
-        return a % b
-    if opcode == "smin":
-        return from_signed(min(sa, sb), bits)
-    if opcode == "smax":
-        return from_signed(max(sa, sb), bits)
-    if opcode == "umin":
-        return min(a, b)
-    if opcode == "umax":
-        return max(a, b)
-    if opcode == "addsat_u":
-        return min(a + b, top)
-    if opcode == "subsat_u":
-        return max(a - b, 0)
-    if opcode == "addsat_s":
-        return from_signed(max(-half, min(half - 1, sa + sb)), bits)
-    if opcode == "subsat_s":
-        return from_signed(max(-half, min(half - 1, sa - sb)), bits)
-    if opcode == "mulhi_s":
-        return from_signed((sa * sb) >> bits, bits)
-    if opcode == "mulhi_u":
-        return (a * b) >> bits
-    if opcode == "avg_u":
-        return (a + b + 1) >> 1
-    if opcode == "abd_u":
-        return max(a, b) - min(a, b)
-    raise NotImplementedError(f"scalar int binop {opcode}")
-
-
-def _scalar_float_binop(opcode: str, type: Type, a: float, b: float) -> float:
-    if opcode == "fadd":
-        r = a + b
-    elif opcode == "fsub":
-        r = a - b
-    elif opcode == "fmul":
-        r = a * b
-    elif opcode == "fdiv":
-        r = a / b if b != 0.0 else math.copysign(math.inf, a) * math.copysign(1.0, b) if a != 0.0 else math.nan
-    elif opcode == "frem":
-        r = math.fmod(a, b) if b != 0.0 else math.nan
-    elif opcode == "fmin":
-        r = min(a, b)
-    elif opcode == "fmax":
-        r = max(a, b)
-    else:
-        raise NotImplementedError(f"scalar float binop {opcode}")
-    return round_float(type, r)
+    return lambda a, b: impl(bits, a, b)
 
 
 # --------------------------------------------------------------------------------
@@ -175,7 +272,6 @@ def eval_vector_binop(opcode: str, elem: Type, a: np.ndarray, b: np.ndarray) -> 
         return _vector_bool_binop(opcode, a, b)
     bits = elem.bits
     dtype = elem_dtype(elem)
-    sa, sb = signed_view(a), signed_view(b)
     if opcode == "add":
         return a + b
     if opcode == "sub":
@@ -194,7 +290,7 @@ def eval_vector_binop(opcode: str, elem: Type, a: np.ndarray, b: np.ndarray) -> 
         return a >> (b & np.uint64(bits - 1)).astype(dtype)
     if opcode == "ashr":
         amount = signed_view((b & np.uint64(bits - 1)).astype(dtype))
-        return as_unsigned(sa >> amount)
+        return as_unsigned(signed_view(a) >> amount)
     if opcode == "udiv":
         if (b == 0).any():
             raise VMTrap("vector unsigned division by zero")
@@ -204,6 +300,7 @@ def eval_vector_binop(opcode: str, elem: Type, a: np.ndarray, b: np.ndarray) -> 
             raise VMTrap("vector unsigned remainder by zero")
         return a % b
     if opcode == "sdiv":
+        sa, sb = signed_view(a), signed_view(b)
         if (sb == 0).any():
             raise VMTrap("vector signed division by zero")
         q = np.abs(sa.astype(np.int64)) // np.abs(sb.astype(np.int64))
@@ -213,9 +310,9 @@ def eval_vector_binop(opcode: str, elem: Type, a: np.ndarray, b: np.ndarray) -> 
         q = eval_vector_binop("sdiv", elem, a, b)
         return a - eval_vector_binop("mul", elem, q, b)
     if opcode == "smin":
-        return as_unsigned(np.minimum(sa, sb))
+        return as_unsigned(np.minimum(signed_view(a), signed_view(b)))
     if opcode == "smax":
-        return as_unsigned(np.maximum(sa, sb))
+        return as_unsigned(np.maximum(signed_view(a), signed_view(b)))
     if opcode == "umin":
         return np.minimum(a, b)
     if opcode == "umax":
@@ -227,6 +324,7 @@ def eval_vector_binop(opcode: str, elem: Type, a: np.ndarray, b: np.ndarray) -> 
     if opcode == "subsat_u":
         return np.where(a < b, np.array(0, dtype=dtype), a - b)
     if opcode == "addsat_s":
+        sa, sb = signed_view(a), signed_view(b)
         wrapped = signed_view(a + b)
         pos_ovf = (sa > 0) & (sb > 0) & (wrapped < 0)
         neg_ovf = (sa < 0) & (sb < 0) & (wrapped >= 0)
@@ -234,6 +332,7 @@ def eval_vector_binop(opcode: str, elem: Type, a: np.ndarray, b: np.ndarray) -> 
         smin_c = np.array(-(1 << (bits - 1)), dtype=wrapped.dtype)
         return as_unsigned(np.where(pos_ovf, smax_c, np.where(neg_ovf, smin_c, wrapped)))
     if opcode == "subsat_s":
+        sa, sb = signed_view(a), signed_view(b)
         wrapped = signed_view(a - b)
         pos_ovf = (sa >= 0) & (sb < 0) & (wrapped < 0)
         neg_ovf = (sa < 0) & (sb > 0) & (wrapped >= 0)
@@ -241,6 +340,7 @@ def eval_vector_binop(opcode: str, elem: Type, a: np.ndarray, b: np.ndarray) -> 
         smin_c = np.array(-(1 << (bits - 1)), dtype=wrapped.dtype)
         return as_unsigned(np.where(pos_ovf, smax_c, np.where(neg_ovf, smin_c, wrapped)))
     if opcode == "mulhi_s":
+        sa, sb = signed_view(a), signed_view(b)
         if bits < 64:
             wide = sa.astype(np.int64) * sb.astype(np.int64)
             return ((wide >> bits) & ((1 << bits) - 1)).astype(dtype)
@@ -339,53 +439,94 @@ def eval_vector_unop(opcode: str, elem: Type, a: np.ndarray) -> np.ndarray:
 # --------------------------------------------------------------------------------
 
 
+#: Unsigned comparisons (operate on canonical unsigned payloads directly).
+_SCALAR_CMP_U = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "ult": lambda a, b: a < b,
+    "ule": lambda a, b: a <= b,
+    "ugt": lambda a, b: a > b,
+    "uge": lambda a, b: a >= b,
+}
+#: Signed comparisons (operate on two's-complement reinterpretations).
+_SCALAR_CMP_S = {
+    "slt": lambda a, b: a < b,
+    "sle": lambda a, b: a <= b,
+    "sgt": lambda a, b: a > b,
+    "sge": lambda a, b: a >= b,
+}
+
+
 def eval_scalar_icmp(pred: str, type: Type, a: int, b: int) -> int:
+    impl = _SCALAR_CMP_U.get(pred)
+    if impl is not None:
+        return 1 if impl(a, b) else 0
     bits = getattr(type, "bits", 64)
-    sa, sb = to_signed(a, bits), to_signed(b, bits)
-    table = {
-        "eq": a == b,
-        "ne": a != b,
-        "ult": a < b,
-        "ule": a <= b,
-        "ugt": a > b,
-        "uge": a >= b,
-        "slt": sa < sb,
-        "sle": sa <= sb,
-        "sgt": sa > sb,
-        "sge": sa >= sb,
-    }
-    return 1 if table[pred] else 0
+    return 1 if _SCALAR_CMP_S[pred](to_signed(a, bits), to_signed(b, bits)) else 0
+
+
+def scalar_icmp_impl(pred: str, type: Type):
+    """Resolve ``(pred, type)`` once, returning a 2-arg callable."""
+    impl = _SCALAR_CMP_U.get(pred)
+    if impl is not None:
+        return lambda a, b: 1 if impl(a, b) else 0
+    signed = _SCALAR_CMP_S[pred]
+    bits = getattr(type, "bits", 64)
+    return lambda a, b: 1 if signed(to_signed(a, bits), to_signed(b, bits)) else 0
+
+
+_VECTOR_ICMP = {
+    "eq": np.equal, "ne": np.not_equal,
+    "ult": np.less, "ule": np.less_equal, "ugt": np.greater, "uge": np.greater_equal,
+    "slt": np.less, "sle": np.less_equal, "sgt": np.greater, "sge": np.greater_equal,
+}
+_SIGNED_PREDS = frozenset(("slt", "sle", "sgt", "sge"))
 
 
 def eval_vector_icmp(pred: str, elem: Type, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    if pred in ("slt", "sle", "sgt", "sge"):
+    if pred in _SIGNED_PREDS:
         a, b = signed_view(a), signed_view(b)
-    op = {
-        "eq": np.equal, "ne": np.not_equal,
-        "ult": np.less, "ule": np.less_equal, "ugt": np.greater, "uge": np.greater_equal,
-        "slt": np.less, "sle": np.less_equal, "sgt": np.greater, "sge": np.greater_equal,
-    }[pred]
-    return op(a, b)
+    return _VECTOR_ICMP[pred](a, b)
+
+
+_SCALAR_FCMP = {
+    "oeq": lambda a, b: a == b,
+    "one": lambda a, b: a != b,
+    "olt": lambda a, b: a < b,
+    "ole": lambda a, b: a <= b,
+    "ogt": lambda a, b: a > b,
+    "oge": lambda a, b: a >= b,
+}
 
 
 def eval_scalar_fcmp(pred: str, a: float, b: float) -> int:
     if math.isnan(a) or math.isnan(b):
         return 0
-    table = {
-        "oeq": a == b, "one": a != b,
-        "olt": a < b, "ole": a <= b, "ogt": a > b, "oge": a >= b,
-    }
-    return 1 if table[pred] else 0
+    return 1 if _SCALAR_FCMP[pred](a, b) else 0
+
+
+def scalar_fcmp_impl(pred: str):
+    """Resolve ``pred`` once, returning a 2-arg callable."""
+    impl = _SCALAR_FCMP[pred]
+
+    def run(a, b):
+        if math.isnan(a) or math.isnan(b):
+            return 0
+        return 1 if impl(a, b) else 0
+
+    return run
+
+
+_VECTOR_FCMP = {
+    "oeq": np.equal, "one": np.not_equal,
+    "olt": np.less, "ole": np.less_equal, "ogt": np.greater, "oge": np.greater_equal,
+}
 
 
 def eval_vector_fcmp(pred: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
     ordered = ~(np.isnan(a) | np.isnan(b))
-    op = {
-        "oeq": np.equal, "one": np.not_equal,
-        "olt": np.less, "ole": np.less_equal, "ogt": np.greater, "oge": np.greater_equal,
-    }[pred]
     with np.errstate(invalid="ignore"):
-        return op(a, b) & ordered
+        return _VECTOR_FCMP[pred](a, b) & ordered
 
 
 # --------------------------------------------------------------------------------

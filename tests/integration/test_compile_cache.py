@@ -1,0 +1,95 @@
+"""Content-keyed compile cache: hit/miss accounting and clone isolation.
+
+The cache memoizes whole compilation flows on (flow, source, machine,
+config) and hands every caller an independent deep copy, so mutating a
+returned module must never leak into later compilations.
+"""
+
+import numpy as np
+import pytest
+
+from repro import driver
+from repro.passes import clone_module
+from repro.vm import Interpreter
+
+SRC = """
+void kernel(u32* a, u64 n) {
+    psim (gang_size=8, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        a[i] = a[i] * (u32)3;
+    }
+}
+"""
+
+SRC_B = SRC.replace("(u32)3", "(u32)5")
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    driver.clear_compile_cache()
+    driver.set_compile_cache(True)
+    yield
+    driver.clear_compile_cache()
+    driver.set_compile_cache(True)
+
+
+def _run(module):
+    interp = Interpreter(module)
+    a = np.arange(8, dtype=np.uint32)
+    addr = interp.memory.alloc_array(a)
+    interp.run("kernel", addr, a.size)
+    return interp.memory.read_array(addr, np.uint32, a.size)
+
+
+def test_cache_hit_miss_accounting():
+    driver.compile_parsimony(SRC)
+    assert driver.compile_cache_stats() == {"hits": 0, "misses": 1, "entries": 1}
+    driver.compile_parsimony(SRC)
+    assert driver.compile_cache_stats() == {"hits": 1, "misses": 1, "entries": 1}
+    # A different source is a different content key.
+    driver.compile_parsimony(SRC_B)
+    assert driver.compile_cache_stats() == {"hits": 1, "misses": 2, "entries": 2}
+
+
+def test_distinct_flows_do_not_collide():
+    driver.compile_scalar(SRC)
+    driver.compile_autovec(SRC)
+    driver.compile_parsimony(SRC)
+    stats = driver.compile_cache_stats()
+    assert stats["hits"] == 0 and stats["misses"] == 3
+
+
+def test_cached_modules_are_isolated_clones():
+    first = driver.compile_parsimony(SRC)
+    second = driver.compile_parsimony(SRC)
+    assert first is not second
+    assert set(first.functions) == set(second.functions)
+
+    # Vandalize the first copy; a later hit must be unaffected.
+    first.functions.clear()
+    third = driver.compile_parsimony(SRC)
+    assert "kernel" in third.functions
+    np.testing.assert_array_equal(_run(third), np.arange(8, dtype=np.uint32) * 3)
+
+
+def test_cache_disable_bypasses_memoization():
+    driver.set_compile_cache(False)
+    driver.compile_parsimony(SRC)
+    driver.compile_parsimony(SRC)
+    assert driver.compile_cache_stats()["entries"] == 0
+
+
+def test_clear_resets_counters():
+    driver.compile_parsimony(SRC)
+    driver.compile_parsimony(SRC)
+    driver.clear_compile_cache()
+    assert driver.compile_cache_stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+
+def test_clone_module_behaves_identically():
+    original = driver.compile_parsimony(SRC)
+    clone = clone_module(original)
+    assert set(clone.functions) == set(original.functions)
+    for name, func in clone.functions.items():
+        assert func is not original.functions[name]
+    np.testing.assert_array_equal(_run(original), _run(clone))

@@ -1,0 +1,107 @@
+"""Telemetry sessions: pass timings, vectorizer counters, VM attribution,
+and the JSON document the example reports write for CI artifacts."""
+
+import json
+
+import numpy as np
+
+from repro import driver, telemetry
+from repro.vm import Interpreter
+
+SRC = """
+void kernel(f32* a, u64 n) {
+    psim (gang_size=8, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        f32 x = a[i];
+        if (x > (f32)0.0) {
+            a[i] = x * (f32)2.0;
+        }
+    }
+}
+"""
+
+
+def _compile_and_run():
+    module = driver.compile_parsimony(SRC)
+    interp = Interpreter(module)
+    a = np.array([-2.0, -1.0, 0.0, 1.0, 2.0, 3.0, -4.0, 5.0], dtype=np.float32)
+    addr = interp.memory.alloc_array(a)
+    interp.run("kernel", addr, a.size)
+    telemetry.record_vm_run("t/parsimony", interp.stats, interp.hotspots())
+    return interp.memory.read_array(addr, np.float32, a.size)
+
+
+def test_hooks_are_noops_without_a_session():
+    assert telemetry.current() is None
+    telemetry.record_pass("dce", "f", 0.0, 1, 1)
+    telemetry.record_vectorization("f", 8, {}, {}, {}, [])
+    assert telemetry.current() is None
+
+
+def test_collect_gathers_all_three_evidence_kinds():
+    driver.clear_compile_cache()
+    with telemetry.collect() as session:
+        assert telemetry.current() is session
+        _compile_and_run()
+    assert telemetry.current() is None
+    assert "duration_seconds" in session.meta
+
+    # Pass telemetry: the parsimony flow runs the standard -O pipeline.
+    summary = session.pass_summary()
+    assert summary, "no passes recorded"
+    assert "dce" in summary
+    for entry in summary.values():
+        assert {"calls", "seconds", "instrs_before", "instrs_after",
+                "instrs_delta"} <= set(entry)
+        assert entry["instrs_delta"] == entry["instrs_after"] - entry["instrs_before"]
+
+    # Vectorizer counters: the kernel has a varying branch, so linearization
+    # must report masked activity, and the thread-indexed access a packed form.
+    # The psim region is outlined before vectorization, so the recorded
+    # functions are the extracted body and its scalar remainder tail.
+    names = [v["function"] for v in session.vectorized]
+    assert names and all(n.startswith("kernel.psim") for n in names)
+    totals = session.vectorizer_totals()
+    assert totals["shapes"].get("varying", 0) > 0
+    assert totals["shapes"].get("uniform", 0) > 0
+    assert sum(totals["mask_ops"].values()) > 0
+    assert any(key.startswith(("load.", "store."))
+               for key in totals["memory_forms"])
+
+    # VM attribution: one labelled run with per-function hot-spots.
+    (run,) = session.vm_runs
+    assert run["label"] == "t/parsimony"
+    assert run["cycles"] > 0 and run["instructions"] > 0
+    assert run["counts"]
+    assert run["hotspots"], "no hot-spot attribution recorded"
+    top = run["hotspots"][0]
+    assert {"function", "exclusive_cycles", "calls"} <= set(top)
+    assert sum(h["exclusive_cycles"] for h in run["hotspots"]) == run["cycles"]
+
+
+def test_json_document_round_trips(tmp_path):
+    with telemetry.collect() as session:
+        _compile_and_run()
+    session.meta["figure"] = "test"
+
+    doc = json.loads(session.to_json())
+    assert doc["schema"] == telemetry.SCHEMA
+    assert set(doc) >= {"schema", "meta", "passes", "vectorizer", "vm",
+                        "compile_cache"}
+    assert doc["vectorizer"]["totals"].keys() == {"shapes", "memory_forms",
+                                                  "mask_ops"}
+    assert {"hits", "misses", "entries"} <= set(doc["compile_cache"])
+
+    path = tmp_path / "telemetry.json"
+    session.write(str(path))
+    on_disk = json.loads(path.read_text())
+    assert on_disk == doc
+
+
+def test_nested_sessions_restore_the_outer_one():
+    with telemetry.collect() as outer:
+        with telemetry.collect() as inner:
+            telemetry.record_pass("dce", "f", 0.001, 5, 4)
+        assert telemetry.current() is outer
+        assert "dce" in inner.passes and "dce" not in outer.passes
+    assert telemetry.current() is None
