@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Fault-injection smoke: prove the pipeline degrades, never miscompiles.
+
+    python examples/faultinject_smoke.py [--smoke] [--telemetry out.json]
+
+For every Figure 4 benchmark this forces a vectorizer failure with
+:mod:`repro.faultinject` and checks the degraded build executes
+bit-identically to the pure scalar build, with the fallback reason
+recorded in telemetry.  ``--smoke`` runs only mandelbrot (the CI smoke
+target); ``--telemetry PATH`` writes the fallback telemetry as JSON (the
+CI paranoid job uploads it as an artifact).
+
+Exits non-zero on any mismatch, missing fallback record, or escaped
+injected fault.
+"""
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import telemetry
+from repro.benchsuite import run_impl
+from repro.benchsuite.ispc_suite import BENCHMARKS
+from repro.faultinject import FaultPlan, inject
+
+
+def check_benchmark(spec):
+    """True when the forced-fallback build matches scalar bit-for-bit."""
+    session = telemetry.current()
+    already = len(session.fallbacks)
+    scalar = run_impl(spec, "scalar")
+    with inject(FaultPlan(site="vectorize")):
+        degraded = run_impl(spec, "parsimony")
+    fallbacks = session.fallbacks[already:]
+    ok = bool(fallbacks)
+    if not ok:
+        print(f"  FAIL {spec.name}: no fallback recorded")
+    got, want = degraded.output_signature(), scalar.output_signature()
+    for g, w in zip(got, want):
+        if not np.array_equal(g, w):
+            print(f"  FAIL {spec.name}: degraded output differs from scalar")
+            ok = False
+            break
+    else:
+        if ok:
+            print(f"  ok   {spec.name}: bit-identical to scalar, "
+                  f"{len(fallbacks)} fallback(s) recorded")
+    return ok
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run only the mandelbrot benchmark (CI smoke target)",
+    )
+    parser.add_argument(
+        "--telemetry", metavar="PATH",
+        help="write fallback telemetry (reasons, counters) as JSON to PATH",
+    )
+    args = parser.parse_args()
+
+    specs = BENCHMARKS
+    if args.smoke:
+        specs = [s for s in BENCHMARKS if s.name == "mandelbrot"]
+
+    print("fault-injection smoke — forced vectorizer failure vs scalar")
+    failures = 0
+    with telemetry.collect() as session:
+        for spec in specs:
+            if not check_benchmark(spec):
+                failures += 1
+    session.meta["harness"] = "faultinject_smoke"
+    session.meta["benchmarks"] = [spec.name for spec in specs]
+    session.meta["failures"] = failures
+
+    if args.telemetry:
+        session.write(args.telemetry)
+        print(f"\ntelemetry written to {args.telemetry}")
+
+    if failures:
+        print(f"\n{failures} benchmark(s) FAILED")
+        return 1
+    print(f"\nall {len(specs)} benchmark(s) degraded correctly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,148 @@
+"""``repro.diagnostics`` — structured errors for the whole pipeline.
+
+Every error the compiler or VM raises on purpose carries a
+:class:`Diagnostic`: a severity, the pipeline *stage* that produced it
+(``frontend`` / ``passes`` / ``vectorizer`` / ``verifier`` / ``smt`` /
+``vm``), and — where known — the pass, function, block, and instruction
+it refers to.  This is what lets the driver degrade gracefully (the
+Parsimony pass must never take the build down, §4.2) and report *where*
+and *why* precisely instead of surfacing a bare assertion.
+
+Two exception roots span the pipeline:
+
+* :class:`CompileError` — anything raised while producing IR (front-end,
+  passes, vectorizer, verifier, SMT layer);
+* :class:`ExecutionError` — anything raised while running IR (VM traps,
+  memory faults).
+
+Concrete errors (``VerificationError``, ``VectorizeError``, ``SemaError``,
+``MemoryError_``, ...) keep their historical names and builtin bases
+(``SyntaxError``, ``TypeError``) but are rebased onto these roots, so
+``except CompileError`` catches every deliberate compile-time failure
+while old call sites and tests keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "ReproError",
+    "CompileError",
+    "ExecutionError",
+]
+
+
+class Severity(enum.Enum):
+    NOTE = "note"
+    WARNING = "warning"
+    ERROR = "error"
+    FATAL = "fatal"
+
+    def __str__(self) -> str:  # pragma: no cover
+        return self.value
+
+
+@dataclass
+class Diagnostic:
+    """One structured finding: what went wrong, where in the pipeline."""
+
+    message: str
+    severity: Severity = Severity.ERROR
+    #: pipeline stage: frontend | passes | vectorizer | verifier | smt | vm |
+    #: scalarize | faultinject (empty when the raiser didn't say).
+    stage: str = ""
+    pass_name: str = ""
+    function: str = ""
+    block: str = ""
+    instruction: str = ""
+    #: free-form structured payload (rule names, fault sites, ...).
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def location(self) -> str:
+        """Human-readable provenance suffix, empty when nothing is known."""
+        parts = []
+        if self.stage:
+            parts.append(f"stage={self.stage}")
+        if self.pass_name:
+            parts.append(f"pass={self.pass_name}")
+        if self.function:
+            parts.append(f"function=@{self.function}")
+        if self.block:
+            parts.append(f"block={self.block}")
+        if self.instruction:
+            parts.append(f"instr=%{self.instruction}")
+        return ", ".join(parts)
+
+    def format(self) -> str:
+        loc = self.location()
+        if not loc:
+            return self.message
+        # The location rides after the message (and after any IR dump the
+        # message embeds) so regex matching on the message keeps working.
+        return f"{self.message}\n  [{loc}]"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "severity": self.severity.value,
+            "message": self.message,
+            "stage": self.stage,
+            "pass_name": self.pass_name,
+            "function": self.function,
+            "block": self.block,
+            "instruction": self.instruction,
+            "detail": dict(self.detail),
+        }
+
+
+class ReproError(Exception):
+    """Root of every deliberate repro error; carries a :class:`Diagnostic`.
+
+    Subclasses may mix in builtin exception bases (``SyntaxError``,
+    ``TypeError``) *after* this class so the structured ``__init__`` runs
+    while ``isinstance`` checks against the builtins keep holding.
+    """
+
+    #: default ``Diagnostic.stage`` for instances of the subclass.
+    default_stage = ""
+
+    def __init__(
+        self,
+        message: object = "",
+        *,
+        severity: Severity = Severity.ERROR,
+        stage: Optional[str] = None,
+        pass_name: str = "",
+        function: str = "",
+        block: str = "",
+        instruction: str = "",
+        detail: Optional[Dict[str, object]] = None,
+        diagnostic: Optional[Diagnostic] = None,
+    ):
+        if diagnostic is None:
+            diagnostic = Diagnostic(
+                message=str(message),
+                severity=severity,
+                stage=self.default_stage if stage is None else stage,
+                pass_name=pass_name,
+                function=function,
+                block=block,
+                instruction=instruction,
+                detail=dict(detail or {}),
+            )
+        self.diagnostic = diagnostic
+        super().__init__(diagnostic.format())
+
+
+class CompileError(ReproError):
+    """An error while *producing* IR (front-end through back-end cleanup)."""
+
+
+class ExecutionError(ReproError):
+    """An error while *running* IR (VM traps, memory faults)."""
+
+    default_stage = "vm"

@@ -20,6 +20,7 @@ import dataclasses
 from collections import OrderedDict
 from typing import Callable, Dict, Optional, Tuple
 
+from . import faultinject
 from .backend.costmodel import CostModel
 from .backend.machine import AVX512, ExecStats, Machine
 from .frontend import compile_source
@@ -82,7 +83,10 @@ def compile_cache_stats() -> Dict[str, int]:
 
 
 def _cached_compile(key: tuple, build: Callable[[], Module]) -> Module:
-    if not _COMPILE_CACHE_ENABLED:
+    # Armed fault plans make compilation impure: neither serve a module
+    # compiled before the faults were armed, nor let a fault-degraded
+    # module poison the cache for later clean compiles.
+    if not _COMPILE_CACHE_ENABLED or faultinject.active():
         return build()
     cached = _COMPILE_CACHE.get(key)
     if cached is None:
@@ -132,21 +136,27 @@ def compile_autovec(source: str, machine: Machine = AVX512,
 
 
 def compile_parsimony(source: str, config: Optional[VectorizeConfig] = None,
-                      module_name: str = "parsimony") -> Module:
+                      module_name: str = "parsimony",
+                      strict: bool = False) -> Module:
     """The Parsimony flow (§4): standard pipeline + the SPMD pass, then the
     back-end cleanup the paper relies on (re-inline the vectorized region
-    into its gang loop, hoist per-gang-invariant setup)."""
+    into its gang loop, hoist per-gang-invariant setup).
+
+    A function the vectorizer cannot handle degrades to a correct scalar
+    lane loop (recorded in telemetry) instead of failing the compile;
+    ``strict=True`` disables that fallback and re-raises the failure.
+    """
 
     def build() -> Module:
         module = compile_source(source, module_name)
         standard_pipeline().run(module)
-        vectorize_module(module, config)
+        vectorize_module(module, config, strict=strict)
         post_vectorize_cleanup(module)
         return module
 
     config_key = None if config is None else dataclasses.astuple(config)
     return _cached_compile(
-        ("parsimony", source, module_name, config_key), build
+        ("parsimony", source, module_name, config_key, strict), build
     )
 
 

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Iterator, List, NamedTuple, Optional
 
+from ..diagnostics import CompileError
+
 __all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
 
 KEYWORDS = frozenset(
@@ -32,8 +34,10 @@ class Token(NamedTuple):
         return f"{self.kind}({self.text!r})@{self.line}:{self.col}"
 
 
-class LexError(SyntaxError):
+class LexError(CompileError, SyntaxError):
     """Raised on an unrecognized character or malformed literal."""
+
+    default_stage = "frontend"
 
 
 def tokenize(source: str) -> List[Token]:

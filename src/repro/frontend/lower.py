@@ -34,6 +34,7 @@ from ..ir import (
     Value,
     verify_module,
 )
+from ..diagnostics import CompileError
 from ..ir.types import PointerType
 from ..runtime import psim_abi
 from ..runtime.mathlib import scalar_math_external
@@ -47,8 +48,10 @@ __all__ = ["LowerError", "Compiler", "compile_source"]
 U64T = SCALAR_TYPES["u64"]
 
 
-class LowerError(Exception):
+class LowerError(CompileError):
     """Internal error during lowering (sema should have caught user errors)."""
+
+    default_stage = "frontend"
 
 
 @dataclass

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..diagnostics import CompileError
 from . import ast
 from .ctypes import CType, ptr, type_by_name
 from .lexer import Token, tokenize
@@ -11,8 +12,10 @@ from .lexer import Token, tokenize
 __all__ = ["ParseError", "parse_program", "parse_expression"]
 
 
-class ParseError(SyntaxError):
+class ParseError(CompileError, SyntaxError):
     """Raised on malformed PsimC source."""
+
+    default_stage = "frontend"
 
 
 # Binary operator precedence (higher binds tighter).

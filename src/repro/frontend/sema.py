@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..diagnostics import CompileError
 from . import ast
 from .ctypes import BOOL, CType, SCALAR_TYPES, VOIDT, ptr
 from .intrinsics import BuiltinSig, lookup_builtin
@@ -24,8 +25,10 @@ U64T = SCALAR_TYPES["u64"]
 F64T = SCALAR_TYPES["f64"]
 
 
-class SemaError(TypeError):
+class SemaError(CompileError, TypeError):
     """A type or scoping error in PsimC source."""
+
+    default_stage = "frontend"
 
     def __init__(self, line: int, message: str):
         super().__init__(f"line {line}: {message}")

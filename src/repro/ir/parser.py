@@ -49,14 +49,17 @@ from .types import (
     VectorType,
     VOID,
 )
+from ..diagnostics import CompileError
 from .values import Constant, UndefValue, Value
 from .verifier import verify_module
 
 __all__ = ["parse_ir", "IRParseError"]
 
 
-class IRParseError(SyntaxError):
+class IRParseError(CompileError, SyntaxError):
     """Malformed textual IR."""
+
+    default_stage = "frontend"
 
 
 _SCALAR_TYPES = {

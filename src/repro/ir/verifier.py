@@ -8,6 +8,7 @@ be inserted "anywhere in the optimization pipeline" (§4.2) with confidence.
 
 from __future__ import annotations
 
+from ..diagnostics import CompileError
 from .cfg import DominatorTree
 from .instructions import Instruction
 from .module import BasicBlock, Function, Module
@@ -18,15 +19,37 @@ from .values import Argument, Constant, UndefValue, Value
 __all__ = ["VerificationError", "verify_function", "verify_module"]
 
 
-class VerificationError(Exception):
+class VerificationError(CompileError):
     """Raised when the IR violates a structural or SSA invariant."""
 
+    default_stage = "verifier"
 
-def _fail(function: Function, message: str) -> None:
-    raise VerificationError(f"in @{function.name}: {message}\n{print_function(function)}")
+
+def _fail(
+    function: Function,
+    message: str,
+    block: BasicBlock = None,
+    instr: Instruction = None,
+) -> None:
+    # The IR being rejected may be malformed enough that the printer itself
+    # chokes on it (e.g. a phi with an odd operand list); the diagnostic
+    # must still be raised.
+    try:
+        body = print_function(function)
+    except Exception as exc:  # pragma: no cover - printer-dependent
+        body = f"<function body unprintable: {exc}>"
+    raise VerificationError(
+        f"in @{function.name}: {message}\n{body}",
+        function=function.name,
+        block=block.name if block is not None else "",
+        instruction=(instr.name or instr.opcode) if instr is not None else "",
+    )
 
 
 def verify_function(function: Function) -> None:
+    from .. import faultinject
+
+    faultinject.maybe_fail("verify", function.name)
     if not function.blocks:
         _fail(function, "function has no blocks")
 
@@ -116,40 +139,105 @@ def verify_function(function: Function) -> None:
 def _check_instruction(function: Function, instr: Instruction) -> None:
     op = instr.opcode
     ops = instr.operands
-    if op == "condbr":
+    block = instr.parent
+    if op == "phi":
+        # Structural phi invariants must hold before phi_incoming() may
+        # pair the operand list up (agreement checks rely on it).
+        if len(ops) % 2 != 0:
+            _fail(
+                function,
+                f"phi %{instr.name} has a malformed incoming list "
+                f"(odd operand count {len(ops)})",
+                block, instr,
+            )
+        for idx, operand in enumerate(ops):
+            if idx % 2 and not isinstance(operand, BasicBlock):
+                _fail(
+                    function,
+                    f"phi %{instr.name} incoming slot {idx} is not a block",
+                    block, instr,
+                )
+            if idx % 2 == 0 and isinstance(operand, BasicBlock):
+                _fail(
+                    function,
+                    f"phi %{instr.name} value slot {idx} is a block",
+                    block, instr,
+                )
+    elif op == "condbr":
         if ops[0].type != I1:
-            _fail(function, f"condbr condition not i1: {format_instruction(instr)}")
+            _fail(function, f"condbr condition not i1: {format_instruction(instr)}",
+                  block, instr)
         if not isinstance(ops[1], BasicBlock) or not isinstance(ops[2], BasicBlock):
-            _fail(function, "condbr targets must be blocks")
+            _fail(function, "condbr targets must be blocks", block, instr)
     elif op == "br":
         if not isinstance(ops[0], BasicBlock):
-            _fail(function, "br target must be a block")
+            _fail(function, "br target must be a block", block, instr)
     elif op == "ret":
         want = function.return_type
         if want.is_void:
             if ops:
-                _fail(function, "ret with value in void function")
+                _fail(function, "ret with value in void function", block, instr)
         else:
             if not ops or ops[0].type != want:
-                _fail(function, f"ret type mismatch (want {want})")
+                _fail(function, f"ret type mismatch (want {want})", block, instr)
     elif op == "store":
         if not ops[1].type.is_pointer or ops[1].type.pointee != ops[0].type:
-            _fail(function, f"bad store: {format_instruction(instr)}")
+            _fail(function, f"bad store: {format_instruction(instr)}", block, instr)
     elif op == "load":
         if not ops[0].type.is_pointer or ops[0].type.pointee != instr.type:
-            _fail(function, f"bad load: {format_instruction(instr)}")
+            _fail(function, f"bad load: {format_instruction(instr)}", block, instr)
     elif instr.is_binop:
         if ops[0].type != ops[1].type or ops[0].type != instr.type:
-            _fail(function, f"binop type mismatch: {format_instruction(instr)}")
+            _fail(function, f"binop type mismatch: {format_instruction(instr)}",
+                  block, instr)
+    elif op in ("icmp", "fcmp"):
+        if ops[0].type != ops[1].type:
+            _fail(function, f"{op} operand type mismatch: {format_instruction(instr)}",
+                  block, instr)
     elif op == "select":
         if ops[1].type != ops[2].type or ops[1].type != instr.type:
-            _fail(function, f"select type mismatch: {format_instruction(instr)}")
+            _fail(function, f"select type mismatch: {format_instruction(instr)}",
+                  block, instr)
+        cond = ops[0].type
+        if cond.is_vector:
+            if cond.elem != I1 or not instr.type.is_vector \
+                    or cond.count != instr.type.count:
+                _fail(
+                    function,
+                    f"select mask is not a matching <N x i1>: "
+                    f"{format_instruction(instr)}",
+                    block, instr,
+                )
+        elif cond != I1:
+            _fail(function, f"select condition not i1: {format_instruction(instr)}",
+                  block, instr)
     elif op in ("vload", "vstore", "gather", "scatter"):
         mask = ops[-1]
         if not (mask.type.is_vector and mask.type.elem == I1):
-            _fail(function, f"{op} mask is not a <N x i1>: {format_instruction(instr)}")
+            _fail(function, f"{op} mask is not a <N x i1>: {format_instruction(instr)}",
+                  block, instr)
+        # Lane-count agreement between the data vector and its mask.
+        data_type = instr.type if op in ("vload", "gather") else ops[0].type
+        if not data_type.is_vector or data_type.count != mask.type.count:
+            _fail(
+                function,
+                f"{op} lane-count mismatch ({data_type} under {mask.type} mask): "
+                f"{format_instruction(instr)}",
+                block, instr,
+            )
+    elif op in ("mask_any", "mask_all", "mask_popcnt"):
+        if not (ops[0].type.is_vector and ops[0].type.elem == I1):
+            _fail(
+                function,
+                f"{op} operand is not a <N x i1> mask: {format_instruction(instr)}",
+                block, instr,
+            )
+    elif op == "broadcast":
+        if not instr.type.is_vector or instr.type.elem != ops[0].type:
+            _fail(function, f"bad broadcast: {format_instruction(instr)}", block, instr)
 
 
 def verify_module(module: Module) -> None:
     for function in module.functions.values():
-        verify_function(function)
+        if function.blocks:  # declarations have no body to verify
+            verify_function(function)

@@ -8,20 +8,62 @@ A key claim of the paper is that the Parsimony vectorizer is a standalone
 IR-to-IR pass that "can be placed anywhere in the optimization pipeline"
 (§4.2) — the integration tests exercise exactly that by permuting this
 pipeline around the vectorizer.
+
+Verification levels:
+
+* ``verify_each`` (default on) — verify the function a pass just ran on;
+  failures are wrapped in :class:`PassVerificationError`, which names the
+  offending pass and function in its diagnostic.
+* *paranoid* — verify the **whole module** after every pass invocation,
+  catching a pass that corrupts a function other than the one it was
+  handed.  Enable per-manager (``PassManager(..., paranoid=True)``),
+  process-wide (:func:`set_paranoid`), or via the ``REPRO_PARANOID``
+  environment variable (any value but ``0``; this is what the CI paranoid
+  job sets).  The environment default never *weakens* an explicit
+  ``verify_each=False`` — managers that opted out of verification keep
+  their opt-out unless paranoia is requested explicitly.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Callable, Iterable, List, Optional
 
-from .. import telemetry
+from .. import faultinject, telemetry
 from ..ir.module import Function, Module
-from ..ir.verifier import verify_function
+from ..ir.verifier import VerificationError, verify_function, verify_module
 
-__all__ = ["FunctionPass", "PassManager"]
+__all__ = [
+    "FunctionPass",
+    "PassManager",
+    "PassVerificationError",
+    "paranoid_enabled",
+    "set_paranoid",
+]
 
 FunctionPass = Callable[[Function], bool]
+
+
+class PassVerificationError(VerificationError):
+    """IR verification failed right after a named pass ran."""
+
+
+_paranoid_override: Optional[bool] = None
+
+
+def set_paranoid(enabled: Optional[bool]) -> None:
+    """Process-wide paranoid default: True/False force it, None defers to
+    the ``REPRO_PARANOID`` environment variable."""
+    global _paranoid_override
+    _paranoid_override = enabled
+
+
+def paranoid_enabled() -> bool:
+    """The process-wide paranoid default (override, else environment)."""
+    if _paranoid_override is not None:
+        return _paranoid_override
+    return os.environ.get("REPRO_PARANOID", "") not in ("", "0")
 
 
 def _pass_name(pass_: FunctionPass) -> str:
@@ -40,43 +82,81 @@ class PassManager:
     instrumentation costs one module-global check per pass.
     """
 
-    def __init__(self, passes: Optional[Iterable] = None, verify_each: bool = True):
+    def __init__(self, passes: Optional[Iterable] = None, verify_each: bool = True,
+                 paranoid: Optional[bool] = None):
         self.passes: List = list(passes or [])
         self.verify_each = verify_each
+        #: None defers to the process-wide default at run time.
+        self.paranoid = paranoid
 
     def add(self, pass_: FunctionPass) -> "PassManager":
         self.passes.append(pass_)
         return self
 
+    def _paranoid(self) -> bool:
+        if self.paranoid is not None:
+            return self.paranoid
+        # The env default only upgrades managers that already verify.
+        return self.verify_each and paranoid_enabled()
+
     def _apply(self, pass_: FunctionPass, function: Function) -> bool:
+        name = _pass_name(pass_)
+        faultinject.maybe_fail("pass", f"{name}:{function.name}")
         if telemetry.current() is None:
-            return pass_(function)
-        before = _instr_count(function)
-        t0 = time.perf_counter()
-        changed = pass_(function)
-        seconds = time.perf_counter() - t0
-        telemetry.record_pass(
-            _pass_name(pass_), function.name, seconds, before, _instr_count(function)
-        )
+            changed = pass_(function)
+        else:
+            before = _instr_count(function)
+            t0 = time.perf_counter()
+            changed = pass_(function)
+            seconds = time.perf_counter() - t0
+            telemetry.record_pass(
+                name, function.name, seconds, before, _instr_count(function)
+            )
+        faultinject.maybe_corrupt(f"{name}:{function.name}", function)
         return changed
+
+    def _verify_after(self, pass_: FunctionPass, function: Function,
+                      module: Optional[Module] = None) -> None:
+        try:
+            if module is not None:
+                verify_module(module)
+            else:
+                verify_function(function)
+        except PassVerificationError:
+            raise
+        except VerificationError as exc:
+            summary = exc.diagnostic.message.splitlines()[0]
+            raise PassVerificationError(
+                f"IR verification failed after pass '{_pass_name(pass_)}' "
+                f"ran on @{function.name}: {summary}",
+                pass_name=_pass_name(pass_),
+                function=exc.diagnostic.function or function.name,
+                block=exc.diagnostic.block,
+                instruction=exc.diagnostic.instruction,
+                detail={"verifier_message": exc.diagnostic.message},
+            ) from exc
 
     def run(self, module: Module) -> bool:
         changed = False
+        paranoid = self._paranoid()
         for pass_ in self.passes:
             for function in list(module.functions.values()):
                 if not function.blocks:
                     continue
                 if self._apply(pass_, function):
                     changed = True
-                if self.verify_each:
-                    verify_function(function)
+                if paranoid:
+                    self._verify_after(pass_, function, module)
+                elif self.verify_each:
+                    self._verify_after(pass_, function)
         return changed
 
     def run_function(self, function: Function) -> bool:
         changed = False
+        paranoid = self._paranoid()
         for pass_ in self.passes:
             if self._apply(pass_, function):
                 changed = True
-            if self.verify_each:
-                verify_function(function)
+            if paranoid or self.verify_each:
+                self._verify_after(pass_, function)
         return changed

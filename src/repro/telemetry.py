@@ -33,6 +33,7 @@ __all__ = [
     "Telemetry",
     "collect",
     "current",
+    "record_fallback",
     "record_pass",
     "record_vectorization",
     "record_vm_run",
@@ -49,6 +50,8 @@ class Telemetry:
         self.passes: Dict[str, Dict[str, float]] = {}
         #: one entry per vectorized function
         self.vectorized: List[Dict[str, object]] = []
+        #: one entry per function that fell back to the scalar lane loop
+        self.fallbacks: List[Dict[str, object]] = []
         #: one entry per VM run
         self.vm_runs: List[Dict[str, object]] = []
         self.meta: Dict[str, object] = {"started_at": time.time()}
@@ -93,6 +96,18 @@ class Telemetry:
                 "memory_forms": dict(memory_forms),
                 "mask_ops": dict(mask_ops),
                 "warnings": list(warnings),
+            }
+        )
+
+    def record_fallback(
+        self, function_name: str, gang_size: int, reason: Dict[str, object]
+    ) -> None:
+        """One SPMD function degraded to the scalar lane loop (and why)."""
+        self.fallbacks.append(
+            {
+                "function": function_name,
+                "gang_size": gang_size,
+                "reason": dict(reason),
             }
         )
 
@@ -142,6 +157,7 @@ class Telemetry:
             "vectorizer": {
                 "functions": self.vectorized,
                 "totals": self.vectorizer_totals(),
+                "fallbacks": self.fallbacks,
             },
             "vm": {"runs": self.vm_runs},
             "compile_cache": driver.compile_cache_stats(),
@@ -198,3 +214,8 @@ def record_vectorization(function_name, gang_size, shapes, memory_forms,
 def record_vm_run(label, stats, hotspots):
     if _current is not None:
         _current.record_vm_run(label, stats, hotspots)
+
+
+def record_fallback(function_name, gang_size, reason):
+    if _current is not None:
+        _current.record_fallback(function_name, gang_size, reason)

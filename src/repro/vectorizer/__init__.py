@@ -12,11 +12,14 @@ pipeline, which is the integration property the paper argues for.
 
 from typing import Dict, List, Optional
 
-from .. import telemetry
+from .. import faultinject, telemetry
+from ..diagnostics import CompileError, ReproError
 from ..ir.module import Function, Module
 from ..ir.verifier import verify_function
 from ..passes import constant_fold, dce, loop_simplify, mem2reg, simplify_cfg
+from ..passes.clone import clone_function
 from ..passes.inline import inline_function_calls
+from .scalarize import ScalarizeError, scalarize_spmd_function
 from .shape import Shape
 from .shapes import ShapeAnalysis
 from .transform import VectorizeConfig, VectorizeError, Vectorizer
@@ -42,6 +45,7 @@ def vectorize_function(
     takes over the original name.
     """
     config = config or VectorizeConfig()
+    faultinject.maybe_fail("vectorize", function.name)
 
     # Normalize: promote locals to SSA, fold, canonicalize loops.  The pass
     # itself is position-independent; this is just the usual -O pipeline
@@ -123,11 +127,109 @@ def _mask_op_counts(function: Function) -> Dict[str, int]:
 
 
 def vectorize_module(
-    module: Module, config: Optional[VectorizeConfig] = None
+    module: Module, config: Optional[VectorizeConfig] = None,
+    strict: bool = False,
 ) -> List[Function]:
-    """Run the Parsimony pass over every SPMD-annotated function."""
+    """Run the Parsimony pass over every SPMD-annotated function.
+
+    Graceful degradation (the pass "can be placed anywhere in the
+    optimization pipeline", §4.2 — so it must never take the build down):
+    when vectorizing one function fails for *any* reason — unsupported
+    construct, shape-analysis inconsistency, SMT layer failure, verifier
+    rejection of the vectorized output — that function alone falls back
+    to a correct sequential lane loop (see :mod:`.scalarize`), the
+    failure is recorded in :mod:`repro.telemetry`, and the remaining
+    functions still vectorize.  ``strict=True`` disables the fallback and
+    re-raises the first failure (for tests and debugging).
+
+    The only failure that still surfaces as a :class:`CompileError` is a
+    function that can *neither* vectorize *nor* scalarize (a cross-lane
+    horizontal intrinsic in a body the vectorizer rejected): there is no
+    correct code to emit for it.
+    """
     results = []
     for function in list(module.functions.values()):
-        if function.spmd is not None and not function.name.endswith(".scalarref"):
+        if function.spmd is None or function.name.endswith(".scalarref"):
+            continue
+        name = function.name
+        # Pristine snapshot: vectorize_function mutates the input in place
+        # (inlining, mem2reg, ...) before building the vector body, so the
+        # fallback must restore from an untouched copy.
+        pristine = clone_function(function, name + ".fallback")
+        try:
             results.append(vectorize_function(module, function, config))
+        except ScalarizeError:
+            raise
+        except Exception as exc:
+            if strict:
+                raise
+            _fall_back_to_scalar(module, name, function, pristine, exc)
+        else:
+            _discard_clone(pristine)
     return results
+
+
+def _discard_clone(clone: Function) -> None:
+    """Unregister a never-used pristine clone's def-use edges (its
+    instructions hold uses of constants/externals shared with the module)."""
+    for block in list(clone.blocks):
+        clone.remove_block(block)
+
+
+def _fall_back_to_scalar(
+    module: Module, name: str, function: Function, pristine: Function,
+    exc: Exception,
+) -> None:
+    """Replace a failed vectorization with a scalarized lane loop."""
+    gang_size = pristine.spmd.gang_size
+    reason = _fallback_reason(exc)
+
+    # Undo whatever the failed attempt left in the module.  The splice in
+    # vectorize_function happens only after verification, so normally the
+    # module still maps ``name`` to the (mutated) original; handle the
+    # post-splice window too for completeness.
+    stale = set()
+    for key in (name, name + ".scalarref"):
+        left = module.functions.pop(key, None)
+        if left is not None and left is not pristine:
+            stale.add(left)
+    stale.add(function)
+
+    pristine.name = name
+    module.add_function(pristine)
+    for old in stale:
+        old.replace_all_uses_with(pristine)  # rewire gang-loop call sites
+        _discard_clone(old)
+
+    try:
+        scalarize_spmd_function(pristine)
+    except ScalarizeError as blocked:
+        raise CompileError(
+            f"@{name}: vectorization failed ({reason['message']}) and no "
+            f"scalar fallback exists: {blocked.diagnostic.message}",
+            stage="vectorizer",
+            function=name,
+            detail={"vectorize_error": reason, **blocked.diagnostic.detail},
+        ) from exc
+
+    pristine.attrs["parsimony_fallback"] = reason
+    telemetry.record_fallback(name, gang_size, reason)
+
+
+def _fallback_reason(exc: Exception) -> Dict[str, object]:
+    """Structured record of why a function fell back to scalar code."""
+    if isinstance(exc, ReproError):
+        diag = exc.diagnostic
+        stage = diag.stage or "vectorizer"
+        message = diag.message.splitlines()[0] if diag.message else ""
+        detail = dict(diag.detail)
+    else:
+        stage = "vectorizer"
+        message = (str(exc) or type(exc).__name__).splitlines()[0]
+        detail = {}
+    return {
+        "stage": stage,
+        "error": type(exc).__name__,
+        "message": message,
+        "detail": detail,
+    }

@@ -55,6 +55,15 @@ class ShapeAnalysis:
         self.run()
 
     @staticmethod
+    def _rule_ok(name: str) -> bool:
+        """Conditional rules apply only while their offline verification is
+        usable; an SMT timeout/absence degrades the value to varying
+        instead of failing the compile (the guard caches per process)."""
+        from .smt import rule_usable
+
+        return rule_usable(name)
+
+    @staticmethod
     def _find_soa_allocas(function: Function) -> Set[Instruction]:
         """Private allocas safe for the SoA layout swizzle (§4.2.3): every
         use is a direct gep whose result feeds only loads/stores."""
@@ -307,6 +316,8 @@ class ShapeAnalysis:
                 return Shape.indexed(sa.offsets << k), F.shl(fa, k)
             return Shape.varying(), TOP
         if op == "xor":  # rule: xor_low_mask
+            if not self._rule_ok("xor_low_mask"):
+                return Shape.varying(), TOP
             for x, sx, s_other, f_other in ((b, sb, sa, fa), (a, sa, sb, fb)):
                 if isinstance(x, Constant) and sx.is_uniform:
                     m = int(x.value)
@@ -320,6 +331,8 @@ class ShapeAnalysis:
                         return Shape.indexed((offs ^ m) - m), Facts(align=1)
             return Shape.varying(), TOP
         if op == "and":  # rule: and_low_mask
+            if not self._rule_ok("and_low_mask"):
+                return Shape.varying(), TOP
             for x, sx, other, s_other, f_other in (
                 (b, sb, a, sa, fa), (a, sa, b, sb, fb)
             ):
@@ -337,9 +350,11 @@ class ShapeAnalysis:
                 offs = sa.offsets
                 no_wrap = fa.range is not None and fa.range[1] + int(offs.max()) < (1 << 64)
                 if fa.aligned_to(1 << k) and no_wrap:
-                    if offs.min() >= 0 and offs.max() < (1 << k):  # rule: lshr_const_absorb
+                    if offs.min() >= 0 and offs.max() < (1 << k) \
+                            and self._rule_ok("lshr_const_absorb"):
                         return Shape.uniform(self.gang), Facts()
-                    if not (offs % (1 << k)).any():  # rule: lshr_const_aligned
+                    if not (offs % (1 << k)).any() \
+                            and self._rule_ok("lshr_const_aligned"):
                         return Shape.indexed(offs >> k), Facts()
             return Shape.varying(), TOP
         if op == "udiv":  # rule: udiv_const_aligned
@@ -347,7 +362,8 @@ class ShapeAnalysis:
                 d = int(b.value)
                 offs = sa.offsets
                 no_wrap = fa.range is not None and fa.range[1] + int(offs.max()) < (1 << 64)
-                if d > 0 and fa.align % d == 0 and offs.min() >= 0 and no_wrap:
+                if d > 0 and fa.align % d == 0 and offs.min() >= 0 and no_wrap \
+                        and self._rule_ok("udiv_const_aligned"):
                     return Shape.indexed(offs // d), Facts()
             return Shape.varying(), TOP
         return Shape.varying(), TOP
@@ -384,6 +400,7 @@ class ShapeAnalysis:
                 f.range is not None
                 and offs.min() >= 0
                 and f.range[1] + int(offs.max()) < (1 << bits)
+                and self._rule_ok("zext_no_wrap")
             ):
                 return Shape(offs), f
             return Shape.varying(), TOP
@@ -396,6 +413,7 @@ class ShapeAnalysis:
                 f.range is not None
                 and f.range[1] + int(offs.max()) < (1 << (bits - 1))
                 and f.range[0] + int(offs.min()) >= 0
+                and self._rule_ok("sext_no_signed_wrap")
             ):
                 return Shape(offs), f
             return Shape.varying(), TOP

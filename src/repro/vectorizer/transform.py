@@ -37,6 +37,7 @@ from ..ir import (
     UndefValue,
     Value,
 )
+from ..diagnostics import CompileError
 from ..ir.cfg import DominatorTree, Loop, find_loops, reverse_postorder
 from ..ir.instructions import CAST_OPS, FLOAT_BINOPS, INT_BINOPS, UNARY_OPS
 from ..ir.module import BasicBlock, ExternalFunction
@@ -48,8 +49,10 @@ from .shapes import ShapeAnalysis
 __all__ = ["VectorizeConfig", "Vectorizer", "VectorizeError"]
 
 
-class VectorizeError(Exception):
+class VectorizeError(CompileError):
     """The function cannot be vectorized (unsupported construct)."""
+
+    default_stage = "vectorizer"
 
 
 @dataclass
@@ -1017,8 +1020,10 @@ class Vectorizer:
     def _emit_atomicrmw(self, instr, mask) -> None:
         self._clobber_memory()
         # Fast path: uniform address and value, result unused — a single
-        # scalar atomic (scaled by the active-lane count for add/sub)
-        # replaces the per-lane serialization.
+        # scalar atomic replaces the per-lane serialization.  add/sub scale
+        # by the active-lane count; the bitwise and min/max forms (signed
+        # included) are idempotent, so one application stands in for all
+        # active lanes unscaled.
         ashape = self.shapes.shape_of(instr.operands[0])
         vshape = self.shapes.shape_of(instr.operands[1])
         rmw_op = instr.attrs.get("op")
@@ -1026,8 +1031,10 @@ class Vectorizer:
             ashape.is_uniform
             and vshape.is_uniform
             and not instr.uses
-            and rmw_op in ("add", "sub", "and", "or", "umin", "umax")
+            and rmw_op in ("add", "sub", "and", "or",
+                           "umin", "umax", "smin", "smax")
         ):
+            self._count_form(f"atomic.fastpath.{rmw_op}")
             ptr = self._base_of(instr.operands[0])
             val = self._base_of(instr.operands[1])
             if rmw_op in ("add", "sub"):
@@ -1051,6 +1058,7 @@ class Vectorizer:
                 self._emit_guarded(self.b.mask_any(mask, "anylane"), emit_one)
             return
 
+        self._count_form(f"atomic.serialized.{rmw_op}")
         addrs = self._materialize(instr.operands[0])
         values = self._materialize(instr.operands[1])
 

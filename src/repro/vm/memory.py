@@ -10,19 +10,31 @@ Address 0 is reserved as NULL; any access to the page ``[0, 16)`` traps.
 Masked vector accesses never touch memory in inactive lanes (so
 out-of-bounds addresses under a false mask bit are fine, as on real
 hardware).
+
+Trap ordering (the VM contract, see DESIGN.md): every access — scalar,
+packed, gather, scatter — validates **all** the bytes it will touch
+*before* writing or reading any of them, so a trapping access leaves
+memory untouched.  The error reports the first offending lane in lane
+order, identical to what a per-lane reference loop would report.
+
+Fault injection: :func:`repro.faultinject.maybe_fail` hooks the bounds
+checks (site ``"memory"``, names ``"check"`` / ``"lanes"``) so tests can
+force deterministic memory faults without constructing bad addresses.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .. import faultinject
+from ..diagnostics import ExecutionError
 from ..ir.types import Type
 from .nputil import elem_dtype
 
 __all__ = ["Memory", "MemoryError_"]
 
 
-class MemoryError_(Exception):
+class MemoryError_(ExecutionError):
     """Raised on out-of-bounds or NULL-page access."""
 
 
@@ -188,6 +200,7 @@ class Memory:
     # -- internal -----------------------------------------------------------------
 
     def _check(self, addr: int, nbytes: int) -> None:
+        faultinject.maybe_fail("memory", "check")
         if addr < _NULL_GUARD:
             raise MemoryError_(f"NULL-page access at address {addr}")
         if addr + nbytes > self.size:
@@ -198,10 +211,13 @@ class Memory:
     def _check_lanes(self, addrs: np.ndarray, nbytes: int) -> None:
         """Batched bounds check over a vector of lane addresses.
 
-        The comparison is phrased as ``addr > size - nbytes`` (not
-        ``addr + nbytes > size``) so uint64 addresses near 2**64 cannot
-        wrap around the addition and slip past the check.
+        Runs before any lane is read or written (trap-before-any-write is
+        canonical — see the VM contract in DESIGN.md).  The comparison is
+        phrased as ``addr > size - nbytes`` (not ``addr + nbytes > size``)
+        so uint64 addresses near 2**64 cannot wrap around the addition and
+        slip past the check.
         """
+        faultinject.maybe_fail("memory", "lanes")
         bad = (addrs < _NULL_GUARD) | (addrs > self.size - nbytes)
         if bad.any():
             # Delegate the first offending lane (in lane order) to the

@@ -17,6 +17,7 @@ import math
 
 import numpy as np
 
+from ..diagnostics import ExecutionError
 from ..ir.types import FloatType, IntType, Type
 from .nputil import (
     as_unsigned,
@@ -47,7 +48,7 @@ __all__ = [
 ]
 
 
-class VMTrap(Exception):
+class VMTrap(ExecutionError):
     """Runtime trap (division by zero, unreachable, ...)."""
 
 

@@ -1,0 +1,136 @@
+"""Paranoid inter-pass verification.
+
+``verify_each`` re-checks the function a pass just ran on; paranoid mode
+re-checks the whole module, catching the nastier failure — a pass that
+corrupts a function *other* than the one it was handed — and naming the
+offending pass in the diagnostic.
+"""
+
+import pytest
+
+from repro.faultinject import FaultPlan, inject
+from repro.ir import (
+    I32,
+    VOID,
+    Function,
+    FunctionType,
+    IRBuilder,
+    Module,
+)
+from repro.passes.pass_manager import (
+    PassManager,
+    PassVerificationError,
+    paranoid_enabled,
+    set_paranoid,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_paranoid_override():
+    yield
+    set_paranoid(None)
+
+
+def _make_module():
+    module = Module("m")
+    for name in ("first", "second"):
+        f = Function(name, FunctionType(VOID, (I32,)), ["a"])
+        b = IRBuilder(f, f.add_block("entry"))
+        b.add(f.args[0], f.args[0], "x")
+        b.ret()
+        module.add_function(f)
+    return module
+
+
+def _decapitate(function):
+    """The corruption under test: silently drop a block's terminator."""
+    term = function.entry.terminator
+    function.entry.instructions.remove(term)
+    term.parent = None
+    term.drop_operands()
+
+
+def _make_sabotager(module):
+    """A buggy pass: reports no change, but breaks a *different* function."""
+
+    def sabotage_other(function):
+        # Corrupt "first" while running on "second": by then the pass loop
+        # has already moved past the victim, so per-function verification
+        # never looks at it again.
+        victim = module.functions["first"]
+        if function.name == "second" and victim.entry.terminator is not None:
+            _decapitate(victim)
+        return False
+
+    return sabotage_other
+
+
+def noop(function):
+    return False
+
+
+def test_verify_each_misses_cross_function_damage():
+    # Per-function verification only re-checks the function the pass ran
+    # on; the sabotaged sibling sails through undetected.
+    module = _make_module()
+    PassManager([_make_sabotager(module)], verify_each=True,
+                paranoid=False).run(module)
+    assert module.functions["first"].entry.terminator is None
+
+
+def test_paranoid_names_the_offending_pass():
+    module = _make_module()
+    with pytest.raises(PassVerificationError) as excinfo:
+        PassManager([_make_sabotager(module)], paranoid=True).run(module)
+    diag = excinfo.value.diagnostic
+    assert diag.pass_name == "sabotage_other"
+    assert diag.function == "first"
+    assert "sabotage_other" in str(excinfo.value)
+    assert "terminator" in str(excinfo.value)
+
+
+def test_injected_corruption_caught_by_verify_each():
+    # The ``corrupt`` fault site damages the function the pass ran on, so
+    # plain verify_each already catches it and names the pass.
+    module = _make_module()
+    with inject(FaultPlan(site="corrupt", match="noop:first", times=1)):
+        with pytest.raises(PassVerificationError) as excinfo:
+            PassManager([noop]).run(module)
+    assert excinfo.value.diagnostic.pass_name == "noop"
+    assert excinfo.value.diagnostic.function == "first"
+
+
+def test_set_paranoid_upgrades_default_managers():
+    set_paranoid(True)
+    assert paranoid_enabled()
+    module = _make_module()
+    with pytest.raises(PassVerificationError):
+        PassManager([_make_sabotager(module)]).run(module)
+    set_paranoid(False)
+    assert not paranoid_enabled()
+    module = _make_module()
+    PassManager([_make_sabotager(module)]).run(module)
+
+
+def test_env_variable_enables_paranoia(monkeypatch):
+    monkeypatch.setenv("REPRO_PARANOID", "1")
+    assert paranoid_enabled()
+    module = _make_module()
+    with pytest.raises(PassVerificationError):
+        PassManager([_make_sabotager(module)]).run(module)
+    monkeypatch.setenv("REPRO_PARANOID", "0")
+    assert not paranoid_enabled()
+
+
+def test_env_paranoia_does_not_override_verify_optout(monkeypatch):
+    monkeypatch.setenv("REPRO_PARANOID", "1")
+    # A manager that explicitly opted out of verification keeps its
+    # opt-out: the environment only upgrades managers that already verify.
+    module = _make_module()
+    PassManager([_make_sabotager(module)], verify_each=False).run(module)
+    assert module.functions["first"].entry.terminator is None
+    # ...but an explicit paranoid=True always wins.
+    module = _make_module()
+    with pytest.raises(PassVerificationError):
+        PassManager([_make_sabotager(module)], verify_each=False,
+                    paranoid=True).run(module)

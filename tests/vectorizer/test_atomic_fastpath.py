@@ -1,0 +1,89 @@
+"""Atomic fast path (§4.2): a gang-wide atomic with uniform address and
+uniform operand whose result is unused collapses to one scalar atomic.
+
+smin/smax/umin/umax are idempotent, so the collapsed form needs no
+active-lane scaling (unlike add/sub).  Both the fast-path and serialized
+decisions are observable through the ``memory_forms`` telemetry counters.
+"""
+
+import numpy as np
+
+from repro import telemetry
+from repro.driver import compile_parsimony, compile_scalar
+from repro.vm import Interpreter
+
+N = 21  # tail gang included
+
+UNIFORM_SMIN_SRC = """
+void kernel(i32* a, i32* out, u64 n) {
+    psim (gang_size=8, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        a[i] = a[i] + 1;
+        psim_atomic_smin(out, (i32)-42);
+        psim_atomic_smax(out + 1, (i32)42);
+    }
+}
+"""
+
+SCALAR_SMIN_SRC = """
+void kernel(i32* a, i32* out, u64 n) {
+    for (u64 i = 0; i < n; i++) {
+        a[i] = a[i] + 1;
+        if (-42 < out[0]) { out[0] = -42; }
+        if (42 > out[1]) { out[1] = 42; }
+    }
+}
+"""
+
+VARYING_SMIN_SRC = """
+void kernel(i32* a, i32* out, u64 n) {
+    psim (gang_size=8, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        psim_atomic_smin(out, a[i]);
+    }
+}
+"""
+
+
+def _run(module, out_init):
+    interp = Interpreter(module)
+    a = (np.arange(N, dtype=np.int32) * 7 - 50).astype(np.int32)
+    addr_a = interp.memory.alloc_array(a)
+    addr_out = interp.memory.alloc_array(np.array(out_init, np.int32))
+    interp.run("kernel", addr_a, addr_out, N)
+    return (
+        interp.memory.read_array(addr_a, np.int32, N),
+        interp.memory.read_array(addr_out, np.int32, len(out_init)),
+    )
+
+
+def _memory_forms(session):
+    return session.vectorizer_totals()["memory_forms"]
+
+
+def test_uniform_signed_minmax_take_the_fast_path():
+    with telemetry.collect() as session:
+        module = compile_parsimony(UNIFORM_SMIN_SRC, module_name="smin.fast")
+    forms = _memory_forms(session)
+    assert forms.get("atomic.fastpath.smin", 0) >= 1
+    assert forms.get("atomic.fastpath.smax", 0) >= 1
+    assert "atomic.serialized.smin" not in forms
+    assert "atomic.serialized.smax" not in forms
+
+    got_a, got_out = _run(module, [7, -7])
+    want_a, want_out = _run(compile_scalar(SCALAR_SMIN_SRC), [7, -7])
+    np.testing.assert_array_equal(got_a, want_a)
+    np.testing.assert_array_equal(got_out, want_out)
+    assert list(got_out) == [-42, 42]
+
+
+def test_varying_operand_serializes():
+    with telemetry.collect() as session:
+        module = compile_parsimony(VARYING_SMIN_SRC, module_name="smin.slow")
+    forms = _memory_forms(session)
+    assert forms.get("atomic.serialized.smin", 0) >= 1
+    assert "atomic.fastpath.smin" not in forms
+
+    _, got_out = _run(module, [1000])
+    a = np.arange(N, dtype=np.int32) * 7 - 50
+    assert got_out[0] == min(1000, int(a.min()))

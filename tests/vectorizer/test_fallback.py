@@ -1,0 +1,138 @@
+"""Scalar fallback: the degradation target of ``vectorize_module``.
+
+Unit coverage for ``repro.vectorizer.scalarize`` (the sequential lane
+loop) and for the module-level fallback plumbing: ``parsimony_fallback``
+attribution, telemetry records, the ``strict`` escape hatch, and the hard
+error when even scalarization is impossible (cross-lane intrinsics).
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.benchsuite.kernelspec import reduction_sources
+from repro.diagnostics import CompileError
+from repro.driver import compile_parsimony, compile_scalar
+from repro.faultinject import FaultPlan, inject
+from repro.frontend import compile_source
+from repro.vectorizer import vectorize_module
+from repro.vectorizer.scalarize import (
+    ScalarizeError,
+    scalarization_blocker,
+    scalarize_spmd_function,
+)
+from repro.vm import Interpreter
+
+SRC = """
+void kernel(i32* a, i32* b, u64 n) {
+    psim (gang_size=8, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        i32 x = a[i];
+        if (x > 10) {
+            b[i] = x * 3;
+        } else {
+            b[i] = x - 7;
+        }
+    }
+}
+"""
+
+N = 21  # not a multiple of the gang size: covers the tail gang
+
+
+def _run_kernel(module):
+    interp = Interpreter(module)
+    a = np.arange(N, dtype=np.int32) - 5
+    addr_a = interp.memory.alloc_array(a)
+    addr_b = interp.memory.alloc_array(np.zeros(N, np.int32))
+    interp.run("kernel", addr_a, addr_b, N)
+    return interp.memory.read_array(addr_b, np.int32, N)
+
+
+def _spmd_functions(module):
+    return [f for f in module.functions.values() if f.spmd is not None]
+
+
+def test_scalarized_lane_loop_matches_vectorized_semantics():
+    module = compile_source(SRC, "m")
+    spmd = _spmd_functions(module)
+    assert spmd, "frontend produced no outlined SPMD functions"
+    for function in spmd:
+        scalarize_spmd_function(function)
+        assert function.spmd is None
+    got = _run_kernel(module)
+    want = _run_kernel(compile_parsimony(SRC, module_name="m.vec"))
+    np.testing.assert_array_equal(got, want)
+
+
+def test_scalarize_rejects_cross_lane_intrinsics():
+    _, psim_src = reduction_sources(
+        "i32* a", "0", "acc = acc + a[i];", "i32", gang=8
+    )
+    module = compile_source(psim_src, "m")
+    blockers = [scalarization_blocker(f) for f in _spmd_functions(module)]
+    assert any(b and b.startswith("psim.reduce") for b in blockers)
+    for function in _spmd_functions(module):
+        if scalarization_blocker(function) is None:
+            continue
+        with pytest.raises(ScalarizeError, match="cross-lane intrinsic"):
+            scalarize_spmd_function(function)
+
+
+def test_scalarize_requires_spmd_annotation():
+    module = compile_source(SRC, "m")
+    plain = [f for f in module.functions.values()
+             if f.spmd is None and f.blocks]
+    with pytest.raises(ScalarizeError, match="no SPMD annotation"):
+        scalarize_spmd_function(plain[0])
+
+
+def test_vectorize_module_fallback_records_and_attributes():
+    module = compile_source(SRC, "m")
+    names = [f.name for f in _spmd_functions(module)]
+    with inject(FaultPlan(site="vectorize")), telemetry.collect() as session:
+        vectorize_module(module)
+    for name in names:
+        function = module.functions[name]
+        assert function.spmd is None, "fallback left the SPMD annotation"
+        reason = function.attrs.get("parsimony_fallback")
+        assert reason and reason["error"] == "InjectedFault"
+    recorded = {entry["function"] for entry in session.fallbacks}
+    assert recorded == set(names)
+    for entry in session.fallbacks:
+        assert entry["gang_size"] == 8
+        assert {"stage", "error", "message"} <= set(entry["reason"])
+
+
+def test_vectorize_module_strict_reraises():
+    module = compile_source(SRC, "m")
+    with inject(FaultPlan(site="vectorize")):
+        with pytest.raises(CompileError):
+            vectorize_module(module, strict=True)
+
+
+def test_unscalarizable_failure_is_a_hard_error():
+    # When the vectorizer fails AND the body cannot be scalarized (it
+    # reduces across lanes), there is no sound degradation: the compile
+    # must fail loudly, naming both failures.
+    _, psim_src = reduction_sources(
+        "i32* a", "0", "acc = acc + a[i];", "i32", gang=8
+    )
+    with inject(FaultPlan(site="vectorize")):
+        with pytest.raises(CompileError, match="cross-lane intrinsic"):
+            compile_parsimony(psim_src, module_name="m.red")
+
+
+def test_fallback_module_executes_identically_to_scalar():
+    scalar_src = """
+    void kernel(i32* a, i32* b, u64 n) {
+        for (u64 i = 0; i < n; i++) {
+            i32 x = a[i];
+            if (x > 10) { b[i] = x * 3; } else { b[i] = x - 7; }
+        }
+    }
+    """
+    want = _run_kernel(compile_scalar(scalar_src))
+    with inject(FaultPlan(site="vectorize")):
+        degraded = compile_parsimony(SRC, module_name="m.fall")
+    np.testing.assert_array_equal(_run_kernel(degraded), want)

@@ -1,0 +1,119 @@
+"""SMT guard: a slow or unavailable solver degrades shape precision, never
+correctness and never the build.
+
+``rule_usable`` probes each rewrite rule once (with a deadline) and caches
+the verdict; ``SMTTimeout``/``SMTUnavailable`` verdicts make the shape
+analysis conservatively varying for the gated patterns.  The injected
+default fault (``InjectedFault``) deliberately escapes the guard so the
+function-level fallback handles it.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.driver import compile_parsimony, compile_scalar
+from repro.faultinject import FaultPlan, inject
+from repro.vectorizer import smt
+from repro.vectorizer.rules import RULES
+from repro.vm import Interpreter
+
+
+@pytest.fixture(autouse=True)
+def _fresh_rule_cache():
+    smt.reset_rule_cache()
+    yield
+    smt.reset_rule_cache()
+
+
+def test_rules_probe_usable_by_default():
+    assert smt.rule_usable("and_low_mask")
+    assert smt.rule_usable("xor_low_mask")
+
+
+def test_unknown_rule_is_unusable_not_an_error():
+    assert not smt.rule_usable("no_such_rule")
+
+
+def test_timeout_verdict_is_conservative_and_cached():
+    calls = []
+
+    def timeout(name):
+        calls.append(name)
+        return smt.SMTTimeout(f"probe of {name} timed out")
+
+    with inject(FaultPlan(site="smt", match="and_low_mask", exc=timeout)):
+        assert not smt.rule_usable("and_low_mask")
+        # Second query answers from the verdict cache: no new probe.
+        assert not smt.rule_usable("and_low_mask")
+        assert len(calls) == 1
+        # Other rules are unaffected.
+        assert smt.rule_usable("xor_low_mask")
+    # Leaving the inject block resets the cache; the rule probes clean.
+    assert smt.rule_usable("and_low_mask")
+
+
+def test_unavailable_verdict_is_conservative():
+    with inject(FaultPlan(
+            site="smt", match="zext_no_wrap",
+            exc=lambda name: smt.SMTUnavailable("no solver"))):
+        assert not smt.rule_usable("zext_no_wrap")
+
+
+def test_verify_rule_honors_deadline():
+    rule = RULES["and_low_mask"]
+    with pytest.raises(smt.SMTTimeout, match="time budget"):
+        smt.verify_rule(rule, bits=8, samples_at=1 << 60,
+                        deadline=time.monotonic() - 1.0)
+
+
+MASKED_SRC = """
+void kernel(f32* a, f32* b, u64 n) {
+    psim (gang_size=8, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        u64 j = i & (u64)1023;
+        b[j] = a[j] * (f32)2.0;
+    }
+}
+"""
+
+
+def _run(module):
+    interp = Interpreter(module)
+    n = 40
+    a = np.linspace(-1.0, 1.0, n, dtype=np.float32)
+    addr_a = interp.memory.alloc_array(a)
+    addr_b = interp.memory.alloc_array(np.zeros(n, np.float32))
+    interp.run("kernel", addr_a, addr_b, n)
+    return interp.memory.read_array(addr_b, np.float32, n)
+
+
+def test_timed_out_rules_still_compile_and_match_scalar():
+    scalar_src = """
+    void kernel(f32* a, f32* b, u64 n) {
+        for (u64 i = 0; i < n; i++) {
+            u64 j = i & (u64)1023;
+            b[j] = a[j] * (f32)2.0;
+        }
+    }
+    """
+    want = _run(compile_scalar(scalar_src))
+    with inject(FaultPlan(
+            site="smt", exc=lambda name: smt.SMTTimeout(f"{name} timed out"))), \
+            telemetry.collect() as session:
+        module = compile_parsimony(MASKED_SRC, module_name="smt.timeout")
+    # Conservative shapes are a precision loss, not a failure: no fallback.
+    assert not session.fallbacks
+    np.testing.assert_array_equal(_run(module), want)
+
+
+def test_injected_default_fault_escapes_to_function_fallback():
+    with inject(FaultPlan(site="smt")), telemetry.collect() as session:
+        module = compile_parsimony(MASKED_SRC, module_name="smt.fault")
+    assert session.fallbacks
+    assert session.fallbacks[0]["reason"]["error"] == "InjectedFault"
+    scalar_src = MASKED_SRC  # degraded module still computes the same thing
+    want = _run(compile_parsimony(scalar_src, module_name="smt.clean"))
+    np.testing.assert_array_equal(_run(module), want)

@@ -79,3 +79,62 @@ def test_out_of_memory():
     mem = Memory(size=1024)
     with pytest.raises(MemoryError_, match="out of VM memory"):
         mem.alloc(4096)
+
+
+# -- the VM contract: trap-before-any-write (see DESIGN.md) ---------------------------
+
+
+def test_scatter_traps_before_any_write():
+    """One bad lane anywhere in a scatter must leave *all* of memory
+    untouched, including lanes that individually were in bounds."""
+    mem = Memory(size=4096)
+    addr = mem.alloc_array(np.arange(8, dtype=np.uint32))
+    addrs = np.array([addr, addr + 4, 2**40, addr + 12], dtype=np.uint64)
+    values = np.array([100, 101, 102, 103], np.uint32)
+    with pytest.raises(MemoryError_, match="out-of-bounds"):
+        mem.scatter(addrs, I32, values)
+    assert mem.read_array(addr, np.uint32, 8).tolist() == list(range(8))
+
+
+def test_scatter_reports_first_offending_lane_in_lane_order():
+    mem = Memory(size=4096)
+    addr = mem.alloc_array(np.zeros(8, np.uint32))
+    # lane 1 hits the NULL page, lane 2 is out of bounds; lane order says
+    # the NULL lane is the one reported, same as a per-lane loop would.
+    addrs = np.array([addr, 3, 2**40, addr + 4], dtype=np.uint64)
+    with pytest.raises(MemoryError_, match="NULL"):
+        mem.scatter(addrs, I32, np.zeros(4, np.uint32))
+
+
+def test_masked_bad_lanes_are_exempt_from_the_contract():
+    mem = Memory(size=4096)
+    addr = mem.alloc_array(np.zeros(4, np.uint32))
+    addrs = np.array([addr, 2**40, 3, addr + 12], dtype=np.uint64)
+    mask = np.array([True, False, False, True])
+    mem.scatter(addrs, I32, np.array([7, 8, 9, 10], np.uint32), mask)
+    assert mem.read_array(addr, np.uint32, 4).tolist() == [7, 0, 0, 10]
+
+
+def test_packed_store_traps_before_any_write():
+    mem = Memory(size=4096)
+    addr = mem.alloc_array(np.arange(64, dtype=np.uint8))
+    with pytest.raises(MemoryError_, match="out-of-bounds"):
+        mem.store_packed(4096 - 8, I8, np.full(64, 7, np.uint8))
+    assert mem.read_array(addr, np.uint8, 64).tolist() == list(range(64))
+
+
+def test_injected_memory_faults_fire_per_site():
+    from repro.faultinject import FaultPlan, InjectedFault, inject
+
+    mem = Memory()
+    addr = mem.alloc_array(np.arange(4, dtype=np.uint32))
+    addrs = np.array([addr, addr + 4], dtype=np.uint64)
+    with inject(FaultPlan(site="memory", match="check")):
+        with pytest.raises(InjectedFault):
+            mem.load_scalar(addr, I32)
+        mem.gather(addrs, I32)  # vector path unaffected by "check" plans
+    with inject(FaultPlan(site="memory", match="lanes")):
+        with pytest.raises(InjectedFault):
+            mem.scatter(addrs, I32, np.zeros(2, np.uint32))
+        # trap-before-any-write holds for injected faults too
+    assert mem.read_array(addr, np.uint32, 4).tolist() == [0, 1, 2, 3]
