@@ -2,12 +2,21 @@
 """Regenerate Figure 4: Parsimony and ispc performance on the 7 ispc
 benchmarks, normalized to LLVM auto-vectorization (paper §6).
 
-    python examples/fig4_report.py [--smoke] [--telemetry out.json]
+    python examples/fig4_report.py [--smoke] [--kernels a,b] [--telemetry out.json]
+    python examples/fig4_report.py --telemetry-diff old.json new.json [--diff-out d.json]
 
 ``--smoke`` runs only the mandelbrot benchmark (the CI smoke target);
+``--kernels`` selects an arbitrary comma-separated subset;
 ``--telemetry PATH`` collects pipeline observability — pass timings,
 vectorizer shape/memory-form counters, per-function VM cycle
-attribution — and writes it as structured JSON.
+attribution, ``vm.fuse.*`` superinstruction counters — and writes it as
+structured JSON.  ``--no-fuse`` disables the VM's decode-level
+superinstructions; ``--disk-cache`` enables the persistent compile cache.
+
+``--telemetry-diff OLD NEW`` compares two telemetry documents PR-over-PR
+(per-pass timing, per-kernel cycles/wall-clock, every counter) and prints
+the deltas; ``--diff-out PATH`` additionally writes the machine-readable
+diff JSON.
 
 Paper reference points: geomean speedup over auto-vectorization is 5.9x
 (Parsimony) and 6.0x (ispc); Parsimony matches ispc on every benchmark
@@ -16,20 +25,25 @@ SLEEF's AVX-512 ``pow`` being 2.6x slower than ispc's built-in.
 """
 
 import argparse
+import json
 
 from repro import telemetry
 from repro.benchsuite import geomean, run_impl, summarize_telemetry
 from repro.benchsuite.ispc_suite import BENCHMARKS
+from repro.driver import set_disk_cache
 
 IMPLS = ("scalar", "autovec", "parsimony", "ispc")
 
 
-def report(specs):
+def report(specs, superinstructions=None):
     print("Figure 4 — speedup over LLVM auto-vectorization (model cycles)")
     print(f"{'benchmark':20s} {'parsimony':>10s} {'ispc':>10s} {'psim/ispc':>10s}")
     rows = []
     for spec in specs:
-        cycles = {impl: run_impl(spec, impl).cycles for impl in IMPLS}
+        cycles = {
+            impl: run_impl(spec, impl, superinstructions=superinstructions).cycles
+            for impl in IMPLS
+        }
         base = cycles["autovec"]
         parsimony = base / cycles["parsimony"]
         ispc = base / cycles["ispc"]
@@ -44,6 +58,45 @@ def report(specs):
     print("       except binomial_options, where SLEEF pow costs 2.6x ispc's.")
 
 
+def _print_table_diff(title, table, fields, unit=""):
+    changed = {
+        name: row for name, row in table.items()
+        if any(row[f]["delta"] for f in fields)
+    }
+    print(f"{title} ({len(changed)} of {len(table)} changed)")
+    if not changed:
+        return
+    header = "".join(f"{f + ' old':>16s}{f + ' new':>16s}{'Δ':>12s}" for f in fields)
+    print(f"  {'name':28s}{header}")
+    for name, row in changed.items():
+        cells = ""
+        for f in fields:
+            d = row[f]
+            fmt = "{:>16.6g}{:>16.6g}{:>+12.6g}"
+            cells += fmt.format(d["old"], d["new"], d["delta"])
+        print(f"  {name:28s}{cells}{unit}")
+
+
+def telemetry_diff(old_path, new_path, diff_out=None):
+    with open(old_path) as fh:
+        old = json.load(fh)
+    with open(new_path) as fh:
+        new = json.load(fh)
+    diff = telemetry.diff_documents(old, new)
+    print(f"Telemetry diff: {old_path} → {new_path}")
+    print()
+    _print_table_diff("passes", diff["passes"], ("seconds", "calls"))
+    print()
+    _print_table_diff("vm runs", diff["vm_runs"], ("cycles", "wall_seconds"))
+    print()
+    _print_table_diff("counters", diff["counters"], ("value",))
+    if diff_out:
+        with open(diff_out, "w") as fh:
+            json.dump(diff, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\ndiff JSON written to {diff_out}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -51,25 +104,61 @@ def main():
         help="run only the mandelbrot benchmark (CI smoke target)",
     )
     parser.add_argument(
+        "--kernels", metavar="NAMES",
+        help="comma-separated subset of suite kernels to run",
+    )
+    parser.add_argument(
         "--telemetry", metavar="PATH",
         help="write pipeline telemetry (pass timings, vectorizer counters, "
-             "VM hot-spots) as JSON to PATH",
+             "VM hot-spots, vm.fuse.* counters) as JSON to PATH",
+    )
+    parser.add_argument(
+        "--telemetry-diff", nargs=2, metavar=("OLD", "NEW"),
+        help="diff two telemetry JSON documents and print the deltas",
+    )
+    parser.add_argument(
+        "--diff-out", metavar="PATH",
+        help="with --telemetry-diff: also write the diff as JSON to PATH",
+    )
+    parser.add_argument(
+        "--no-fuse", action="store_true",
+        help="disable the VM's decode-level superinstruction fusion",
+    )
+    parser.add_argument(
+        "--disk-cache", action="store_true",
+        help="enable the persistent on-disk compile cache "
+             "($REPRO_CACHE_DIR, default ~/.cache/repro)",
     )
     args = parser.parse_args()
+
+    if args.telemetry_diff:
+        telemetry_diff(*args.telemetry_diff, diff_out=args.diff_out)
+        return
+
+    if args.disk_cache:
+        set_disk_cache(True)
 
     specs = BENCHMARKS
     if args.smoke:
         specs = [s for s in BENCHMARKS if s.name == "mandelbrot"]
+    if args.kernels:
+        wanted = set(args.kernels.split(","))
+        unknown = wanted - {s.name for s in BENCHMARKS}
+        if unknown:
+            parser.error(f"unknown kernels: {sorted(unknown)}")
+        specs = [s for s in BENCHMARKS if s.name in wanted]
+
+    superinstructions = False if args.no_fuse else None
 
     if args.telemetry:
         with telemetry.collect() as session:
-            report(specs)
+            report(specs, superinstructions)
         session.meta["figure"] = "fig4"
         session.meta["cycles_by_kernel"] = summarize_telemetry(session)
         session.write(args.telemetry)
         print(f"\ntelemetry written to {args.telemetry}")
     else:
-        report(specs)
+        report(specs, superinstructions)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""CI perf-smoke: reduced ispc-suite sweep with superinstructions on/off.
+
+    python examples/perf_smoke.py [--kernels a,b] [--impls scalar,parsimony]
+                                  [--out telemetry.json]
+
+Runs each selected kernel under the pre-decoded VM twice — decode-level
+fusion enabled and disabled — and **fails (exit 1)** if:
+
+* the fused engine's outputs diverge bit-for-bit from the unfused engine,
+* the fused ``ExecStats`` (cycles, instructions, per-opcode counts)
+  diverge from the unfused engine (the accounting-transparency contract),
+* any kernel/impl records zero ``vm.fuse.window`` hits.
+
+``--out`` writes the collected telemetry JSON (including the flattened
+``vm.fuse.*`` counters and per-run wall-clock) for upload as a CI
+artifact; the fused-vs-unfused wall-clock ratio per kernel is recorded in
+``meta.perf_smoke``.
+"""
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import telemetry
+from repro.benchsuite import run_impl
+from repro.benchsuite.ispc_suite import BENCHMARKS
+
+DEFAULT_KERNELS = "mandelbrot,noise,stencil"
+DEFAULT_IMPLS = "scalar,parsimony"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--kernels", default=DEFAULT_KERNELS,
+                        help="comma-separated suite kernels to sweep")
+    parser.add_argument("--impls", default=DEFAULT_IMPLS,
+                        help="comma-separated implementations to run")
+    parser.add_argument("--out", metavar="PATH",
+                        help="write telemetry JSON (CI artifact)")
+    args = parser.parse_args()
+
+    wanted = args.kernels.split(",")
+    specs = [s for s in BENCHMARKS if s.name in wanted]
+    unknown = set(wanted) - {s.name for s in specs}
+    if unknown:
+        parser.error(f"unknown kernels: {sorted(unknown)}")
+    impls = args.impls.split(",")
+
+    failures = []
+    rows = {}
+    with telemetry.collect() as session:
+        for spec in specs:
+            for impl in impls:
+                # Two reps each; min() reports steady-state dispatch cost
+                # (the first fused run also pays one-time window codegen).
+                run_impl(spec, impl, superinstructions=True)
+                fused = run_impl(spec, impl, superinstructions=True)
+                run_impl(spec, impl, superinstructions=False)
+                unfused = run_impl(spec, impl, superinstructions=False)
+                fused_runs = session.vm_runs[-4:-2]
+                unfused_runs = session.vm_runs[-2:]
+                fused_run = fused_runs[-1]
+                name = f"{spec.name}/{impl}"
+
+                stats_ok = (
+                    fused.stats.cycles == unfused.stats.cycles
+                    and fused.stats.instructions == unfused.stats.instructions
+                    and dict(fused.stats.counts) == dict(unfused.stats.counts)
+                )
+                if not stats_ok:
+                    failures.append(f"{name}: fused ExecStats diverge from unfused")
+                sig_f, sig_u = fused.output_signature(), unfused.output_signature()
+                out_ok = len(sig_f) == len(sig_u) and all(
+                    np.array_equal(a, b) for a, b in zip(sig_f, sig_u)
+                )
+                if not out_ok:
+                    failures.append(f"{name}: fused outputs diverge from unfused")
+                hits = fused_run.get("fusion", {}).get("hits", {})
+                if not hits.get("window"):
+                    failures.append(f"{name}: zero vm.fuse.window hits")
+
+                wall_f = min(r.get("wall_seconds") or 0.0 for r in fused_runs)
+                wall_u = min(r.get("wall_seconds") or 0.0 for r in unfused_runs)
+                rows[name] = {
+                    "wall_fused": wall_f,
+                    "wall_unfused": wall_u,
+                    "dispatch_speedup": (wall_u / wall_f) if wall_f else None,
+                    "stats_identical": stats_ok,
+                    "outputs_identical": out_ok,
+                    "fuse_hits": dict(hits),
+                }
+                print(
+                    f"{name:32s} unfused={wall_u * 1e3:7.1f}ms "
+                    f"fused={wall_f * 1e3:7.1f}ms "
+                    f"speedup={rows[name]['dispatch_speedup']:5.2f}x "
+                    f"stats={'ok' if stats_ok else 'DIVERGED'} "
+                    f"out={'ok' if out_ok else 'DIVERGED'}"
+                )
+
+    session.meta["perf_smoke"] = rows
+    fuse_totals = session.vm_fuse_totals()
+    print(f"\nvm.fuse totals: {fuse_totals}")
+    if args.out:
+        session.write(args.out)
+        print(f"telemetry written to {args.out}")
+
+    if failures:
+        print("\nPERF-SMOKE FAILURES:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print("\nperf-smoke OK: fused engine bit-identical to unfused")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,7 @@ equality is checked before any number is reported.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -84,11 +85,17 @@ def build_impl(spec: KernelSpec, impl: str, machine: Machine = AVX512) -> Module
 def run_impl(spec: KernelSpec, impl: str, machine: Machine = AVX512,
              module: Optional[Module] = None,
              workload: Optional[Workload] = None,
-             predecode: bool = True) -> KernelResult:
-    """Execute one implementation on the kernel's seeded workload."""
+             predecode: bool = True,
+             superinstructions: Optional[bool] = None) -> KernelResult:
+    """Execute one implementation on the kernel's seeded workload.
+
+    ``superinstructions`` forwards to the interpreter's decode-level
+    fusion toggle (``None`` → default on, ``REPRO_NO_FUSE`` honored).
+    """
     module = module or build_impl(spec, impl, machine)
     workload = workload or spec.workload()
-    interp = Interpreter(module, machine=machine, predecode=predecode)
+    interp = Interpreter(module, machine=machine, predecode=predecode,
+                         superinstructions=superinstructions)
     addrs = []
     for array in workload.arrays:
         addrs.append(interp.memory.alloc_array(array))
@@ -96,8 +103,13 @@ def run_impl(spec: KernelSpec, impl: str, machine: Machine = AVX512,
     # Interpreter stats accumulate across run() calls; start this
     # measurement from a known-zero state.
     interp.reset_stats()
+    start = time.perf_counter()
     returned = interp.run("kernel", *addrs, *workload.scalars)
-    telemetry.record_vm_run(f"{spec.name}/{impl}", interp.stats, interp.hotspots())
+    wall = time.perf_counter() - start
+    telemetry.record_vm_run(
+        f"{spec.name}/{impl}", interp.stats, interp.hotspots(),
+        fusion=interp.fusion_report(), wall_seconds=wall,
+    )
     outputs = [
         interp.memory.read_array(addrs[idx], workload.arrays[idx].dtype,
                                  workload.arrays[idx].size)
@@ -144,9 +156,13 @@ def check_kernel(spec: KernelSpec, machine: Machine = AVX512,
 
 
 def measure_kernel(spec: KernelSpec, machine: Machine = AVX512,
-                   impls: Sequence[str] = IMPLEMENTATIONS) -> Dict[str, float]:
+                   impls: Sequence[str] = IMPLEMENTATIONS,
+                   superinstructions: Optional[bool] = None) -> Dict[str, float]:
     """Speedup of every implementation relative to scalar."""
-    results = {impl: run_impl(spec, impl, machine) for impl in impls}
+    results = {
+        impl: run_impl(spec, impl, machine, superinstructions=superinstructions)
+        for impl in impls
+    }
     scalar = results["scalar"].cycles
     return {impl: scalar / r.cycles for impl, r in results.items()}
 

@@ -20,7 +20,7 @@ import dataclasses
 from collections import OrderedDict
 from typing import Callable, Dict, Optional, Tuple
 
-from . import faultinject
+from . import diskcache, faultinject
 from .backend.costmodel import CostModel
 from .backend.machine import AVX512, ExecStats, Machine
 from .frontend import compile_source
@@ -40,6 +40,8 @@ __all__ = [
     "clear_compile_cache",
     "compile_cache_stats",
     "set_compile_cache",
+    "set_disk_cache",
+    "disk_cache_stats",
 ]
 
 
@@ -82,6 +84,22 @@ def compile_cache_stats() -> Dict[str, int]:
     }
 
 
+def set_disk_cache(enabled: Optional[bool]) -> None:
+    """Enable/disable the persistent on-disk cache layer.
+
+    ``None`` defers to the ``REPRO_DISK_CACHE`` environment variable (the
+    default).  Entries live under ``$REPRO_CACHE_DIR`` (default
+    ``~/.cache/repro``); see :mod:`repro.diskcache`.
+    """
+    diskcache.set_enabled(enabled)
+
+
+def disk_cache_stats() -> Dict[str, int]:
+    """Disk-layer hit/miss/write/error counters (kept separate from
+    :func:`compile_cache_stats` so existing in-memory expectations hold)."""
+    return diskcache.stats()
+
+
 def _cached_compile(key: tuple, build: Callable[[], Module]) -> Module:
     # Armed fault plans make compilation impure: neither serve a module
     # compiled before the faults were armed, nor let a fault-degraded
@@ -91,7 +109,10 @@ def _cached_compile(key: tuple, build: Callable[[], Module]) -> Module:
     cached = _COMPILE_CACHE.get(key)
     if cached is None:
         _COMPILE_CACHE_STATS["misses"] += 1
-        cached = build()
+        cached = diskcache.load(key)
+        if cached is None:
+            cached = build()
+            diskcache.store(key, cached)
         _COMPILE_CACHE[key] = cached
         _COMPILE_CACHE.move_to_end(key)
         if len(_COMPILE_CACHE) > _COMPILE_CACHE_CAPACITY:

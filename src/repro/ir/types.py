@@ -59,6 +59,12 @@ class Type:
     def __hash__(self) -> int:
         return hash((type(self).__name__, self._key))
 
+    def __reduce__(self):
+        # Types are interned via __new__/__init__ taking exactly the intern
+        # key, so unpickling re-enters the cache and preserves ``is``
+        # identity (needed by the on-disk compile cache).
+        return (type(self), tuple(self._key))
+
     # -- convenience predicates -------------------------------------------------
 
     @property

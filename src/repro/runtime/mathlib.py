@@ -26,6 +26,7 @@ __all__ = [
     "MATH_FUNCTIONS",
     "scalar_math_external",
     "vector_math_external",
+    "rehydrate_external",
     "SLEEF",
     "ISPC_BUILTIN",
     "POW_SLEEF_OVER_ISPC",
@@ -113,21 +114,46 @@ def _vector_impl(name: str) -> Callable:
     return impl
 
 
-def scalar_math_external(module: Module, name: str, ftype: FloatType) -> ExternalFunction:
-    """Get-or-create the scalar external ``ml.<name>.<f32|f64>``."""
+def _nargs(name: str) -> int:
+    return 2 if name in ("pow", "atan2", "fmod") else 1
+
+
+def _build_scalar(name: str, ftype: FloatType) -> ExternalFunction:
     if name not in _IMPL:
         raise KeyError(f"unknown math function {name!r}")
-    nargs = 2 if name in ("pow", "atan2", "fmod") else 1
-    ext_name = f"ml.{name}.{ftype}"
-    if ext_name in module.externals:
-        return module.externals[ext_name]
-    ext = ExternalFunction(
-        ext_name,
-        FunctionType(ftype, (ftype,) * nargs),
+    return ExternalFunction(
+        f"ml.{name}.{ftype}",
+        FunctionType(ftype, (ftype,) * _nargs(name)),
         _scalar_impl(name, ftype),
         cost=float(_SCALAR_COST[name]),
     )
-    return module.add_external(ext)
+
+
+def _build_vector(
+    flavour: str, name: str, elem: FloatType, lanes: int
+) -> ExternalFunction:
+    if name not in _IMPL:
+        raise KeyError(f"unknown math function {name!r}")
+    vec = VectorType(elem, lanes)
+    per_op = _flavour_cost(flavour, name)
+
+    def cost(machine, arg_types, _per_op=per_op, _vec=vec):
+        return _per_op * machine.legalize_factor(_vec)
+
+    return ExternalFunction(
+        f"ml.{flavour}.{name}.{elem}x{lanes}",
+        FunctionType(vec, (vec,) * _nargs(name)),
+        _vector_impl(name),
+        cost=cost,
+    )
+
+
+def scalar_math_external(module: Module, name: str, ftype: FloatType) -> ExternalFunction:
+    """Get-or-create the scalar external ``ml.<name>.<f32|f64>``."""
+    ext_name = f"ml.{name}.{ftype}"
+    if ext_name in module.externals:
+        return module.externals[ext_name]
+    return module.add_external(_build_scalar(name, ftype))
 
 
 def vector_math_external(
@@ -138,19 +164,27 @@ def vector_math_external(
     The call cost is ``per-machine-op cost × legalization factor``, charged
     via a cost callable so it adapts to whatever machine executes it.
     """
-    if name not in _IMPL:
-        raise KeyError(f"unknown math function {name!r}")
-    nargs = 2 if name in ("pow", "atan2", "fmod") else 1
-    vec = VectorType(elem, lanes)
     ext_name = f"ml.{flavour}.{name}.{elem}x{lanes}"
     if ext_name in module.externals:
         return module.externals[ext_name]
-    per_op = _flavour_cost(flavour, name)
+    return module.add_external(_build_vector(flavour, name, elem, lanes))
 
-    def cost(machine, arg_types, _per_op=per_op, _vec=vec):
-        return _per_op * machine.legalize_factor(_vec)
 
-    ext = ExternalFunction(
-        ext_name, FunctionType(vec, (vec,) * nargs), _vector_impl(name), cost=cost
-    )
-    return module.add_external(ext)
+def rehydrate_external(name: str) -> ExternalFunction:
+    """Rebuild a detached ``ml.*`` external from its name alone.
+
+    Math externals hold closure impls that cannot be pickled; the disk
+    compile cache serializes them as their name and calls this on load.
+    Raises ``KeyError``/``ValueError`` for names this module never built.
+    """
+    parts = name.split(".")
+    if len(parts) == 3 and parts[0] == "ml":
+        # ml.<fn>.<f32|f64>
+        return _build_scalar(parts[1], FloatType(int(parts[2][1:])))
+    if len(parts) == 4 and parts[0] == "ml":
+        # ml.<flavour>.<fn>.<fN>x<lanes>
+        elem_s, _, lanes_s = parts[3].partition("x")
+        return _build_vector(
+            parts[1], parts[2], FloatType(int(elem_s[1:])), int(lanes_s)
+        )
+    raise KeyError(f"not a math external name: {name!r}")

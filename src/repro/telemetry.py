@@ -33,6 +33,7 @@ __all__ = [
     "Telemetry",
     "collect",
     "current",
+    "diff_documents",
     "record_fallback",
     "record_pass",
     "record_vectorization",
@@ -40,6 +41,7 @@ __all__ = [
 ]
 
 SCHEMA = "repro-telemetry/1"
+DIFF_SCHEMA = "repro-telemetry-diff/1"
 
 
 class Telemetry:
@@ -111,16 +113,26 @@ class Telemetry:
             }
         )
 
-    def record_vm_run(self, label: str, stats, hotspots: List[Dict]) -> None:
-        self.vm_runs.append(
-            {
-                "label": label,
-                "cycles": stats.cycles,
-                "instructions": stats.instructions,
-                "counts": dict(stats.counts),
-                "hotspots": list(hotspots),
-            }
-        )
+    def record_vm_run(
+        self,
+        label: str,
+        stats,
+        hotspots: List[Dict],
+        fusion: Optional[Dict[str, object]] = None,
+        wall_seconds: Optional[float] = None,
+    ) -> None:
+        entry: Dict[str, object] = {
+            "label": label,
+            "cycles": stats.cycles,
+            "instructions": stats.instructions,
+            "counts": dict(stats.counts),
+            "hotspots": list(hotspots),
+        }
+        if fusion is not None:
+            entry["fusion"] = dict(fusion)
+        if wall_seconds is not None:
+            entry["wall_seconds"] = wall_seconds
+        self.vm_runs.append(entry)
 
     # -- reporting -------------------------------------------------------------------
 
@@ -147,6 +159,19 @@ class Telemetry:
                     totals[section][key] = totals[section].get(key, 0) + n
         return totals
 
+    def vm_fuse_totals(self) -> Dict[str, int]:
+        """Superinstruction hit counters summed over runs, flattened to the
+        ``vm.fuse.<pattern>`` keys the perf-smoke CI job asserts on."""
+        totals: Dict[str, int] = {}
+        for run in self.vm_runs:
+            fusion = run.get("fusion")
+            if not fusion:
+                continue
+            for pattern, hits in fusion.get("hits", {}).items():  # type: ignore[union-attr]
+                key = f"vm.fuse.{pattern}"
+                totals[key] = totals.get(key, 0) + int(hits)
+        return totals
+
     def as_dict(self) -> Dict[str, object]:
         from . import driver
 
@@ -159,8 +184,9 @@ class Telemetry:
                 "totals": self.vectorizer_totals(),
                 "fallbacks": self.fallbacks,
             },
-            "vm": {"runs": self.vm_runs},
+            "vm": {"runs": self.vm_runs, "fuse_totals": self.vm_fuse_totals()},
             "compile_cache": driver.compile_cache_stats(),
+            "disk_cache": driver.disk_cache_stats(),
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -211,9 +237,75 @@ def record_vectorization(function_name, gang_size, shapes, memory_forms,
         )
 
 
-def record_vm_run(label, stats, hotspots):
+def record_vm_run(label, stats, hotspots, fusion=None, wall_seconds=None):
     if _current is not None:
-        _current.record_vm_run(label, stats, hotspots)
+        _current.record_vm_run(label, stats, hotspots, fusion, wall_seconds)
+
+
+# -- PR-over-PR diffing ----------------------------------------------------------
+
+
+def _field_diff(old, new):
+    old = 0 if old is None else old
+    new = 0 if new is None else new
+    return {"old": old, "new": new, "delta": new - old}
+
+
+def _diff_tables(old: Dict, new: Dict, fields) -> Dict[str, Dict]:
+    """Diff two ``{name: {field: number}}`` tables, keeping the union of
+    names so entries present on only one side still show up."""
+    result = {}
+    for name in sorted(set(old) | set(new)):
+        o, n = old.get(name, {}), new.get(name, {})
+        result[name] = {f: _field_diff(o.get(f), n.get(f)) for f in fields}
+    return result
+
+
+def _flat_counters(doc: Dict) -> Dict[str, float]:
+    """Every scalar counter in a telemetry document under a dotted key."""
+    flat: Dict[str, float] = {}
+    totals = doc.get("vectorizer", {}).get("totals", {})
+    for section, counters in totals.items():
+        for key, n in counters.items():
+            flat[f"vectorizer.{section}.{key}"] = n
+    for key, n in doc.get("vm", {}).get("fuse_totals", {}).items():
+        flat[key] = n  # already vm.fuse.<pattern>
+    for section in ("compile_cache", "disk_cache"):
+        for key, n in doc.get(section, {}).items():
+            if isinstance(n, (int, float)):
+                flat[f"{section}.{key}"] = n
+    flat["vectorizer.fallbacks"] = len(
+        doc.get("vectorizer", {}).get("fallbacks", [])
+    )
+    return flat
+
+
+def diff_documents(old: Dict, new: Dict) -> Dict[str, object]:
+    """Machine-readable PR-over-PR delta of two telemetry documents.
+
+    Compares per-pass timing/size aggregates, per-label VM runs, and every
+    flat counter (vectorizer totals, ``vm.fuse.*``, cache stats); names
+    present in only one document appear with the other side as 0.
+    """
+    runs_old = {r["label"]: r for r in old.get("vm", {}).get("runs", [])}
+    runs_new = {r["label"]: r for r in new.get("vm", {}).get("runs", [])}
+    return {
+        "schema": DIFF_SCHEMA,
+        "base_schemas": {"old": old.get("schema"), "new": new.get("schema")},
+        "passes": _diff_tables(
+            old.get("passes", {}),
+            new.get("passes", {}),
+            ("calls", "seconds", "instrs_delta"),
+        ),
+        "vm_runs": _diff_tables(
+            runs_old, runs_new, ("cycles", "instructions", "wall_seconds")
+        ),
+        "counters": _diff_tables(
+            {k: {"value": v} for k, v in _flat_counters(old).items()},
+            {k: {"value": v} for k, v in _flat_counters(new).items()},
+            ("value",),
+        ),
+    }
 
 
 def record_fallback(function_name, gang_size, reason):

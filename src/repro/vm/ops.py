@@ -13,6 +13,7 @@ relies on.
 
 from __future__ import annotations
 
+import ctypes
 import math
 
 import numpy as np
@@ -45,6 +46,7 @@ __all__ = [
     "scalar_binop_impl",
     "scalar_icmp_impl",
     "scalar_fcmp_impl",
+    "vector_binop_impl",
 ]
 
 
@@ -52,10 +54,17 @@ class VMTrap(ExecutionError):
     """Runtime trap (division by zero, unreachable, ...)."""
 
 
+#: Fast f64→f32→f64 round-trip.  ``ctypes.c_float`` performs the same IEEE
+#: round-to-nearest-even conversion as ``np.float32`` (verified bit-exact,
+#: including nan/inf/-0.0 and overflow-to-inf) at roughly half the cost —
+#: this sits on the hot path of every scalar f32 binop.
+_c_float = ctypes.c_float
+
+
 def round_float(type: Type, value: float) -> float:
     """Round a scalar float result to the storage precision of ``type``."""
     if isinstance(type, FloatType) and type.bits == 32:
-        return float(np.float32(value))
+        return _c_float(value).value
     return float(value)
 
 
@@ -242,7 +251,7 @@ def scalar_binop_impl(opcode: str, type: Type):
         if impl is None:
             raise NotImplementedError(f"scalar float binop {opcode}")
         if type.bits == 32:
-            return lambda a, b: float(np.float32(impl(a, b)))
+            return lambda a, b: _c_float(impl(a, b)).value
         return lambda a, b: float(impl(a, b))
     impl = SCALAR_INT_BINOPS.get(opcode)
     if impl is None:
@@ -361,6 +370,15 @@ def eval_vector_binop(opcode: str, elem: Type, a: np.ndarray, b: np.ndarray) -> 
     if opcode == "abd_u":
         return np.maximum(a, b) - np.minimum(a, b)
     raise NotImplementedError(f"vector int binop {opcode}")
+
+
+def vector_binop_impl(opcode: str, elem: Type):
+    """Resolve ``(opcode, elem)`` once, returning a 2-arg callable.
+
+    The superinstruction decoder uses this for fused binop constituents;
+    results are exactly those of :func:`eval_vector_binop`.
+    """
+    return lambda a, b: eval_vector_binop(opcode, elem, a, b)
 
 
 def _vector_bool_binop(opcode: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:

@@ -1,0 +1,147 @@
+"""Persistent on-disk compile cache: round-trip fidelity, version/toolchain
+keying, and the corruption-tolerance contract (a damaged entry must fall
+back to recompilation, never fail the compile)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import diskcache, driver
+from repro.runtime.mathlib import rehydrate_external
+from repro.vm import Interpreter
+
+SRC = """
+void kernel(f32* a, u64 n) {
+    psim (gang_size=8, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        a[i] = pow(a[i], 2.0f) + exp(a[i] * 0.01f);
+    }
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def disk_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    diskcache.set_enabled(True)
+    diskcache.reset_stats()
+    driver.clear_compile_cache()
+    yield tmp_path
+    diskcache.set_enabled(None)
+    diskcache.reset_stats()
+    driver.clear_compile_cache()
+
+
+def _run(module):
+    interp = Interpreter(module)
+    a = np.linspace(0.5, 4.0, 8, dtype=np.float32)
+    addr = interp.memory.alloc_array(a)
+    interp.run("kernel", addr, a.size)
+    return interp.memory.read_array(addr, np.float32, a.size), interp.stats.cycles
+
+
+def test_disk_round_trip_is_bit_identical(disk_cache):
+    reference = driver.compile_parsimony(SRC)
+    assert diskcache.stats()["writes"] == 1
+
+    # A "new process": the in-memory layer is empty, the disk layer isn't.
+    driver.clear_compile_cache()
+    rehydrated = driver.compile_parsimony(SRC)
+    assert diskcache.stats()["hits"] == 1
+
+    out_ref, cycles_ref = _run(reference)
+    out_disk, cycles_disk = _run(rehydrated)
+    np.testing.assert_array_equal(out_ref, out_disk)
+    assert cycles_ref == cycles_disk
+
+
+def test_disabled_disk_layer_never_touches_disk(disk_cache):
+    diskcache.set_enabled(False)
+    driver.compile_parsimony(SRC)
+    assert diskcache.stats() == {"hits": 0, "misses": 0, "writes": 0, "errors": 0}
+    assert list(disk_cache.glob("*.pkl")) == []
+
+
+def test_corrupt_entry_falls_back_to_recompile(disk_cache):
+    driver.compile_parsimony(SRC)
+    (entry,) = disk_cache.glob("*.pkl")
+    entry.write_bytes(b"\x80\x04 this is not a module")
+
+    driver.clear_compile_cache()
+    diskcache.reset_stats()
+    module = driver.compile_parsimony(SRC)  # must not raise
+    stats = diskcache.stats()
+    assert stats["errors"] == 1 and stats["hits"] == 0
+    # The corrupt blob was dropped and the recompile re-stored a good one.
+    assert stats["writes"] == 1
+    driver.clear_compile_cache()
+    diskcache.reset_stats()
+    driver.compile_parsimony(SRC)
+    assert diskcache.stats()["hits"] == 1
+    out, _ = _run(module)
+    assert np.isfinite(out).all()
+
+
+def test_version_bump_misses_old_entries(disk_cache, monkeypatch):
+    driver.compile_parsimony(SRC)
+    driver.clear_compile_cache()
+    diskcache.reset_stats()
+    monkeypatch.setattr(diskcache, "CACHE_VERSION", diskcache.CACHE_VERSION + 1)
+    driver.compile_parsimony(SRC)
+    stats = diskcache.stats()
+    assert stats["hits"] == 0 and stats["misses"] == 1 and stats["writes"] == 1
+
+
+def test_memory_layer_shields_disk_layer(disk_cache):
+    driver.compile_parsimony(SRC)
+    diskcache.reset_stats()
+    driver.compile_parsimony(SRC)  # in-memory hit
+    assert diskcache.stats() == {"hits": 0, "misses": 0, "writes": 0, "errors": 0}
+
+
+def test_faultinject_bypasses_disk_layer(disk_cache):
+    from repro import faultinject
+
+    with faultinject.inject(faultinject.FaultPlan(site="vectorize")):
+        driver.compile_parsimony(SRC)
+    assert diskcache.stats() == {"hits": 0, "misses": 0, "writes": 0, "errors": 0}
+
+
+def test_rehydrate_external_names():
+    scalar = rehydrate_external("ml.exp.f32")
+    assert scalar.name == "ml.exp.f32"
+    assert scalar.impl(1.0) == pytest.approx(np.exp(np.float32(1.0)), rel=1e-6)
+
+    vector = rehydrate_external("ml.sleef.pow.f32x16")
+    assert vector.name == "ml.sleef.pow.f32x16"
+    a = np.full(16, 2.0, dtype=np.float32)
+    np.testing.assert_array_equal(vector.impl(a, a), a * a)
+
+    with pytest.raises(KeyError):
+        rehydrate_external("psim.lane_num")
+    with pytest.raises(KeyError):
+        rehydrate_external("ml.nosuchfn.f32")
+
+
+def test_module_pickle_preserves_external_identity(disk_cache):
+    module = driver.compile_parsimony(SRC)
+    blob = diskcache._dumps(module)
+    loaded = diskcache._loads(blob)
+    exts = {
+        name: ext for name, ext in loaded.externals.items()
+        if name.startswith("ml.")
+    }
+    assert exts, "expected math externals in the vectorized module"
+    for name, ext in exts.items():
+        assert callable(ext.impl), name
+    # Call operands must reference the same rehydrated objects that sit in
+    # module.externals (persistent_load memoizes per unpickle).
+    for function in loaded.functions.values():
+        for block in function.blocks:
+            for instr in block.instructions:
+                if instr.opcode != "call":
+                    continue
+                callee = instr.operands[0]
+                if getattr(callee, "name", "").startswith("ml."):
+                    assert callee is loaded.externals[callee.name]

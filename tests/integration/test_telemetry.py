@@ -98,6 +98,45 @@ def test_json_document_round_trips(tmp_path):
     assert on_disk == doc
 
 
+def test_diff_documents_reports_deltas_and_union_of_names():
+    driver.clear_compile_cache()
+    with telemetry.collect() as old_session:
+        _compile_and_run()
+    driver.clear_compile_cache()
+    with telemetry.collect() as new_session:
+        _compile_and_run()
+        telemetry.record_vm_run(
+            "t/extra", Interpreter(driver.compile_parsimony(SRC)).stats, [],
+            fusion={"superinstructions": True, "sites": {}, "hits": {"window": 3}},
+            wall_seconds=0.5,
+        )
+
+    old_doc = json.loads(old_session.to_json())
+    new_doc = json.loads(new_session.to_json())
+    diff = telemetry.diff_documents(old_doc, new_doc)
+
+    assert diff["schema"] == telemetry.DIFF_SCHEMA
+    assert diff["base_schemas"] == {"old": telemetry.SCHEMA,
+                                    "new": telemetry.SCHEMA}
+
+    # Identical compiles: per-pass call counts cancel out.
+    assert "dce" in diff["passes"]
+    assert diff["passes"]["dce"]["calls"]["delta"] == 0
+
+    # The shared run diffs to zero cycles; the extra run appears with the
+    # missing side reported as 0 (union-of-names contract).
+    shared = diff["vm_runs"]["t/parsimony"]
+    assert shared["cycles"]["delta"] == 0
+    extra = diff["vm_runs"]["t/extra"]
+    assert extra["wall_seconds"] == {"old": 0, "new": 0.5, "delta": 0.5}
+
+    # Flat counters include vm.fuse.* totals from the fusion record.
+    assert diff["counters"]["vm.fuse.window"]["value"]["new"] == 3
+
+    # The diff document itself must be JSON-serialisable (CI artifact).
+    json.dumps(diff)
+
+
 def test_nested_sessions_restore_the_outer_one():
     with telemetry.collect() as outer:
         with telemetry.collect() as inner:

@@ -176,19 +176,25 @@ def test_reset_stats_zeroes_in_place():
 @pytest.mark.parametrize("impl", ["scalar", "autovec", "parsimony", "ispc"])
 @pytest.mark.parametrize("spec", BENCHMARKS, ids=lambda s: s.name)
 def test_predecode_matches_reference(spec, impl):
+    """All three engines — fused, unfused pre-decoded, reference — must
+    produce bit-identical outputs and bit-identical ``ExecStats``."""
     from repro.benchsuite.runner import build_impl
 
     module = build_impl(spec, impl)
-    fast = run_impl(spec, impl, module=module, predecode=True)
+    fused = run_impl(spec, impl, module=module, predecode=True,
+                     superinstructions=True)
+    unfused = run_impl(spec, impl, module=module, predecode=True,
+                       superinstructions=False)
     slow = run_impl(spec, impl, module=module, predecode=False)
 
-    assert fast.stats.cycles == slow.stats.cycles
-    assert fast.stats.instructions == slow.stats.instructions
-    assert fast.stats.counts == slow.stats.counts
-    assert len(fast.outputs) == len(slow.outputs)
-    for got, want in zip(fast.outputs, slow.outputs):
-        np.testing.assert_array_equal(got, want)
-    if fast.returned is not None or slow.returned is not None:
-        np.testing.assert_array_equal(
-            np.asarray(fast.returned), np.asarray(slow.returned)
-        )
+    for fast in (fused, unfused):
+        assert fast.stats.cycles == slow.stats.cycles
+        assert fast.stats.instructions == slow.stats.instructions
+        assert fast.stats.counts == slow.stats.counts
+        assert len(fast.outputs) == len(slow.outputs)
+        for got, want in zip(fast.outputs, slow.outputs):
+            np.testing.assert_array_equal(got, want)
+        if fast.returned is not None or slow.returned is not None:
+            np.testing.assert_array_equal(
+                np.asarray(fast.returned), np.asarray(slow.returned)
+            )
