@@ -58,6 +58,32 @@ def report(specs, superinstructions=None):
     print("       except binomial_options, where SLEEF pow costs 2.6x ispc's.")
 
 
+def _print_degradations(session):
+    """Summarize graceful-degradation events seen during the run.
+
+    A clean fig4 run reports none; under fault injection (or a vectorizer
+    regression) this shows how much vector code each degraded function
+    kept — whole-function fallbacks keep none, region-granular partial
+    fallbacks keep everything outside the scalarized region.
+    """
+    partials = session.partial_fallbacks
+    fulls = session.fallbacks
+    if not partials and not fulls:
+        return
+    print()
+    print(f"degradations: {len(partials)} region-granular, "
+          f"{len(fulls)} whole-function")
+    for entry in partials:
+        kept = 1.0 - entry["block_fraction"]
+        print(f"  partial {entry['function']}: "
+              f"{entry['blocks_scalarized']}/{entry['blocks_total']} blocks "
+              f"scalarized into {len(entry['regions'])} outlined region(s), "
+              f"{kept:.0%} of blocks still vectorized")
+    for entry in fulls:
+        reason = entry["reason"].get("error", "?")
+        print(f"  whole   {entry['function']}: {reason}")
+
+
 def _print_table_diff(title, table, fields, unit=""):
     changed = {
         name: row for name, row in table.items()
@@ -156,6 +182,7 @@ def main():
         session.meta["figure"] = "fig4"
         session.meta["cycles_by_kernel"] = summarize_telemetry(session)
         session.write(args.telemetry)
+        _print_degradations(session)
         print(f"\ntelemetry written to {args.telemetry}")
     else:
         report(specs, superinstructions)

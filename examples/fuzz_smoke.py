@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Differential SPMD kernel fuzz smoke: random kernels, three build
+strategies, bitwise agreement.
+
+    REPRO_FUZZ_N=500 python examples/fuzz_smoke.py [--n N] [--telemetry out.json]
+
+Every seed generates one random SPMD kernel (``repro.benchsuite.fuzzgen``)
+and compares the fully vectorized build bitwise against the
+whole-function-scalarized build (``vectorize`` fault).  On a
+deterministic 10% of the seeds a single-shot ``vectorize_block`` fault
+additionally forces the region-granular partial-fallback path, and that
+build must agree bitwise too.  ``--telemetry PATH`` writes the session
+JSON — including ``vectorizer.partial_fallbacks`` records — for the CI
+fuzz-smoke job's artifact.
+
+Exits non-zero on any mismatch, or if the forced-partial seeds never
+actually engaged the region path (which would mean the smoke was
+silently fuzzing a dead feature).
+"""
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+from repro import telemetry
+from repro.benchsuite.fuzzgen import N_THREADS, generate_kernel, workload_arrays
+from repro.driver import compile_parsimony
+from repro.faultinject import FaultPlan, inject
+from repro.vm import Interpreter
+
+
+def run(module, seed):
+    A, B, C, OUT, IOUT, sv, si = workload_arrays(seed)
+    interp = Interpreter(module)
+    addrs = [interp.memory.alloc_array(arr) for arr in (A, B, C, OUT, IOUT)]
+    interp.run("kernel", *addrs, sv, si, N_THREADS)
+    return (
+        interp.memory.read_array(addrs[3], np.float32, N_THREADS),
+        interp.memory.read_array(addrs[4], np.int32, N_THREADS),
+    )
+
+
+def check_seed(seed):
+    kernel = generate_kernel(seed)
+    want = run(compile_parsimony(kernel.source), seed)
+
+    builds = []
+    with inject(FaultPlan(site="vectorize")):
+        builds.append(("whole", compile_parsimony(kernel.source)))
+    if seed % 10 == 0:
+        # Force the region-granular path on a deterministic 10% of seeds:
+        # fault a block past the entry so the failure carries provenance.
+        plan = FaultPlan(site="vectorize_block", after=1 + seed % 5, times=1)
+        with inject(plan):
+            builds.append(("partial", compile_parsimony(kernel.source)))
+
+    ok = True
+    for label, module in builds:
+        got = run(module, seed)
+        for g, w in zip(got, want):
+            if not np.array_equal(g, w):
+                print(f"  FAIL seed {seed} ({label} vs plain):\n{kernel.source}")
+                ok = False
+                break
+    return ok
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--n", type=int, default=int(os.environ.get("REPRO_FUZZ_N", "200")),
+        help="number of seeds (default: $REPRO_FUZZ_N or 200)",
+    )
+    parser.add_argument(
+        "--telemetry", metavar="PATH",
+        help="write session telemetry (incl. partial-fallback records) to PATH",
+    )
+    args = parser.parse_args()
+
+    print(f"differential kernel fuzz — {args.n} seeds, "
+          f"partial fallback forced on every 10th")
+    failures = 0
+    with telemetry.collect() as session:
+        for seed in range(args.n):
+            if not check_seed(seed):
+                failures += 1
+    partials = len(session.partial_fallbacks)
+    if args.n >= 10 and partials == 0:
+        print("FAIL: forced-partial seeds never engaged the region path")
+        failures += 1
+
+    session.meta["harness"] = "fuzz_smoke"
+    session.meta["cases"] = args.n
+    session.meta["partial_fallbacks_engaged"] = partials
+    session.meta["failures"] = failures
+
+    if args.telemetry:
+        session.write(args.telemetry)
+        print(f"telemetry written to {args.telemetry}")
+
+    if failures:
+        print(f"\n{failures} seed(s) FAILED")
+        return 1
+    print(f"\nall {args.n} seeds agree bitwise "
+          f"({partials} region-granular fallback(s) exercised)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+from .. import faultinject
 from ..ir.instructions import Instruction, REDUCE_OPS
 from ..ir.types import Type, VectorType
 from .machine import ExecStats, Machine
@@ -67,6 +68,9 @@ class CostModel:
 
     def cost(self, instr: Instruction, machine: Machine) -> float:
         op = instr.opcode
+        # Injection point for robustness tests; interpreters cache costs
+        # per instruction object, so this is off the per-execution path.
+        faultinject.maybe_fail("costmodel", op)
         itype = instr.type
 
         if op in ("vload", "vstore"):

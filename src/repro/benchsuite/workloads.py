@@ -8,6 +8,7 @@ results are reproducible across runs.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
@@ -42,8 +43,13 @@ class Workload:
 
 
 def rng_for(name: str, salt: int = 0) -> np.random.Generator:
-    """Deterministic per-kernel RNG."""
-    seed = (hash(name) ^ (salt * 0x9E3779B9)) & 0xFFFFFFFF
+    """Deterministic per-kernel RNG.
+
+    Seeded by a *stable* hash of the name: ``hash()`` is randomized per
+    process (PYTHONHASHSEED), which silently made workloads — and any
+    differential comparison over them — irreproducible across runs.
+    """
+    seed = (zlib.crc32(name.encode()) ^ (salt * 0x9E3779B9)) & 0xFFFFFFFF
     return np.random.default_rng(seed)
 
 

@@ -34,6 +34,7 @@ __all__ = [
     "ReproError",
     "CompileError",
     "ExecutionError",
+    "attach_location",
 ]
 
 
@@ -136,6 +137,35 @@ class ReproError(Exception):
             )
         self.diagnostic = diagnostic
         super().__init__(diagnostic.format())
+
+
+def attach_location(
+    exc: BaseException,
+    *,
+    function: str = "",
+    block: str = "",
+    instruction: str = "",
+) -> None:
+    """Fill *empty* location fields of a :class:`ReproError` in flight.
+
+    Emitters close to the IR (the vectorizer's per-block loop) call this in
+    ``except`` clauses so that errors raised by deeper layers — which know
+    *why* but not *where* — gain function/block/instruction provenance
+    without losing their original message.  Fields already set by the
+    raiser win; non-``ReproError`` exceptions are left untouched.  The
+    rendered ``str(exc)`` is not rebuilt (it was fixed at raise time); the
+    structured :class:`Diagnostic` is what downstream consumers — the
+    region-fallback planner, telemetry — read.
+    """
+    if not isinstance(exc, ReproError):
+        return
+    diag = exc.diagnostic
+    if function and not diag.function:
+        diag.function = function
+    if block and not diag.block:
+        diag.block = block
+    if instruction and not diag.instruction:
+        diag.instruction = instruction
 
 
 class CompileError(ReproError):

@@ -11,6 +11,14 @@ environment variables, no monkeypatching.
 Hook sites (the ``site`` of a :class:`FaultPlan`):
 
 * ``"vectorize"`` — entry of ``vectorize_function`` (name = function name);
+* ``"vectorize_block"`` — before each basic block is vectorized
+  (name = ``"<function>:<block>"``); the failure carries block-level
+  provenance, so ``vectorize_module`` attempts region-granular fallback
+  instead of degrading the whole function;
+* ``"mathlib"``   — inside every ``ml.*`` math-external implementation
+  (name = the external's full name, e.g. ``"ml.exp.f32"`` or
+  ``"ml.sleef.pow.f32x8"``); survives disk-cache rehydration;
+* ``"costmodel"`` — entry of ``CostModel.cost`` (name = instruction opcode);
 * ``"pass"``      — before each optimization pass runs
   (name = ``"<pass>:<function>"``);
 * ``"verify"``    — entry of ``verify_function`` (name = function name);

@@ -19,6 +19,7 @@ from typing import Callable, Dict
 
 import numpy as np
 
+from .. import faultinject
 from ..ir.module import ExternalFunction, Module
 from ..ir.types import FloatType, FunctionType, Type, VectorType
 
@@ -89,24 +90,31 @@ def _flavour_cost(flavour: str, name: str) -> float:
     return cost
 
 
-def _scalar_impl(name: str, ftype: Type) -> Callable:
+def _scalar_impl(name: str, ftype: Type, ext_name: str) -> Callable:
     fn = _IMPL[name]
     f32 = isinstance(ftype, FloatType) and ftype.bits == 32
+    dtype = np.float32 if f32 else np.float64
 
     def impl(*args):
-        if f32:
-            args = [np.float32(a) for a in args]
+        faultinject.maybe_fail("mathlib", ext_name)
+        # Evaluate through a 1-element array so the scalar flavour runs the
+        # exact same ufunc inner loop as the vector flavour: numpy's scalar
+        # and array paths are NOT bitwise-identical everywhere (e.g. the
+        # array loop of ``power`` fast-paths small integral exponents),
+        # and the fallback paths pin bitwise scalar/vector agreement.
+        arrays = [np.array([a], dtype=dtype) for a in args]
         with np.errstate(all="ignore"):
-            result = fn(*args)
-        return float(np.float32(result)) if f32 else float(result)
+            result = fn(*arrays)
+        return float(result[0])
 
     return impl
 
 
-def _vector_impl(name: str) -> Callable:
+def _vector_impl(name: str, ext_name: str) -> Callable:
     fn = _IMPL[name]
 
     def impl(*args):
+        faultinject.maybe_fail("mathlib", ext_name)
         with np.errstate(all="ignore"):
             result = fn(*args)
         return result.astype(args[0].dtype, copy=False)
@@ -121,10 +129,11 @@ def _nargs(name: str) -> int:
 def _build_scalar(name: str, ftype: FloatType) -> ExternalFunction:
     if name not in _IMPL:
         raise KeyError(f"unknown math function {name!r}")
+    ext_name = f"ml.{name}.{ftype}"
     return ExternalFunction(
-        f"ml.{name}.{ftype}",
+        ext_name,
         FunctionType(ftype, (ftype,) * _nargs(name)),
-        _scalar_impl(name, ftype),
+        _scalar_impl(name, ftype, ext_name),
         cost=float(_SCALAR_COST[name]),
     )
 
@@ -140,10 +149,11 @@ def _build_vector(
     def cost(machine, arg_types, _per_op=per_op, _vec=vec):
         return _per_op * machine.legalize_factor(_vec)
 
+    ext_name = f"ml.{flavour}.{name}.{elem}x{lanes}"
     return ExternalFunction(
-        f"ml.{flavour}.{name}.{elem}x{lanes}",
+        ext_name,
         FunctionType(vec, (vec,) * _nargs(name)),
-        _vector_impl(name),
+        _vector_impl(name, ext_name),
         cost=cost,
     )
 

@@ -35,6 +35,7 @@ __all__ = [
     "current",
     "diff_documents",
     "record_fallback",
+    "record_partial_fallback",
     "record_pass",
     "record_vectorization",
     "record_vm_run",
@@ -54,6 +55,9 @@ class Telemetry:
         self.vectorized: List[Dict[str, object]] = []
         #: one entry per function that fell back to the scalar lane loop
         self.fallbacks: List[Dict[str, object]] = []
+        #: one entry per function that kept vector code but outlined one or
+        #: more failing regions to scalar helpers (region-granular fallback)
+        self.partial_fallbacks: List[Dict[str, object]] = []
         #: one entry per VM run
         self.vm_runs: List[Dict[str, object]] = []
         self.meta: Dict[str, object] = {"started_at": time.time()}
@@ -104,14 +108,38 @@ class Telemetry:
     def record_fallback(
         self, function_name: str, gang_size: int, reason: Dict[str, object]
     ) -> None:
-        """One SPMD function degraded to the scalar lane loop (and why)."""
-        self.fallbacks.append(
-            {
-                "function": function_name,
-                "gang_size": gang_size,
-                "reason": dict(reason),
-            }
-        )
+        """One SPMD function degraded to the scalar lane loop (and why).
+
+        Exact duplicates are dropped: while fault plans are armed the
+        driver bypasses the compile cache, so the same source compiled
+        twice degrades the same functions twice — one *distinct*
+        degradation, not two (``vectorizer.fallbacks`` used to
+        double-count here).
+        """
+        entry = {
+            "function": function_name,
+            "gang_size": gang_size,
+            "reason": dict(reason),
+        }
+        if entry not in self.fallbacks:
+            self.fallbacks.append(entry)
+
+    def record_partial_fallback(
+        self, function_name: str, gang_size: int, info: Dict[str, object]
+    ) -> None:
+        """One SPMD function vectorized with scalar-outlined regions.
+
+        ``info`` carries the per-region records (helper name, region entry
+        and blocks, failure reason) plus the scalarized block/instruction
+        fractions.  Deduplicated like :meth:`record_fallback`.
+        """
+        entry = {
+            "function": function_name,
+            "gang_size": gang_size,
+            **{k: v for k, v in info.items()},
+        }
+        if entry not in self.partial_fallbacks:
+            self.partial_fallbacks.append(entry)
 
     def record_vm_run(
         self,
@@ -183,6 +211,7 @@ class Telemetry:
                 "functions": self.vectorized,
                 "totals": self.vectorizer_totals(),
                 "fallbacks": self.fallbacks,
+                "partial_fallbacks": self.partial_fallbacks,
             },
             "vm": {"runs": self.vm_runs, "fuse_totals": self.vm_fuse_totals()},
             "compile_cache": driver.compile_cache_stats(),
@@ -277,6 +306,13 @@ def _flat_counters(doc: Dict) -> Dict[str, float]:
     flat["vectorizer.fallbacks"] = len(
         doc.get("vectorizer", {}).get("fallbacks", [])
     )
+    partials = doc.get("vectorizer", {}).get("partial_fallbacks", [])
+    flat["vectorizer.partial_fallbacks"] = len(partials)
+    for entry in partials:
+        for region in entry.get("regions", []):
+            error = region.get("reason", {}).get("error", "unknown")
+            key = f"vectorizer.partial_fallback_reason.{error}"
+            flat[key] = flat.get(key, 0) + 1
     return flat
 
 
@@ -311,3 +347,8 @@ def diff_documents(old: Dict, new: Dict) -> Dict[str, object]:
 def record_fallback(function_name, gang_size, reason):
     if _current is not None:
         _current.record_fallback(function_name, gang_size, reason)
+
+
+def record_partial_fallback(function_name, gang_size, info):
+    if _current is not None:
+        _current.record_partial_fallback(function_name, gang_size, info)

@@ -32,7 +32,12 @@ from ..ir.types import I64
 from ..ir.values import Constant
 from ..ir.verifier import verify_function
 
-__all__ = ["ScalarizeError", "scalarization_blocker", "scalarize_spmd_function"]
+__all__ = [
+    "ScalarizeError",
+    "cross_lane_blocker",
+    "scalarization_blocker",
+    "scalarize_spmd_function",
+]
 
 #: ``psim.*`` intrinsics with a per-lane meaning — safe under a lane loop.
 _LANE_LOCAL_PSIM = frozenset(["psim.lane_num"])
@@ -44,16 +49,24 @@ class ScalarizeError(CompileError):
     default_stage = "scalarize"
 
 
-def scalarization_blocker(function: Function) -> Optional[str]:
-    """The name of the first cross-lane ``psim.*`` intrinsic in ``function``,
-    or None when a sequential lane loop is a legal schedule."""
-    for instr in function.instructions():
+def cross_lane_blocker(instructions) -> Optional[str]:
+    """The name of the first cross-lane ``psim.*`` intrinsic in the iterable
+    of instructions, or None when one-lane-at-a-time execution is a legal
+    schedule.  Shared by the whole-function lane loop below and the
+    region-granular outliner (:mod:`.regions`)."""
+    for instr in instructions:
         if instr.opcode != "call":
             continue
         callee = getattr(instr.operands[0], "name", "")
         if callee.startswith("psim.") and callee not in _LANE_LOCAL_PSIM:
             return callee
     return None
+
+
+def scalarization_blocker(function: Function) -> Optional[str]:
+    """The name of the first cross-lane ``psim.*`` intrinsic in ``function``,
+    or None when a sequential lane loop is a legal schedule."""
+    return cross_lane_blocker(function.instructions())
 
 
 def scalarize_spmd_function(function: Function) -> Function:

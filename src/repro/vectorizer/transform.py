@@ -37,7 +37,8 @@ from ..ir import (
     UndefValue,
     Value,
 )
-from ..diagnostics import CompileError
+from .. import faultinject
+from ..diagnostics import CompileError, ReproError, attach_location
 from ..ir.cfg import DominatorTree, Loop, find_loops, reverse_postorder
 from ..ir.instructions import CAST_OPS, FLOAT_BINOPS, INT_BINOPS, UNARY_OPS
 from ..ir.module import BasicBlock, ExternalFunction
@@ -239,6 +240,19 @@ class Vectorizer:
         return edges
 
     def _emit_block(self, block: BasicBlock) -> None:
+        try:
+            faultinject.maybe_fail(
+                "vectorize_block", f"{self.sf.name}:{block.name}"
+            )
+            self._emit_block_body(block)
+        except ReproError as exc:
+            # Block provenance feeds the region-granular fallback planner
+            # (repro.vectorizer.regions): it must know *which scalar block*
+            # defeated the pass to outline the minimal region around it.
+            attach_location(exc, function=self.sf.name, block=block.name)
+            raise
+
+    def _emit_block_body(self, block: BasicBlock) -> None:
         # Compute this block's active mask from already-emitted edges.
         if block not in self.block_vec:
             edges = self._incoming_forward_edges(block)
@@ -260,10 +274,14 @@ class Vectorizer:
         mask = self.block_vec[block]
         self._emit_phis(block)
         for instr in block.non_phi_instructions():
-            if instr.is_terminator:
-                self._emit_terminator(block, instr, mask)
-            else:
-                self._emit_instruction(instr, mask)
+            try:
+                if instr.is_terminator:
+                    self._emit_terminator(block, instr, mask)
+                else:
+                    self._emit_instruction(instr, mask)
+            except ReproError as exc:
+                attach_location(exc, instruction=instr.name or instr.opcode)
+                raise
 
     def _or_sc_join(self, a: Optional[Value], b: Optional[Value]) -> Optional[Value]:
         if a is None or b is None:
@@ -375,6 +393,17 @@ class Vectorizer:
     # ==================================================================== loops
 
     def _emit_loop(self, loop: Loop) -> None:
+        try:
+            self._emit_loop_body(loop)
+        except ReproError as exc:
+            # Loop-level failures (no preheader, unsupported exit structure)
+            # anchor region fallback at the loop header.
+            attach_location(
+                exc, function=self.sf.name, block=loop.header.name
+            )
+            raise
+
+    def _emit_loop_body(self, loop: Loop) -> None:
         # Loop objects come from a separate find_loops run than the shape
         # analysis' — compare by header block.
         divergent = any(
@@ -679,7 +708,14 @@ class Vectorizer:
             if idx.type != I64:
                 ext = "sext"  # gep indices are signed
                 idxv = self.b.cast(ext, idxv, VectorType(I64, self.gang))
-            size = Constant(VectorType(I64, self.gang), [instr.type.pointee.size_bytes()] * self.gang)
+            stride = instr.type.pointee.size_bytes()
+            if ptr in self.shapes.soa_allocas:
+                # SoA-swizzled private array: lanes are interleaved per
+                # element, so consecutive elements of one lane sit
+                # gang*size bytes apart (the indexed-gep path above makes
+                # the same adjustment via idx*G).
+                stride *= self.gang
+            size = Constant(VectorType(I64, self.gang), [stride] * self.gang)
             addr = self.b.add(addr, self.b.mul(idxv, size), "addrs")
             self.vecmap[instr] = self.b.inttoptr(
                 addr, VectorType(instr.type, self.gang), "ptrs"

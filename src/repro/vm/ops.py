@@ -227,8 +227,19 @@ SCALAR_FLOAT_BINOPS = {
 }
 
 
+def _f_div32(a, b):
+    # True single-rounded float32 division.  Going through the f64
+    # quotient and then rounding (``round_float``) double-rounds, which
+    # differs from f32 division in rare near-tie cases and would break
+    # the bitwise scalar/vector output agreement the fallback paths pin.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return float(np.float32(a) / np.float32(b))
+
+
 def eval_scalar_binop(opcode: str, type: Type, a, b):
     if isinstance(type, FloatType):
+        if opcode == "fdiv" and type.bits == 32:
+            return _f_div32(a, b)
         impl = SCALAR_FLOAT_BINOPS.get(opcode)
         if impl is None:
             raise NotImplementedError(f"scalar float binop {opcode}")
@@ -247,6 +258,8 @@ def scalar_binop_impl(opcode: str, type: Type):
     :func:`eval_scalar_binop`.
     """
     if isinstance(type, FloatType):
+        if opcode == "fdiv" and type.bits == 32:
+            return _f_div32
         impl = SCALAR_FLOAT_BINOPS.get(opcode)
         if impl is None:
             raise NotImplementedError(f"scalar float binop {opcode}")
@@ -427,6 +440,10 @@ def eval_scalar_unop(opcode: str, type: Type, a):
     if opcode == "fabs":
         return round_float(type, abs(a))
     if opcode == "fsqrt":
+        if type.bits == 32:
+            # Single-rounded f32 sqrt (see _f_div32 on double rounding).
+            with np.errstate(invalid="ignore"):
+                return float(np.sqrt(np.float32(a)))
         return round_float(type, math.sqrt(a) if a >= 0 else math.nan)
     if opcode == "iabs":
         sa = to_signed(a, type.bits)

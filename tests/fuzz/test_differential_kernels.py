@@ -1,0 +1,98 @@
+"""Differential SPMD kernel fuzzer (issue 4, satellite of partial fallback).
+
+Each seed deterministically generates one random SPMD kernel (see
+``repro.benchsuite.fuzzgen``) and compiles it three ways:
+
+* **plain** — the normal Parsimony pipeline (fully vectorized);
+* **partial** — with an injected single-shot ``vectorize_block`` fault,
+  which engages region-granular scalar fallback when the failing block
+  admits a valid region (and whole-function fallback otherwise);
+* **whole** — with a ``vectorize`` fault, which always degrades the
+  entire function to the scalar pipeline.
+
+All three executions over the same seeded inputs must agree **bitwise**
+on every output array.  ``N_THREADS`` is coprime to all gang sizes, so
+the tail gang is exercised on every kernel.
+
+Tier-1 runs ``REPRO_FUZZ_N`` seeds (default 200); CI's fuzz-smoke job and
+local soak runs scale it up via the environment::
+
+    REPRO_FUZZ_N=500 python -m pytest tests/fuzz -q
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.benchsuite.fuzzgen import N_THREADS, generate_kernel, workload_arrays
+from repro.driver import compile_parsimony
+from repro.faultinject import FaultPlan, inject
+from repro.vm import Interpreter
+
+FUZZ_N = int(os.environ.get("REPRO_FUZZ_N", "200"))
+
+#: Corpus-wide tally of how each degraded compile landed, so the suite can
+#: assert the fuzzer actually exercises the region path (not just the
+#: whole-function one) instead of silently fuzzing a dead feature.
+_CORPUS = {"partial": 0, "whole": 0, "clean": 0}
+
+
+def _run(module, seed):
+    A, B, C, OUT, IOUT, sv, si = workload_arrays(seed)
+    interp = Interpreter(module)
+    a = interp.memory.alloc_array(A)
+    b = interp.memory.alloc_array(B)
+    c = interp.memory.alloc_array(C)
+    out = interp.memory.alloc_array(OUT)
+    iout = interp.memory.alloc_array(IOUT)
+    interp.run("kernel", a, b, c, out, iout, sv, si, N_THREADS)
+    return (
+        interp.memory.read_array(out, np.float32, N_THREADS),
+        interp.memory.read_array(iout, np.int32, N_THREADS),
+    )
+
+
+def _classify(module):
+    for f in module.functions.values():
+        if f.attrs.get("parsimony_partial_fallback"):
+            return "partial"
+    for f in module.functions.values():
+        if f.attrs.get("parsimony_fallback"):
+            return "whole"
+    return "clean"
+
+
+def _assert_same(got, want, context):
+    np.testing.assert_array_equal(got[0], want[0], err_msg=f"{context}: OUT")
+    np.testing.assert_array_equal(got[1], want[1], err_msg=f"{context}: IOUT")
+
+
+@pytest.mark.parametrize("seed", range(FUZZ_N))
+def test_differential_fuzz_kernel(seed):
+    kernel = generate_kernel(seed)
+    context = f"seed={seed} gang={kernel.gang_size}\n{kernel.source}"
+
+    plain = compile_parsimony(kernel.source)
+    plain_out = _run(plain, seed)
+
+    with inject(FaultPlan(site="vectorize")):
+        whole = compile_parsimony(kernel.source)
+    assert _classify(whole) == "whole", context
+    _assert_same(_run(whole, seed), plain_out, f"whole vs plain: {context}")
+
+    # Fault the (seed%6)-th emitted block: depending on the kernel's shape
+    # this lands on a valid region (partial fallback), the entry block
+    # (whole-function fallback), or past the last emission (clean build) —
+    # all three must still be bit-identical to the plain build.
+    with inject(FaultPlan(site="vectorize_block", after=seed % 6, times=1)):
+        degraded = compile_parsimony(kernel.source)
+    _CORPUS[_classify(degraded)] += 1
+    _assert_same(_run(degraded, seed), plain_out, f"degraded vs plain: {context}")
+
+
+def test_zz_corpus_exercised_partial_fallback():
+    """Runs after the matrix above (pytest preserves file order): the corpus
+    must have engaged the region-granular path, not just whole-function."""
+    assert sum(_CORPUS.values()) == FUZZ_N
+    assert _CORPUS["partial"] > 0, _CORPUS

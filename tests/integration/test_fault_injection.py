@@ -113,3 +113,76 @@ def test_unmatched_plan_never_fires():
         compile_parsimony(spec.psim_src, module_name="nomatch")
     assert not session.fallbacks
     assert not fired_log()
+
+
+# -- runtime fault sites: mathlib and costmodel (issue 4) ---------------------
+
+
+def test_mathlib_fault_carries_full_external_name():
+    # black_scholes calls exp/log/sqrt; a fault armed on the mathlib site
+    # fires inside the external's implementation at *run* time and names
+    # the exact external (flavour, function, element type, lanes).
+    spec = SPECS["options"]
+    with inject(FaultPlan(site="mathlib", match="exp")) as state:
+        with pytest.raises(InjectedFault) as excinfo:
+            run_impl(spec, "parsimony")
+    detail = excinfo.value.diagnostic.detail
+    assert detail["site"] == "mathlib"
+    assert ".exp." in detail["name"] and detail["name"].startswith("ml.")
+    assert excinfo.value.diagnostic.stage == "faultinject"
+    assert state.log and state.log[0]["site"] == "mathlib"
+
+
+def test_mathlib_fault_hook_survives_rehydration():
+    # The disk compile cache serializes math externals as bare names and
+    # rebuilds them via rehydrate_external on load; the rebuilt impls must
+    # still carry the injection hook (and still compute correctly when no
+    # plan is armed).
+    from repro.runtime.mathlib import rehydrate_external
+
+    scalar = rehydrate_external("ml.exp.f32")
+    vector = rehydrate_external("ml.sleef.pow.f32x8")
+    assert scalar.impl(0.0) == 1.0
+    ones = np.ones(8, np.float32)
+    np.testing.assert_array_equal(vector.impl(ones, ones), ones)
+
+    with inject(FaultPlan(site="mathlib", match="ml.exp.f32")):
+        with pytest.raises(InjectedFault) as excinfo:
+            scalar.impl(1.0)
+    assert excinfo.value.diagnostic.detail["name"] == "ml.exp.f32"
+    with inject(FaultPlan(site="mathlib", match="sleef.pow")):
+        with pytest.raises(InjectedFault) as excinfo:
+            vector.impl(ones, ones)
+    assert excinfo.value.diagnostic.detail["name"] == "ml.sleef.pow.f32x8"
+
+
+def test_costmodel_fault_names_the_opcode():
+    # The cost model is consulted by the VM when charging cycles; a fault
+    # on the costmodel site surfaces during execution with the opcode as
+    # provenance.  Armed plans bypass the compile cache, so the module's
+    # instructions are fresh (no cost memoized from earlier runs).
+    spec = SPECS["mandelbrot"]
+    with inject(FaultPlan(site="costmodel", match="fmul")):
+        with pytest.raises(InjectedFault) as excinfo:
+            run_impl(spec, "parsimony")
+    detail = excinfo.value.diagnostic.detail
+    assert detail == {"site": "costmodel", "name": "fmul"}
+
+
+def test_costmodel_fault_direct_consultation():
+    from repro.backend.costmodel import DEFAULT_COST_MODEL
+    from repro.backend.machine import AVX512
+
+    module = compile_parsimony(SPECS["mandelbrot"].psim_src,
+                               module_name="costprov")
+    func = next(iter(module.functions.values()))
+    instr = next(
+        i for block in func.blocks for i in block.instructions
+        if i.opcode not in ("phi",)
+    )
+    with inject(FaultPlan(site="costmodel")):
+        with pytest.raises(InjectedFault) as excinfo:
+            DEFAULT_COST_MODEL.cost(instr, AVX512)
+    assert excinfo.value.diagnostic.detail["name"] == instr.opcode
+    # Unarmed, the same consultation succeeds.
+    assert DEFAULT_COST_MODEL.cost(instr, AVX512) >= 0

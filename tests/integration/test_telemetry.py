@@ -137,6 +137,42 @@ def test_diff_documents_reports_deltas_and_union_of_names():
     json.dumps(diff)
 
 
+def test_fallback_counter_not_inflated_by_recompiles():
+    """Regression (issue 4): while fault plans are armed the driver bypasses
+    the compile cache, so recompiling the same source degraded the same
+    functions again and ``vectorizer.fallbacks`` double-counted.  The count
+    must reflect *distinct* degradations, not compile invocations."""
+    from repro.faultinject import FaultPlan, inject
+
+    with inject(FaultPlan(site="vectorize")), telemetry.collect() as session:
+        driver.compile_parsimony(SRC, module_name="dedupchk")
+        once = [dict(e) for e in session.fallbacks]
+        driver.compile_parsimony(SRC, module_name="dedupchk")
+    assert once, "forced vectorize fault recorded no fallback"
+    assert session.fallbacks == once
+    flat = telemetry._flat_counters(json.loads(session.to_json()))
+    assert flat["vectorizer.fallbacks"] == len(once)
+
+
+def test_partial_fallback_counter_not_inflated_by_recompiles():
+    from repro.faultinject import FaultPlan, inject
+
+    def forced_partial():
+        # after=1 lands past the region entry block for this kernel, so the
+        # failure carries block provenance and the region path engages.
+        with inject(FaultPlan(site="vectorize_block", after=1, times=1)):
+            driver.compile_parsimony(SRC, module_name="pdedupchk")
+
+    with telemetry.collect() as session:
+        forced_partial()
+        once = [dict(e) for e in session.partial_fallbacks]
+        forced_partial()
+    assert once, "vectorize_block fault engaged no partial fallback"
+    assert session.partial_fallbacks == once
+    flat = telemetry._flat_counters(json.loads(session.to_json()))
+    assert flat["vectorizer.partial_fallbacks"] == len(once)
+
+
 def test_nested_sessions_restore_the_outer_one():
     with telemetry.collect() as outer:
         with telemetry.collect() as inner:
