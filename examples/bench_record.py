@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Record the engine's wall-clock trajectory as a benchmark artifact.
+
+    python examples/bench_record.py [--out BENCH_5.json] [--kernels a,b]
+                                    [--reps 2] [--min-geomean 1.0]
+
+Runs every fig4 kernel's Parsimony build under the three engine
+generations that successive PRs stacked on the interpreter —
+
+* ``predecoded``  — pre-decoded dispatch, superinstructions off,
+                    gang batching off (the PR 1 engine);
+* ``fused``       — decode-level superinstructions on, batching off
+                    (the PR 4 engine);
+* ``batched``     — gang batching on top of fusion (the current engine)
+
+— asserts all three agree bitwise on outputs *and* ``ExecStats`` (both
+layers are accounting-transparent by contract), and writes a JSON
+artifact with per-kernel wall-clock for each generation plus the
+batched-vs-fused geomean speedup.  Exits non-zero on any divergence or
+if that geomean falls below ``--min-geomean``.
+
+The artifact is the PR-over-PR trajectory record: CI uploads one per
+run, and the checked-in ``BENCH_5.json`` snapshots the machine that
+validated this PR's ≥1.4× acceptance bar.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+import numpy as np
+
+from repro import telemetry
+from repro.benchsuite import geomean, run_impl
+from repro.benchsuite.ispc_suite import BENCHMARKS
+
+CONFIGS = ("predecoded", "fused", "batched")
+
+
+def _run(session, spec, config, reps):
+    """Best-of-``reps`` VM wall-clock for one engine configuration.
+
+    Wall-clock covers ``interp.run`` only (the telemetry measurement),
+    not compilation or workload setup — the trajectory tracks execution
+    engine cost, and the compile cache already absorbs rebuilds.
+    """
+    no_batch = config in ("predecoded", "fused")
+    fuse = config in ("fused", "batched")
+    try:
+        if no_batch:
+            os.environ["REPRO_NO_BATCH"] = "1"
+        result = None
+        for _ in range(reps):
+            result = run_impl(spec, "parsimony", superinstructions=fuse)
+        wall = min(r.get("wall_seconds") or 0.0
+                   for r in session.vm_runs[-reps:])
+        return result, wall
+    finally:
+        os.environ.pop("REPRO_NO_BATCH", None)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_5.json", metavar="PATH",
+                        help="artifact path (default: BENCH_5.json)")
+    parser.add_argument("--kernels", metavar="NAMES",
+                        help="comma-separated subset of fig4 kernels")
+    parser.add_argument("--reps", type=int, default=2,
+                        help="timing repetitions per configuration (min wins)")
+    parser.add_argument("--min-geomean", type=float, default=1.0,
+                        help="fail if batched-vs-fused geomean drops below this")
+    args = parser.parse_args()
+
+    specs = BENCHMARKS
+    if args.kernels:
+        wanted = set(args.kernels.split(","))
+        unknown = wanted - {s.name for s in BENCHMARKS}
+        if unknown:
+            parser.error(f"unknown kernels: {sorted(unknown)}")
+        specs = [s for s in BENCHMARKS if s.name in wanted]
+
+    failures = []
+    kernels = {}
+    print(f"{'kernel':20s}" + "".join(f"{c:>14s}" for c in CONFIGS)
+          + f"{'batched x':>12s}")
+    with telemetry.collect() as session:
+        for spec in specs:
+            results, walls = {}, {}
+            for config in CONFIGS:
+                results[config], walls[config] = _run(
+                    session, spec, config, args.reps)
+
+            base = results["predecoded"]
+            for config in ("fused", "batched"):
+                r = results[config]
+                if not (r.stats.cycles == base.stats.cycles
+                        and r.stats.instructions == base.stats.instructions
+                        and dict(r.stats.counts) == dict(base.stats.counts)):
+                    failures.append(f"{spec.name}: {config} ExecStats diverge")
+                sig, base_sig = r.output_signature(), base.output_signature()
+                if len(sig) != len(base_sig) or not all(
+                    np.array_equal(a, b) for a, b in zip(sig, base_sig)
+                ):
+                    failures.append(f"{spec.name}: {config} outputs diverge")
+
+            speedup = walls["fused"] / walls["batched"] if walls["batched"] else None
+            kernels[spec.name] = {
+                "wall_seconds": walls,
+                "cycles": base.stats.cycles,
+                "instructions": base.stats.instructions,
+                "batched_speedup": speedup,
+            }
+            print(f"{spec.name:20s}"
+                  + "".join(f"{walls[c] * 1e3:12.1f}ms" for c in CONFIGS)
+                  + f"{speedup:12.2f}")
+
+    gm = geomean([k["batched_speedup"] for k in kernels.values()
+                  if k["batched_speedup"]])
+    print("-" * (20 + 14 * len(CONFIGS) + 12))
+    print(f"{'geomean batched-vs-fused':48s}{gm:18.2f}")
+
+    doc = {
+        "schema": "repro-bench/1",
+        "pr": 5,
+        "configs": list(CONFIGS),
+        "kernels": kernels,
+        "geomean_batched_speedup": gm,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"bench artifact written to {args.out}")
+
+    if gm < args.min_geomean:
+        failures.append(
+            f"batched-vs-fused geomean {gm:.2f} below floor {args.min_geomean}")
+    if failures:
+        print("\nBENCH-RECORD FAILURES:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,7 @@ SLEEF's AVX-512 ``pow`` being 2.6x slower than ispc's built-in.
 
 import argparse
 import json
+import os
 
 from repro import telemetry
 from repro.benchsuite import geomean, run_impl, summarize_telemetry
@@ -103,7 +104,21 @@ def _print_table_diff(title, table, fields, unit=""):
         print(f"  {name:28s}{cells}{unit}")
 
 
-def telemetry_diff(old_path, new_path, diff_out=None):
+def _print_per_function_timings(session):
+    """Per-function pass-timing breakdown (``--per-function``)."""
+    nested = session.pass_timings(per_function=True)
+    print()
+    print("pass timings by function")
+    print(f"  {'pass':24s}{'function':32s}{'calls':>8s}{'seconds':>12s}{'Δinstrs':>10s}")
+    for pass_name in sorted(nested):
+        for function, entry in sorted(
+            nested[pass_name].items(), key=lambda kv: -kv[1]["seconds"]
+        ):
+            print(f"  {pass_name:24s}{function:32s}{entry['calls']:>8d}"
+                  f"{entry['seconds']:>12.6f}{entry['instrs_delta']:>+10d}")
+
+
+def telemetry_diff(old_path, new_path, diff_out=None, per_function=False):
     with open(old_path) as fh:
         old = json.load(fh)
     with open(new_path) as fh:
@@ -112,6 +127,12 @@ def telemetry_diff(old_path, new_path, diff_out=None):
     print(f"Telemetry diff: {old_path} → {new_path}")
     print()
     _print_table_diff("passes", diff["passes"], ("seconds", "calls"))
+    if per_function:
+        print()
+        _print_table_diff(
+            "passes by function", diff["passes_by_function"],
+            ("seconds", "calls"),
+        )
     print()
     _print_table_diff("vm runs", diff["vm_runs"], ("cycles", "wall_seconds"))
     print()
@@ -151,6 +172,15 @@ def main():
         help="disable the VM's decode-level superinstruction fusion",
     )
     parser.add_argument(
+        "--no-batch", action="store_true",
+        help="disable the gang-batching layer (sets REPRO_NO_BATCH=1)",
+    )
+    parser.add_argument(
+        "--per-function", action="store_true",
+        help="with --telemetry: print per-function pass-timing breakdowns; "
+             "with --telemetry-diff: diff them",
+    )
+    parser.add_argument(
         "--disk-cache", action="store_true",
         help="enable the persistent on-disk compile cache "
              "($REPRO_CACHE_DIR, default ~/.cache/repro)",
@@ -158,9 +188,12 @@ def main():
     args = parser.parse_args()
 
     if args.telemetry_diff:
-        telemetry_diff(*args.telemetry_diff, diff_out=args.diff_out)
+        telemetry_diff(*args.telemetry_diff, diff_out=args.diff_out,
+                       per_function=args.per_function)
         return
 
+    if args.no_batch:
+        os.environ["REPRO_NO_BATCH"] = "1"
     if args.disk_cache:
         set_disk_cache(True)
 
@@ -183,6 +216,8 @@ def main():
         session.meta["cycles_by_kernel"] = summarize_telemetry(session)
         session.write(args.telemetry)
         _print_degradations(session)
+        if args.per_function:
+            _print_per_function_timings(session)
         print(f"\ntelemetry written to {args.telemetry}")
     else:
         report(specs, superinstructions)

@@ -1,24 +1,31 @@
 #!/usr/bin/env python3
-"""CI perf-smoke: reduced ispc-suite sweep with superinstructions on/off.
+"""CI perf-smoke: reduced ispc-suite sweep across engine configurations.
 
     python examples/perf_smoke.py [--kernels a,b] [--impls scalar,parsimony]
                                   [--out telemetry.json]
 
-Runs each selected kernel under the pre-decoded VM twice — decode-level
-fusion enabled and disabled — and **fails (exit 1)** if:
+Runs each selected kernel under the pre-decoded VM in three configurations
+— batched+fused (the default engine), batched+unfused, and unbatched+fused
+(``REPRO_NO_BATCH=1``) — and **fails (exit 1)** if:
 
-* the fused engine's outputs diverge bit-for-bit from the unfused engine,
-* the fused ``ExecStats`` (cycles, instructions, per-opcode counts)
-  diverge from the unfused engine (the accounting-transparency contract),
-* any kernel/impl records zero ``vm.fuse.window`` hits.
+* any configuration's outputs diverge bit-for-bit from any other,
+* any configuration's ``ExecStats`` (cycles, instructions, per-opcode
+  counts) diverge (the accounting-transparency contract: neither fusion
+  nor gang batching may change what the machine model charges),
+* any kernel/impl records zero ``vm.fuse.window`` hits on the unbatched
+  fused run,
+* the parsimony implementation never engages gang batching across the
+  sweep (``vm.batch.applied`` stays zero — the layer silently died).
 
-``--out`` writes the collected telemetry JSON (including the flattened
-``vm.fuse.*`` counters and per-run wall-clock) for upload as a CI
-artifact; the fused-vs-unfused wall-clock ratio per kernel is recorded in
+``--out`` writes the collected telemetry JSON (flattened ``vm.fuse.*``
+and ``vm.batch.*`` counters, per-run wall-clock) for upload as a CI
+artifact; per-kernel wall-clock for all three configurations plus the
+fused-vs-unfused and batched-vs-unbatched ratios land in
 ``meta.perf_smoke``.
 """
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -29,6 +36,31 @@ from repro.benchsuite.ispc_suite import BENCHMARKS
 
 DEFAULT_KERNELS = "mandelbrot,noise,stencil"
 DEFAULT_IMPLS = "scalar,parsimony"
+
+
+def _stats_equal(a, b):
+    return (
+        a.stats.cycles == b.stats.cycles
+        and a.stats.instructions == b.stats.instructions
+        and dict(a.stats.counts) == dict(b.stats.counts)
+    )
+
+
+def _outputs_equal(a, b):
+    sig_a, sig_b = a.output_signature(), b.output_signature()
+    return len(sig_a) == len(sig_b) and all(
+        np.array_equal(x, y) for x, y in zip(sig_a, sig_b)
+    )
+
+
+def _timed_pair(session, spec, impl, superinstructions):
+    """Two reps; min() reports steady-state dispatch cost (the first run
+    also pays one-time decode/window/batch codegen)."""
+    run_impl(spec, impl, superinstructions=superinstructions)
+    result = run_impl(spec, impl, superinstructions=superinstructions)
+    runs = session.vm_runs[-2:]
+    wall = min(r.get("wall_seconds") or 0.0 for r in runs)
+    return result, runs[-1], wall
 
 
 def main():
@@ -50,58 +82,76 @@ def main():
 
     failures = []
     rows = {}
+    saved_no_batch = os.environ.get("REPRO_NO_BATCH")
     with telemetry.collect() as session:
         for spec in specs:
             for impl in impls:
-                # Two reps each; min() reports steady-state dispatch cost
-                # (the first fused run also pays one-time window codegen).
-                run_impl(spec, impl, superinstructions=True)
-                fused = run_impl(spec, impl, superinstructions=True)
-                run_impl(spec, impl, superinstructions=False)
-                unfused = run_impl(spec, impl, superinstructions=False)
-                fused_runs = session.vm_runs[-4:-2]
-                unfused_runs = session.vm_runs[-2:]
-                fused_run = fused_runs[-1]
                 name = f"{spec.name}/{impl}"
+                # The compile cache keys on the batch request, so toggling
+                # the environment between runs compiles fresh modules
+                # rather than rehydrating the other configuration's twin.
+                os.environ.pop("REPRO_NO_BATCH", None)
+                fused, fused_run, wall_f = _timed_pair(
+                    session, spec, impl, superinstructions=True)
+                unfused, _, wall_uf = _timed_pair(
+                    session, spec, impl, superinstructions=False)
+                try:
+                    os.environ["REPRO_NO_BATCH"] = "1"
+                    nobatch, nobatch_run, wall_nb = _timed_pair(
+                        session, spec, impl, superinstructions=True)
+                finally:
+                    os.environ.pop("REPRO_NO_BATCH", None)
 
-                stats_ok = (
-                    fused.stats.cycles == unfused.stats.cycles
-                    and fused.stats.instructions == unfused.stats.instructions
-                    and dict(fused.stats.counts) == dict(unfused.stats.counts)
-                )
+                stats_ok = _stats_equal(fused, unfused)
                 if not stats_ok:
                     failures.append(f"{name}: fused ExecStats diverge from unfused")
-                sig_f, sig_u = fused.output_signature(), unfused.output_signature()
-                out_ok = len(sig_f) == len(sig_u) and all(
-                    np.array_equal(a, b) for a, b in zip(sig_f, sig_u)
-                )
+                out_ok = _outputs_equal(fused, unfused)
                 if not out_ok:
                     failures.append(f"{name}: fused outputs diverge from unfused")
-                hits = fused_run.get("fusion", {}).get("hits", {})
+                batch_stats_ok = _stats_equal(fused, nobatch)
+                if not batch_stats_ok:
+                    failures.append(
+                        f"{name}: batched ExecStats diverge from unbatched")
+                batch_out_ok = _outputs_equal(fused, nobatch)
+                if not batch_out_ok:
+                    failures.append(
+                        f"{name}: batched outputs diverge from unbatched")
+                # Batched bodies decode straight to batch blocks, so the
+                # fusion-coverage check belongs to the unbatched run.
+                hits = nobatch_run.get("fusion", {}).get("hits", {})
                 if not hits.get("window"):
                     failures.append(f"{name}: zero vm.fuse.window hits")
 
-                wall_f = min(r.get("wall_seconds") or 0.0 for r in fused_runs)
-                wall_u = min(r.get("wall_seconds") or 0.0 for r in unfused_runs)
                 rows[name] = {
-                    "wall_fused": wall_f,
-                    "wall_unfused": wall_u,
-                    "dispatch_speedup": (wall_u / wall_f) if wall_f else None,
-                    "stats_identical": stats_ok,
-                    "outputs_identical": out_ok,
+                    "wall_batched": wall_f,
+                    "wall_unfused": wall_uf,
+                    "wall_unbatched": wall_nb,
+                    "dispatch_speedup": (wall_uf / wall_f) if wall_f else None,
+                    "batch_speedup": (wall_nb / wall_f) if wall_f else None,
+                    "stats_identical": stats_ok and batch_stats_ok,
+                    "outputs_identical": out_ok and batch_out_ok,
                     "fuse_hits": dict(hits),
+                    "batch": fused_run.get("batch"),
                 }
                 print(
-                    f"{name:32s} unfused={wall_u * 1e3:7.1f}ms "
-                    f"fused={wall_f * 1e3:7.1f}ms "
-                    f"speedup={rows[name]['dispatch_speedup']:5.2f}x "
-                    f"stats={'ok' if stats_ok else 'DIVERGED'} "
-                    f"out={'ok' if out_ok else 'DIVERGED'}"
+                    f"{name:32s} unbatched={wall_nb * 1e3:7.1f}ms "
+                    f"unfused={wall_uf * 1e3:7.1f}ms "
+                    f"batched={wall_f * 1e3:7.1f}ms "
+                    f"batchx={rows[name]['batch_speedup']:5.2f} "
+                    f"stats={'ok' if stats_ok and batch_stats_ok else 'DIVERGED'} "
+                    f"out={'ok' if out_ok and batch_out_ok else 'DIVERGED'}"
                 )
+
+    if saved_no_batch is not None:
+        os.environ["REPRO_NO_BATCH"] = saved_no_batch
 
     session.meta["perf_smoke"] = rows
     fuse_totals = session.vm_fuse_totals()
+    batch_totals = session.vm_batch_totals()
     print(f"\nvm.fuse totals: {fuse_totals}")
+    print(f"vm.batch totals: {batch_totals}")
+    if "parsimony" in impls and not batch_totals.get("vm.batch.applied"):
+        failures.append("gang batching never applied across the parsimony sweep")
     if args.out:
         session.write(args.out)
         print(f"telemetry written to {args.out}")
@@ -111,7 +161,7 @@ def main():
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         sys.exit(1)
-    print("\nperf-smoke OK: fused engine bit-identical to unfused")
+    print("\nperf-smoke OK: batched/fused engines bit-identical to baseline")
 
 
 if __name__ == "__main__":

@@ -22,7 +22,29 @@ from ..ir.instructions import Instruction, REDUCE_OPS
 from ..ir.types import Type, VectorType
 from .machine import ExecStats, Machine
 
-__all__ = ["CostModel", "DEFAULT_COST_MODEL"]
+__all__ = ["CostModel", "DEFAULT_COST_MODEL", "TARGET_BATCHED_LANES",
+           "suggest_batch_factor"]
+
+#: Lane target for the gang-batching layer.  numpy dispatch overhead is
+#: per-op, so batching pays off until the arrays are a few hundred lanes
+#: wide; past that the extra footprint stops buying anything and the
+#: trap-replay restore cost grows with no return.
+TARGET_BATCHED_LANES = 256
+
+
+def suggest_batch_factor(gang_size: int, machine: Optional[Machine] = None) -> int:
+    """How many gangs the batching pass should fuse for ``gang_size``.
+
+    Returns a power of two ``B >= 1`` such that ``gang_size * B`` is close
+    to :data:`TARGET_BATCHED_LANES`; ``1`` means batching is not worth it
+    (the gang is already at or past the lane target).
+    """
+    if gang_size <= 0 or gang_size & (gang_size - 1):
+        return 1
+    factor = 1
+    while gang_size * factor * 2 <= TARGET_BATCHED_LANES:
+        factor *= 2
+    return factor
 
 # Issue costs per (machine) op, in cycles.
 _SIMPLE_INT = 1.0

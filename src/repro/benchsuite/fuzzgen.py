@@ -122,7 +122,7 @@ class _Gen:
         r = self.rng
         if depth <= 0:
             return self.i_leaf()
-        choice = r.randrange(6)
+        choice = r.randrange(7)
         a = self.i_expr(depth - 1)
         if choice < 3:
             op = r.choice(("+", "-", "*"))
@@ -132,6 +132,12 @@ class _Gen:
         if choice == 4:
             fn = r.choice(("min", "max"))
             return f"{fn}({a}, {self.i_expr(depth - 1)})"
+        if choice == 5:
+            # Narrowing arithmetic: wrap through u8/u16 and widen back,
+            # exercising trunc/zext chains, the vectorizer's sub-word
+            # lanes, and every engine's modular-wraparound agreement.
+            narrow = r.choice(("u8", "u16"))
+            return f"(i32)(({narrow})({a}))"
         return self.i_leaf()
 
     def condition(self) -> str:

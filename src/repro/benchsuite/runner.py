@@ -106,9 +106,17 @@ def run_impl(spec: KernelSpec, impl: str, machine: Machine = AVX512,
     start = time.perf_counter()
     returned = interp.run("kernel", *addrs, *workload.scalars)
     wall = time.perf_counter() - start
+    batch = None
+    if "batch_factor" in module.attrs:
+        batch = {
+            "factor": module.attrs["batch_factor"],
+            "applied": len(module.attrs.get("batch_applied", ())),
+            "rejected": len(module.attrs.get("batch_rejected", ())),
+            "replays": interp.batch_replays,
+        }
     telemetry.record_vm_run(
         f"{spec.name}/{impl}", interp.stats, interp.hotspots(),
-        fusion=interp.fusion_report(), wall_seconds=wall,
+        fusion=interp.fusion_report(), wall_seconds=wall, batch=batch,
     )
     outputs = [
         interp.memory.read_array(addrs[idx], workload.arrays[idx].dtype,

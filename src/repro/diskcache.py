@@ -53,7 +53,9 @@ __all__ = [
 ]
 
 #: Bump on any incompatible change to the IR pickle layout or cache format.
-CACHE_VERSION = 1
+#: v2: gang-batched modules — ``Module.attrs`` carries the unbatched
+#: fallback twin and instructions carry batch-charge prototypes.
+CACHE_VERSION = 2
 
 _PID_PREFIX = "repro-ext:"
 

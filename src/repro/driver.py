@@ -21,6 +21,7 @@ from collections import OrderedDict
 from typing import Callable, Dict, Optional, Tuple
 
 from . import diskcache, faultinject
+from .backend.batch import batch_module, batching_request
 from .backend.costmodel import CostModel
 from .backend.machine import AVX512, ExecStats, Machine
 from .frontend import compile_source
@@ -168,16 +169,29 @@ def compile_parsimony(source: str, config: Optional[VectorizeConfig] = None,
     ``strict=True`` disables that fallback and re-raises the failure.
     """
 
+    batch_request = batching_request()
+
     def build() -> Module:
         module = compile_source(source, module_name)
         standard_pipeline().run(module)
         vectorize_module(module, config, strict=strict)
         post_vectorize_cleanup(module)
+        # Gang batching runs after the full pipeline, over final IR; the
+        # pre-batch module is kept as the trap-replay twin.  Skipped under
+        # fault injection: fault plans are keyed to narrow external names
+        # and one-shot plans must not be consumed by a replayed run.
+        if batch_request != 0 and not faultinject.active():
+            fallback = clone_module(module)
+            report = batch_module(module, batch_request)
+            if report["applied"]:
+                module.attrs["batch_fallback"] = fallback
         return module
 
     config_key = None if config is None else dataclasses.astuple(config)
     return _cached_compile(
-        ("parsimony", source, module_name, config_key, strict), build
+        ("parsimony", source, module_name, config_key, strict,
+         ("batch", batch_request)),
+        build,
     )
 
 

@@ -202,6 +202,11 @@ class Module:
         self.name = name
         self.functions: Dict[str, Function] = {}
         self.externals: Dict[str, ExternalFunction] = {}
+        #: Module-level metadata (e.g. the gang-batching layer stores its
+        #: batch factor, per-loop rejection reasons, and the unbatched
+        #: fallback module here).  Cloned shallowly by ``clone_module``
+        #: except for keys it knows hold module references.
+        self.attrs: Dict[str, object] = {}
 
     def add_function(self, func: Function) -> Function:
         if func.name in self.functions:

@@ -117,4 +117,11 @@ def clone_module(source: Module, name: Optional[str] = None) -> Module:
                 elif isinstance(op, UndefValue):
                     value_map[op] = UndefValue(op.type, op.name)
         clone_blocks(func.blocks, shell, value_map)
+    clone.attrs = dict(source.attrs)
+    # The gang-batching layer stashes its unbatched twin under
+    # ``batch_fallback``; the clone must get its own disjoint copy so a
+    # trap replay on the clone can never touch the source's fallback.
+    fallback = clone.attrs.get("batch_fallback")
+    if isinstance(fallback, Module):
+        clone.attrs["batch_fallback"] = clone_module(fallback)
     return clone

@@ -41,8 +41,8 @@ __all__ = [
     "record_vm_run",
 ]
 
-SCHEMA = "repro-telemetry/1"
-DIFF_SCHEMA = "repro-telemetry-diff/1"
+SCHEMA = "repro-telemetry/2"
+DIFF_SCHEMA = "repro-telemetry-diff/2"
 
 
 class Telemetry:
@@ -51,6 +51,9 @@ class Telemetry:
     def __init__(self):
         #: pass name -> {calls, seconds, instrs_before, instrs_after}
         self.passes: Dict[str, Dict[str, float]] = {}
+        #: (pass name, function name) -> same aggregate, for per-function
+        #: timing breakdowns (see :meth:`pass_timings`)
+        self.passes_by_function: Dict[tuple, Dict[str, float]] = {}
         #: one entry per vectorized function
         self.vectorized: List[Dict[str, object]] = []
         #: one entry per function that fell back to the scalar lane loop
@@ -72,18 +75,22 @@ class Telemetry:
         instrs_before: int,
         instrs_after: int,
     ) -> None:
-        entry = self.passes.get(pass_name)
-        if entry is None:
-            entry = self.passes[pass_name] = {
-                "calls": 0,
-                "seconds": 0.0,
-                "instrs_before": 0,
-                "instrs_after": 0,
-            }
-        entry["calls"] += 1
-        entry["seconds"] += seconds
-        entry["instrs_before"] += instrs_before
-        entry["instrs_after"] += instrs_after
+        for table, key in (
+            (self.passes, pass_name),
+            (self.passes_by_function, (pass_name, function_name)),
+        ):
+            entry = table.get(key)
+            if entry is None:
+                entry = table[key] = {
+                    "calls": 0,
+                    "seconds": 0.0,
+                    "instrs_before": 0,
+                    "instrs_after": 0,
+                }
+            entry["calls"] += 1
+            entry["seconds"] += seconds
+            entry["instrs_before"] += instrs_before
+            entry["instrs_after"] += instrs_after
 
     def record_vectorization(
         self,
@@ -148,6 +155,7 @@ class Telemetry:
         hotspots: List[Dict],
         fusion: Optional[Dict[str, object]] = None,
         wall_seconds: Optional[float] = None,
+        batch: Optional[Dict[str, object]] = None,
     ) -> None:
         entry: Dict[str, object] = {
             "label": label,
@@ -160,19 +168,38 @@ class Telemetry:
             entry["fusion"] = dict(fusion)
         if wall_seconds is not None:
             entry["wall_seconds"] = wall_seconds
+        if batch is not None:
+            entry["batch"] = dict(batch)
         self.vm_runs.append(entry)
 
     # -- reporting -------------------------------------------------------------------
 
     def pass_summary(self) -> Dict[str, Dict[str, float]]:
         """Per-pass aggregates with the IR-size delta made explicit."""
-        summary = {}
-        for name, entry in self.passes.items():
-            summary[name] = {
+        return self.pass_timings()
+
+    def pass_timings(self, per_function: bool = False):
+        """Pass-timing aggregates with the IR-size delta made explicit.
+
+        Flat per-pass by default; ``per_function=True`` nests the same
+        aggregates per transformed function:
+        ``{pass: {function: {calls, seconds, ...}}}``.
+        """
+        if not per_function:
+            return {
+                name: {
+                    **entry,
+                    "instrs_delta": entry["instrs_after"] - entry["instrs_before"],
+                }
+                for name, entry in self.passes.items()
+            }
+        nested: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for (pass_name, function_name), entry in self.passes_by_function.items():
+            nested.setdefault(pass_name, {})[function_name] = {
                 **entry,
                 "instrs_delta": entry["instrs_after"] - entry["instrs_before"],
             }
-        return summary
+        return nested
 
     def vectorizer_totals(self) -> Dict[str, Dict[str, int]]:
         """Shape / memory-form / mask-op counters summed over functions."""
@@ -185,6 +212,21 @@ class Telemetry:
             for section in totals:
                 for key, n in entry[section].items():  # type: ignore[union-attr]
                     totals[section][key] = totals[section].get(key, 0) + n
+        return totals
+
+    def vm_batch_totals(self) -> Dict[str, int]:
+        """Gang-batching counters summed over runs, flattened to the
+        ``vm.batch.*`` keys the perf-smoke CI job and diff mode read:
+        loops batched, loops rejected by legality, and trap replays."""
+        totals = {"vm.batch.applied": 0, "vm.batch.rejected": 0,
+                  "vm.batch.replays": 0}
+        for run in self.vm_runs:
+            batch = run.get("batch")
+            if not batch:
+                continue
+            totals["vm.batch.applied"] += int(batch.get("applied", 0))
+            totals["vm.batch.rejected"] += int(batch.get("rejected", 0))
+            totals["vm.batch.replays"] += int(batch.get("replays", 0))
         return totals
 
     def vm_fuse_totals(self) -> Dict[str, int]:
@@ -207,13 +249,18 @@ class Telemetry:
             "schema": SCHEMA,
             "meta": self.meta,
             "passes": self.pass_summary(),
+            "passes_by_function": self.pass_timings(per_function=True),
             "vectorizer": {
                 "functions": self.vectorized,
                 "totals": self.vectorizer_totals(),
                 "fallbacks": self.fallbacks,
                 "partial_fallbacks": self.partial_fallbacks,
             },
-            "vm": {"runs": self.vm_runs, "fuse_totals": self.vm_fuse_totals()},
+            "vm": {
+                "runs": self.vm_runs,
+                "fuse_totals": self.vm_fuse_totals(),
+                "batch_totals": self.vm_batch_totals(),
+            },
             "compile_cache": driver.compile_cache_stats(),
             "disk_cache": driver.disk_cache_stats(),
         }
@@ -266,9 +313,11 @@ def record_vectorization(function_name, gang_size, shapes, memory_forms,
         )
 
 
-def record_vm_run(label, stats, hotspots, fusion=None, wall_seconds=None):
+def record_vm_run(label, stats, hotspots, fusion=None, wall_seconds=None,
+                  batch=None):
     if _current is not None:
-        _current.record_vm_run(label, stats, hotspots, fusion, wall_seconds)
+        _current.record_vm_run(label, stats, hotspots, fusion, wall_seconds,
+                               batch)
 
 
 # -- PR-over-PR diffing ----------------------------------------------------------
@@ -299,6 +348,8 @@ def _flat_counters(doc: Dict) -> Dict[str, float]:
             flat[f"vectorizer.{section}.{key}"] = n
     for key, n in doc.get("vm", {}).get("fuse_totals", {}).items():
         flat[key] = n  # already vm.fuse.<pattern>
+    for key, n in doc.get("vm", {}).get("batch_totals", {}).items():
+        flat[key] = n  # already vm.batch.<counter>
     for section in ("compile_cache", "disk_cache"):
         for key, n in doc.get(section, {}).items():
             if isinstance(n, (int, float)):
@@ -325,12 +376,25 @@ def diff_documents(old: Dict, new: Dict) -> Dict[str, object]:
     """
     runs_old = {r["label"]: r for r in old.get("vm", {}).get("runs", [])}
     runs_new = {r["label"]: r for r in new.get("vm", {}).get("runs", [])}
+
+    def flat_by_function(doc):
+        return {
+            f"{pass_name}::{function}": entry
+            for pass_name, table in doc.get("passes_by_function", {}).items()
+            for function, entry in table.items()
+        }
+
     return {
         "schema": DIFF_SCHEMA,
         "base_schemas": {"old": old.get("schema"), "new": new.get("schema")},
         "passes": _diff_tables(
             old.get("passes", {}),
             new.get("passes", {}),
+            ("calls", "seconds", "instrs_delta"),
+        ),
+        "passes_by_function": _diff_tables(
+            flat_by_function(old),
+            flat_by_function(new),
             ("calls", "seconds", "instrs_delta"),
         ),
         "vm_runs": _diff_tables(

@@ -88,6 +88,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import faultinject
 from ..backend.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..backend.machine import AVX512, ExecStats, Machine
 from ..ir.instructions import (
@@ -102,11 +103,12 @@ from ..ir.instructions import (
 from ..ir.module import BasicBlock, ExternalFunction, Function, Module
 from ..ir.types import FloatType, IntType, PointerType, Type, VectorType
 from ..ir.values import Argument, Constant, UndefValue, Value
-from .memory import Memory
+from .memory import Memory, MemoryError_
 from .nputil import elem_dtype, mask_int, to_signed
 from .ops import (
     VMTrap,
     _c_float,
+    gang_activity_count,
     eval_scalar_binop,
     eval_scalar_cast,
     eval_scalar_fcmp,
@@ -307,16 +309,20 @@ class _DecodedBlock:
     ``term``  — ``(_T_BR, cost, opcode, target)`` |
     ``(_T_CONDBR, cost, opcode, cond_resolver, iftrue, iffalse)`` |
     ``(_T_RET, cost, opcode, resolver_or_None)`` |
-    ``(_T_UNREACHABLE, cost, opcode)``.
+    ``(_T_UNREACHABLE, cost, opcode)``;
+    ``batch`` — ``None`` for ordinary blocks, else the gang-batched decode
+    ``(phis, body, term)`` described at :meth:`Interpreter._decode_batch_block`
+    (and the other fields are unused).
     """
 
-    __slots__ = ("phis", "phi_plan", "body", "term")
+    __slots__ = ("phis", "phi_plan", "body", "term", "batch")
 
-    def __init__(self, phis, body, term, phi_plan=None):
+    def __init__(self, phis, body, term, phi_plan=None, batch=None):
         self.phis = phis
         self.phi_plan = phi_plan
         self.body = body
         self.term = term
+        self.batch = batch
 
 
 class Interpreter:
@@ -358,6 +364,10 @@ class Interpreter:
         self._child_cycles = 0.0
         self._cost_cache: Dict[Instruction, float] = {}
         self._decoded: Dict[Function, Dict[BasicBlock, _DecodedBlock]] = {}
+        #: Trap replays on the unbatched twin this run (see :meth:`run`).
+        self.batch_replays = 0
+        self._fallback_interp: Optional["Interpreter"] = None
+        self._batch_cache: Dict[Instruction, tuple] = {}
 
     # -- public API -----------------------------------------------------------------
 
@@ -372,7 +382,86 @@ class Interpreter:
         argvals = [
             _coerce_arg(a.type, v) for a, v in zip(function.args, args)
         ]
+        if (
+            self.module.attrs.get("batch_fallback") is not None
+            and not faultinject.active()
+        ):
+            return self._run_replayable(function, argvals, args)
         return self._exec_function(function, argvals, depth=0)
+
+    def _run_replayable(self, function: Function, argvals: List, args):
+        """Top-level run with the gang-batching trap-replay contract.
+
+        Any :class:`ExecutionError` raised while running a batched module
+        (a genuine kernel trap, a budget trap, or a spurious batched-only
+        trap from a finished gang's unmasked lanes) rolls the VM back to
+        the pre-run state and replays the call wholesale on the unbatched
+        twin stashed in ``module.attrs["batch_fallback"]``.  The replay's
+        outcome — result or trap — is authoritative, so trap identity,
+        trap-point ``ExecStats``, and attribution all match the unbatched
+        engine bit-for-bit.  Skipped under active fault injection: the
+        driver never batches then, and replaying would double-fire
+        one-shot fault plans.
+        """
+        memory = self.memory
+        saved_data = memory.data.copy()
+        saved_brk = memory._brk
+        stats = self.stats
+        snap = (
+            stats.cycles, stats.instructions, dict(stats.counts),
+            dict(self.func_cycles), dict(self.func_calls),
+            dict(self.edge_cycles), dict(self.edge_calls),
+            dict(self.fuse_hits), self._child_cycles,
+        )
+        try:
+            return self._exec_function(function, argvals, depth=0)
+        except (VMTrap, MemoryError_):
+            memory.data[:] = saved_data
+            memory._brk = saved_brk
+            stats.cycles, stats.instructions = snap[0], snap[1]
+            stats.counts.clear()
+            stats.counts.update(snap[2])
+            for live, saved in (
+                (self.func_cycles, snap[3]), (self.func_calls, snap[4]),
+                (self.edge_cycles, snap[5]), (self.edge_calls, snap[6]),
+                (self.fuse_hits, snap[7]),
+            ):
+                live.clear()
+                live.update(saved)
+            self._child_cycles = snap[8]
+            self.batch_replays += 1
+            fb = self._fallback_interp
+            if fb is None:
+                fb = self._fallback_interp = Interpreter(
+                    self.module.attrs["batch_fallback"],
+                    machine=self.machine,
+                    cost_model=self.cost_model,
+                    memory=memory,
+                    max_instructions=self.max_instructions,
+                    predecode=self.predecode,
+                    superinstructions=self.superinstructions,
+                )
+            fb.reset_stats()
+            try:
+                return fb.run(function.name, *args)
+            finally:
+                # Merge whatever the replay charged — including a trap's
+                # partial charges — into this interpreter's counters.
+                stats.merge(fb.stats)
+                for live, other in (
+                    (self.func_cycles, fb.func_cycles),
+                    (self.edge_cycles, fb.edge_cycles),
+                ):
+                    for k, v in other.items():
+                        live[k] = live.get(k, 0.0) + v
+                for live, other in (
+                    (self.func_calls, fb.func_calls),
+                    (self.edge_calls, fb.edge_calls),
+                    (self.fuse_hits, fb.fuse_hits),
+                ):
+                    for k, v in other.items():
+                        live[k] = live.get(k, 0) + v
+                self._child_cycles += fb._child_cycles
 
     def reset_stats(self) -> ExecStats:
         """Zero all counters in place (``self.stats`` stays the same object).
@@ -391,6 +480,7 @@ class Interpreter:
         self.edge_calls.clear()
         self.fuse_hits.clear()
         self._child_cycles = 0.0
+        self.batch_replays = 0
         return stats
 
     def clear_decode_cache(self) -> None:
@@ -402,6 +492,7 @@ class Interpreter:
         """
         self._decoded.clear()
         self._cost_cache.clear()
+        self._batch_cache.clear()
         self.fuse_static.clear()
 
     def hotspots(self) -> List[Dict[str, object]]:
@@ -512,11 +603,26 @@ class Interpreter:
         fuse_hits = self.fuse_hits
         block = function.entry
         prev: Optional[BasicBlock] = None
+        if function.attrs.get("batched"):
+            # Per-frame divergent-loop gang-activity state (see
+            # ``_exec_batch_block``): loop id -> committed / pending count.
+            activity: Dict[str, int] = {}
+            pending: Dict[str, int] = {}
+        else:
+            activity = pending = None  # type: ignore[assignment]
         try:
             while True:
                 d = decoded.get(block)
                 if d is None:
                     d = decoded[block] = self._decode_block(block, function)
+                if d.batch is not None:
+                    done, payload = self._exec_batch_block(
+                        d.batch, env, depth, function, prev, activity, pending
+                    )
+                    if done:
+                        return payload
+                    prev, block = block, payload
+                    continue
                 phis = d.phis
                 if phis:
                     plan_map = d.phi_plan
@@ -631,6 +737,8 @@ class Interpreter:
             raise VMTrap(
                 f"block {block.name} in @{function.name} has no terminator"
             )
+        if any("batch_mult" in instr.attrs for instr in instructions):
+            return self._decode_batch_block(block, function)
         phis = []
         i = 0
         while i < len(instructions) and instructions[i].opcode == "phi":
@@ -698,6 +806,201 @@ class Interpreter:
         else:
             raise NotImplementedError(f"interpreter: terminator {op}")
         return _DecodedBlock(phis, body, term, phi_plan)
+
+    # -- gang-batched blocks ----------------------------------------------------------
+    #
+    # Blocks annotated by ``repro.backend.batch`` execute B gangs per VM
+    # step.  Each annotated instruction carries narrow charge prototypes
+    # (``batch_charges``) and a multiplicity spec (``batch_mult``): the
+    # number of unbatched-engine executions one batched step stands for.
+    # A spec is an int (static multiplicity — loop-invariant code charges
+    # ×B, header bookkeeping ×0) or a tuple of divergent-loop ids ending
+    # in the static B; the VM resolves the first id with a live activity
+    # count, so code under a divergent loop charges once per gang that
+    # would still be iterating in the unbatched engine.  Superinstruction
+    # fusion never applies inside batched blocks (their remainder twins
+    # carry no annotations and fuse normally).
+
+    def _batch_info(self, instr: Instruction):
+        """``(charge_items, multspec)`` for an annotated instruction.
+
+        ``charge_items`` is a tuple of ``(counts_key, narrow_cost)``; an
+        external-call prototype contributes the unbatched engine's two
+        charges (``call`` dispatch + the narrow ``ext:`` cost)."""
+        cached = self._batch_cache.get(instr)
+        if cached is not None:
+            return cached
+        items = []
+        for proto in instr.attrs["batch_charges"]:
+            if proto.opcode == "call":
+                callee = proto.operands[0]
+                ext_cost = callee.cost
+                if callable(ext_cost):
+                    ext_cost = ext_cost(
+                        self.machine, [o.type for o in proto.operands[1:]]
+                    )
+                items.append(("call", self._cost(proto)))
+                items.append((f"ext:{callee.name}", float(ext_cost)))
+            else:
+                items.append((proto.opcode, self._cost(proto)))
+        info = (tuple(items), instr.attrs["batch_mult"])
+        self._batch_cache[instr] = info
+        return info
+
+    @staticmethod
+    def _batch_mult(spec, activity) -> int:
+        if type(spec) is int:
+            return spec
+        for lid in spec:
+            if type(lid) is int:
+                return lid
+            live = activity.get(lid)
+            if live is not None:
+                return live
+        return 0  # pragma: no cover - specs always end in the static B
+
+    def _batch_thunk(self, instr: Instruction):
+        """Value thunk for a batched instruction.  Identical to the plain
+        decode except for external calls, whose normal thunk charges the
+        wide ``ext:`` cost internally — batched charging comes exclusively
+        from the narrow prototypes."""
+        if instr.opcode == "call" and isinstance(
+            instr.operands[0], ExternalFunction
+        ):
+            impl = instr.operands[0].impl
+            arg_resolvers = [self._resolver(o) for o in instr.operands[1:]]
+            return lambda env, depth: impl(*[r(env) for r in arg_resolvers])
+        return self._decode_instr(instr)
+
+    def _decode_batch_block(self, block: BasicBlock, function: Function):
+        """Decode an annotated block into ``(phis, body, term)``:
+
+        ``phis`` — ``(instr, {pred: resolver}, items, multspec)``;
+        ``body`` — ``(instr, items, multspec, thunk, activity)`` where
+        ``activity`` is ``None`` or ``(loop_id, B, mask_resolver)`` for
+        the divergent-loop ``mask_any``;
+        ``term`` — ``(_T_BR, items, multspec, target)`` |
+        ``(_T_CONDBR, items, multspec, cond_resolver, iftrue, iffalse,
+        backedge_or_None)`` | ``(_T_UNREACHABLE, items, multspec)``.
+        """
+        instructions = block.instructions
+        phis = []
+        i = 0
+        while instructions[i].opcode == "phi":
+            instr = instructions[i]
+            edges = {
+                pred: self._resolver(value)
+                for value, pred in instr.phi_incoming()
+            }
+            items, spec = self._batch_info(instr)
+            phis.append((instr, edges, items, spec))
+            i += 1
+        body = []
+        for instr in instructions[i:-1]:
+            items, spec = self._batch_info(instr)
+            act = None
+            ba = instr.attrs.get("batch_activity")
+            if ba is not None:
+                act = (ba[0], ba[1], self._resolver(instr.operands[0]))
+            body.append((instr, items, spec, self._batch_thunk(instr), act))
+        term_instr = instructions[-1]
+        items, spec = self._batch_info(term_instr)
+        op = term_instr.opcode
+        tops = term_instr.operands
+        if op == "br":
+            term: Tuple = (_T_BR, items, spec, tops[0])
+        elif op == "condbr":
+            term = (
+                _T_CONDBR, items, spec, self._resolver(tops[0]),
+                tops[1], tops[2], term_instr.attrs.get("batch_backedge"),
+            )
+        elif op == "unreachable":
+            term = (_T_UNREACHABLE, items, spec)
+        else:  # pragma: no cover - legality forbids ret/other inside the loop
+            raise NotImplementedError(f"interpreter: batched terminator {op}")
+        return _DecodedBlock((), (), None, batch=(tuple(phis), tuple(body), term))
+
+    def _exec_batch_block(self, batch, env, depth, function, prev,
+                          activity, pending):
+        """Run one batched block; returns ``(False, next_block)`` or
+        ``(True, return_value)``.
+
+        Charging per instruction: each narrow charge item is applied
+        ``m`` times at once (``cycles += cost·m`` is exact — the cost
+        table is dyadic), with a single budget check per instruction.
+        Prefix sums of the unbatched engine's charge sequence are a
+        superset, so a budget crossing happens here iff the unbatched
+        engine traps; the replay protocol then reproduces its exact trap
+        point.
+        """
+        stats = self.stats
+        counts = stats.counts
+        limit = self.max_instructions
+        phis, body, term = batch
+        if phis:
+            vals = []
+            for instr, edges, items, spec in phis:
+                resolver = edges.get(prev)
+                if resolver is None:
+                    raise KeyError(
+                        f"phi has no incoming edge from block {prev.name}"
+                    )
+                vals.append(resolver(env))
+                m = self._batch_mult(spec, activity)
+                if m:
+                    for key, cost in items:
+                        stats.cycles += cost * m
+                        stats.instructions += m
+                        counts[key] = counts.get(key, 0) + m
+                    if stats.instructions > limit:
+                        raise ExecutionLimitExceeded(
+                            f"exceeded {limit} instructions in @{function.name}"
+                        )
+            for (instr, _, _, _), val in zip(phis, vals):
+                env[instr] = val
+        for instr, items, spec, thunk, act in body:
+            m = self._batch_mult(spec, activity)
+            if m:
+                for key, cost in items:
+                    stats.cycles += cost * m
+                    stats.instructions += m
+                    counts[key] = counts.get(key, 0) + m
+                if stats.instructions > limit:
+                    raise ExecutionLimitExceeded(
+                        f"exceeded {limit} instructions in @{function.name}"
+                    )
+            env[instr] = thunk(env, depth)
+            if act is not None:
+                pending[act[0]] = gang_activity_count(act[2](env), act[1])
+        kind = term[0]
+        m = self._batch_mult(term[2], activity)
+        if m:
+            for key, cost in term[1]:
+                stats.cycles += cost * m
+                stats.instructions += m
+                counts[key] = counts.get(key, 0) + m
+            if stats.instructions > limit:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {limit} instructions in @{function.name}"
+                )
+        if kind == _T_BR:
+            return False, term[3]
+        if kind == _T_CONDBR:
+            target = term[4] if term[3](env) else term[5]
+            backedge = term[6]
+            if backedge is not None:
+                # Divergent-loop backedge: the condbr charged with the
+                # *previous* iteration's activity above; commit the count
+                # the mask_any just computed before the next iteration
+                # (or drop the loop's state on exit).
+                lid, taken_idx = backedge
+                if target is (term[4] if taken_idx == 1 else term[5]):
+                    activity[lid] = pending[lid]
+                else:
+                    activity.pop(lid, None)
+                    pending.pop(lid, None)
+            return False, target
+        raise VMTrap(f"reached 'unreachable' in @{function.name}")
 
     # -- superinstruction fusion ------------------------------------------------------
     #
@@ -1421,6 +1724,26 @@ class Interpreter:
         block = function.entry
         prev: Optional[BasicBlock] = None
         stats = self.stats
+        counts = stats.counts
+        batched = function.attrs.get("batched")
+        # Divergent-loop gang-activity state; see _exec_batch_block.
+        activity: Dict[str, int] = {}
+        pending: Dict[str, int] = {}
+
+        def charge_batched(instr) -> None:
+            items, spec = self._batch_info(instr)
+            m = self._batch_mult(spec, activity)
+            if m:
+                for key, cost in items:
+                    stats.cycles += cost * m
+                    stats.instructions += m
+                    counts[key] = counts.get(key, 0) + m
+                if stats.instructions > self.max_instructions:
+                    raise ExecutionLimitExceeded(
+                        f"exceeded {self.max_instructions} instructions"
+                        f" in @{function.name}"
+                    )
+
         try:
             while True:
                 instructions = block.instructions
@@ -1435,20 +1758,27 @@ class Interpreter:
                         phi_vals.append(
                             self._value(env, instr.phi_value_for(prev))
                         )
-                        stats.charge("phi", 0.0)
-                        if stats.instructions > self.max_instructions:
-                            raise ExecutionLimitExceeded(
-                                f"exceeded {self.max_instructions} instructions"
-                                f" in @{function.name}"
-                            )
+                        if batched and "batch_mult" in instr.attrs:
+                            charge_batched(instr)
+                        else:
+                            stats.charge("phi", 0.0)
+                            if stats.instructions > self.max_instructions:
+                                raise ExecutionLimitExceeded(
+                                    f"exceeded {self.max_instructions} instructions"
+                                    f" in @{function.name}"
+                                )
                     for instr, val in zip(instructions[:n_phi], phi_vals):
                         env[instr] = val
                 for instr in instructions[n_phi:]:
-                    stats.charge(instr.opcode, self._cost(instr))
-                    if stats.instructions > self.max_instructions:
-                        raise ExecutionLimitExceeded(
-                            f"exceeded {self.max_instructions} instructions in @{function.name}"
-                        )
+                    annotated = batched and "batch_mult" in instr.attrs
+                    if annotated:
+                        charge_batched(instr)
+                    else:
+                        stats.charge(instr.opcode, self._cost(instr))
+                        if stats.instructions > self.max_instructions:
+                            raise ExecutionLimitExceeded(
+                                f"exceeded {self.max_instructions} instructions in @{function.name}"
+                            )
                     op = instr.opcode
                     if op == "br":
                         prev, block = block, instr.operands[0]
@@ -1456,6 +1786,15 @@ class Interpreter:
                     if op == "condbr":
                         cond = self._value(env, instr.operands[0])
                         target = instr.operands[1] if cond else instr.operands[2]
+                        if annotated:
+                            backedge = instr.attrs.get("batch_backedge")
+                            if backedge is not None:
+                                lid, taken_idx = backedge
+                                if target is instr.operands[taken_idx]:
+                                    activity[lid] = pending[lid]
+                                else:
+                                    activity.pop(lid, None)
+                                    pending.pop(lid, None)
                         prev, block = block, target
                         break
                     if op == "ret":
@@ -1464,7 +1803,21 @@ class Interpreter:
                         return None
                     if op == "unreachable":
                         raise VMTrap(f"reached 'unreachable' in @{function.name}")
-                    env[instr] = self._exec_instr(env, instr, depth)
+                    if annotated and op == "call" and isinstance(
+                        instr.operands[0], ExternalFunction
+                    ):
+                        # Batched charging comes from the narrow prototypes;
+                        # bypass the impl path that charges the wide cost.
+                        env[instr] = instr.operands[0].impl(
+                            *[self._value(env, o) for o in instr.operands[1:]]
+                        )
+                    else:
+                        env[instr] = self._exec_instr(env, instr, depth)
+                    ba = instr.attrs.get("batch_activity") if annotated else None
+                    if ba is not None:
+                        pending[ba[0]] = gang_activity_count(
+                            self._value(env, instr.operands[0]), ba[1]
+                        )
         finally:
             self.memory._brk = stack_mark
 

@@ -47,6 +47,7 @@ __all__ = [
     "scalar_icmp_impl",
     "scalar_fcmp_impl",
     "vector_binop_impl",
+    "gang_activity_count",
 ]
 
 
@@ -632,3 +633,17 @@ def eval_vector_cast(opcode: str, from_elem: Type, to_elem: Type, v: np.ndarray)
             return v.astype(dst)
         return v.astype(dst)
     raise NotImplementedError(f"vector cast {opcode}")
+
+
+def gang_activity_count(mask, batch: int) -> int:
+    """Number of gangs with at least one active lane in a batched mask.
+
+    The gang-batching layer executes ``batch`` gangs per VM step over
+    ``batch × G``-lane values; its `ExecStats` accounting charges each
+    divergent-loop iteration once per gang that would still be looping in
+    the unbatched engine.  That multiplicity is exactly the number of
+    per-gang blocks of the loop's continue-mask with any active lane,
+    which both execution engines obtain from this helper.
+    """
+    m = np.asarray(mask)
+    return int(m.reshape(batch, -1).any(axis=1).sum())

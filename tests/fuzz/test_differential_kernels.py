@@ -14,6 +14,13 @@ All three executions over the same seeded inputs must agree **bitwise**
 on every output array.  ``N_THREADS`` is coprime to all gang sizes, so
 the tail gang is exercised on every kernel.
 
+Every third seed additionally pits a **gang-batched** build (forced
+``REPRO_BATCH=2`` — auto selection would pick a batch too wide for 37
+threads and route everything through the remainder loop) against an
+unbatched build, comparing outputs *and* ``ExecStats`` bitwise: gang
+batching is accounting-transparent by contract, so cycles, instruction
+counts, and per-opcode tallies must not move.
+
 Tier-1 runs ``REPRO_FUZZ_N`` seeds (default 200); CI's fuzz-smoke job and
 local soak runs scale it up via the environment::
 
@@ -37,6 +44,13 @@ FUZZ_N = int(os.environ.get("REPRO_FUZZ_N", "200"))
 #: whole-function one) instead of silently fuzzing a dead feature.
 _CORPUS = {"partial": 0, "whole": 0, "clean": 0}
 
+#: Every Nth seed also runs the forced-batch differential below.
+_BATCH_EVERY = 3
+
+#: Tally of how those forced-batch compiles landed, so the suite can
+#: assert the batching layer actually engages on the fuzz corpus.
+_BATCH_CORPUS = {"batched": 0, "rejected": 0}
+
 
 def _run(module, seed):
     A, B, C, OUT, IOUT, sv, si = workload_arrays(seed)
@@ -47,10 +61,11 @@ def _run(module, seed):
     out = interp.memory.alloc_array(OUT)
     iout = interp.memory.alloc_array(IOUT)
     interp.run("kernel", a, b, c, out, iout, sv, si, N_THREADS)
-    return (
+    outputs = (
         interp.memory.read_array(out, np.float32, N_THREADS),
         interp.memory.read_array(iout, np.int32, N_THREADS),
     )
+    return outputs, interp.stats
 
 
 def _classify(module):
@@ -74,12 +89,12 @@ def test_differential_fuzz_kernel(seed):
     context = f"seed={seed} gang={kernel.gang_size}\n{kernel.source}"
 
     plain = compile_parsimony(kernel.source)
-    plain_out = _run(plain, seed)
+    plain_out, _ = _run(plain, seed)
 
     with inject(FaultPlan(site="vectorize")):
         whole = compile_parsimony(kernel.source)
     assert _classify(whole) == "whole", context
-    _assert_same(_run(whole, seed), plain_out, f"whole vs plain: {context}")
+    _assert_same(_run(whole, seed)[0], plain_out, f"whole vs plain: {context}")
 
     # Fault the (seed%6)-th emitted block: depending on the kernel's shape
     # this lands on a valid region (partial fallback), the entry block
@@ -88,7 +103,44 @@ def test_differential_fuzz_kernel(seed):
     with inject(FaultPlan(site="vectorize_block", after=seed % 6, times=1)):
         degraded = compile_parsimony(kernel.source)
     _CORPUS[_classify(degraded)] += 1
-    _assert_same(_run(degraded, seed), plain_out, f"degraded vs plain: {context}")
+    _assert_same(_run(degraded, seed)[0], plain_out,
+                 f"degraded vs plain: {context}")
+
+    if seed % _BATCH_EVERY == 0:
+        _batched_differential(kernel, seed, plain_out, context)
+
+
+def _batched_differential(kernel, seed, plain_out, context):
+    """Forced-batch build vs unbatched build: outputs and ExecStats."""
+    saved = {k: os.environ.get(k) for k in ("REPRO_BATCH", "REPRO_NO_BATCH")}
+    try:
+        os.environ.pop("REPRO_BATCH", None)
+        os.environ["REPRO_NO_BATCH"] = "1"
+        reference = compile_parsimony(kernel.source)
+        del os.environ["REPRO_NO_BATCH"]
+        # B=2: small enough that batched bodies execute real trips at
+        # every gang size (auto selection over 37 threads would not).
+        os.environ["REPRO_BATCH"] = "2"
+        batched = compile_parsimony(kernel.source)
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+    applied = bool(batched.attrs.get("batch_applied"))
+    _BATCH_CORPUS["batched" if applied else "rejected"] += 1
+
+    ref_out, ref_stats = _run(reference, seed)
+    got_out, got_stats = _run(batched, seed)
+    _assert_same(ref_out, plain_out, f"unbatched vs plain: {context}")
+    _assert_same(got_out, ref_out, f"batched vs unbatched: {context}")
+    assert got_stats.cycles == ref_stats.cycles, (
+        f"batched cycles diverge: {context}")
+    assert got_stats.instructions == ref_stats.instructions, (
+        f"batched instruction count diverges: {context}")
+    assert dict(got_stats.counts) == dict(ref_stats.counts), (
+        f"batched per-opcode counts diverge: {context}")
 
 
 def test_zz_corpus_exercised_partial_fallback():
@@ -96,3 +148,11 @@ def test_zz_corpus_exercised_partial_fallback():
     must have engaged the region-granular path, not just whole-function."""
     assert sum(_CORPUS.values()) == FUZZ_N
     assert _CORPUS["partial"] > 0, _CORPUS
+
+
+def test_zz_corpus_exercised_batching():
+    """The forced-batch differential must have run on every Nth seed and
+    actually widened kernels (legality rejections are fine, but a corpus
+    where batching never applies means the hook fuzzes a dead layer)."""
+    assert sum(_BATCH_CORPUS.values()) == len(range(0, FUZZ_N, _BATCH_EVERY))
+    assert _BATCH_CORPUS["batched"] > 0, _BATCH_CORPUS

@@ -108,6 +108,55 @@ def test_faultinject_bypasses_disk_layer(disk_cache):
     assert diskcache.stats() == {"hits": 0, "misses": 0, "writes": 0, "errors": 0}
 
 
+def test_batch_configuration_is_part_of_the_key(disk_cache, monkeypatch):
+    """Regression: a cached unbatched module must never be rehydrated into
+    a batched run (or vice versa) — the batch request is part of both the
+    in-memory and the on-disk cache key."""
+    monkeypatch.setenv("REPRO_NO_BATCH", "1")
+    unbatched = driver.compile_parsimony(SRC)
+    assert "batch_factor" not in unbatched.attrs
+    assert diskcache.stats()["writes"] == 1
+
+    # Same source, batching re-enabled, fresh "process": the unbatched disk
+    # entry must miss and a batched module must be compiled and stored.
+    monkeypatch.delenv("REPRO_NO_BATCH")
+    driver.clear_compile_cache()
+    diskcache.reset_stats()
+    batched = driver.compile_parsimony(SRC)
+    assert batched.attrs.get("batch_applied"), batched.attrs.get("batch_rejected")
+    stats = diskcache.stats()
+    assert stats["hits"] == 0 and stats["writes"] == 1, stats
+
+    # Each configuration rehydrates from its own entry and stays itself.
+    driver.clear_compile_cache()
+    diskcache.reset_stats()
+    again = driver.compile_parsimony(SRC)
+    assert diskcache.stats()["hits"] == 1
+    assert again.attrs.get("batch_applied")
+    monkeypatch.setenv("REPRO_NO_BATCH", "1")
+    driver.clear_compile_cache()
+    again = driver.compile_parsimony(SRC)
+    assert diskcache.stats()["hits"] == 2
+    assert "batch_factor" not in again.attrs
+
+    out_u, cycles_u = _run(unbatched)
+    out_b, cycles_b = _run(batched)
+    np.testing.assert_array_equal(out_u, out_b)
+    assert cycles_u == cycles_b
+
+
+def test_forced_batch_factor_is_part_of_the_key(disk_cache, monkeypatch):
+    monkeypatch.setenv("REPRO_BATCH", "2")
+    forced = driver.compile_parsimony(SRC)
+    driver.clear_compile_cache()
+    diskcache.reset_stats()
+    monkeypatch.setenv("REPRO_BATCH", "4")
+    other = driver.compile_parsimony(SRC)
+    stats = diskcache.stats()
+    assert stats["hits"] == 0 and stats["writes"] == 1, stats
+    assert forced.attrs.get("batch_factor") != other.attrs.get("batch_factor")
+
+
 def test_rehydrate_external_names():
     scalar = rehydrate_external("ml.exp.f32")
     assert scalar.name == "ml.exp.f32"
