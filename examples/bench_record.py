@@ -3,21 +3,27 @@
 
     python examples/bench_record.py [--out BENCH_5.json] [--kernels a,b]
                                     [--reps 2] [--min-geomean 1.0]
+                                    [--autotune]
 
-Runs every fig4 kernel's Parsimony build under the three engine
-generations that successive PRs stacked on the interpreter —
+Runs every fig4 kernel's Parsimony build under the engine generations
+that successive PRs stacked on the interpreter —
 
 * ``predecoded``  — pre-decoded dispatch, superinstructions off,
                     gang batching off (the PR 1 engine);
 * ``fused``       — decode-level superinstructions on, batching off
                     (the PR 4 engine);
-* ``batched``     — gang batching on top of fusion (the current engine)
+* ``batched``     — gang batching on top of fusion (the PR 5 engine);
+* ``autotuned``   — profile-guided engine/batch selection
+                    (``--autotune``: the PR 6 engine, ``REPRO_AUTOTUNE=1``)
 
-— asserts all three agree bitwise on outputs *and* ``ExecStats`` (both
-layers are accounting-transparent by contract), and writes a JSON
-artifact with per-kernel wall-clock for each generation plus the
-batched-vs-fused geomean speedup.  Exits non-zero on any divergence or
-if that geomean falls below ``--min-geomean``.
+— asserts all configurations agree bitwise on outputs *and*
+``ExecStats`` (every layer is accounting-transparent by contract), and
+writes a JSON artifact with per-kernel wall-clock for each generation
+plus the batched-vs-fused geomean speedup.  With ``--autotune`` the
+artifact and the table also record which batch configuration the tuner
+selected for each kernel and why (the measured candidate ranking).
+Exits non-zero on any divergence or if the geomean falls below
+``--min-geomean``.
 
 The artifact is the PR-over-PR trajectory record: CI uploads one per
 run, and the checked-in ``BENCH_5.json`` snapshots the machine that
@@ -43,21 +49,26 @@ def _run(session, spec, config, reps):
 
     Wall-clock covers ``interp.run`` only (the telemetry measurement),
     not compilation or workload setup — the trajectory tracks execution
-    engine cost, and the compile cache already absorbs rebuilds.
+    engine cost, and the compile cache already absorbs rebuilds.  The
+    ``autotuned`` configuration's measurement sweep is untelemetered, so
+    its wall-clock is the pinned configuration's steady-state cost.
     """
     no_batch = config in ("predecoded", "fused")
-    fuse = config in ("fused", "batched")
+    fuse = config != "predecoded"
     try:
         if no_batch:
             os.environ["REPRO_NO_BATCH"] = "1"
+        if config == "autotuned":
+            os.environ["REPRO_AUTOTUNE"] = "1"
         result = None
         for _ in range(reps):
             result = run_impl(spec, "parsimony", superinstructions=fuse)
-        wall = min(r.get("wall_seconds") or 0.0
-                   for r in session.vm_runs[-reps:])
-        return result, wall
+        runs = session.vm_runs[-reps:]
+        wall = min(r.get("wall_seconds") or 0.0 for r in runs)
+        return result, wall, runs[-1].get("autotune")
     finally:
         os.environ.pop("REPRO_NO_BATCH", None)
+        os.environ.pop("REPRO_AUTOTUNE", None)
 
 
 def main():
@@ -70,6 +81,10 @@ def main():
                         help="timing repetitions per configuration (min wins)")
     parser.add_argument("--min-geomean", type=float, default=1.0,
                         help="fail if batched-vs-fused geomean drops below this")
+    parser.add_argument("--autotune", action="store_true",
+                        help="also run the profile-guided autotuned "
+                             "configuration (REPRO_AUTOTUNE=1) and record "
+                             "which config it selected and why")
     args = parser.parse_args()
 
     specs = BENCHMARKS
@@ -80,19 +95,22 @@ def main():
             parser.error(f"unknown kernels: {sorted(unknown)}")
         specs = [s for s in BENCHMARKS if s.name in wanted]
 
+    configs = CONFIGS + ("autotuned",) if args.autotune else CONFIGS
     failures = []
     kernels = {}
-    print(f"{'kernel':20s}" + "".join(f"{c:>14s}" for c in CONFIGS)
+    print(f"{'kernel':20s}" + "".join(f"{c:>14s}" for c in configs)
           + f"{'batched x':>12s}")
     with telemetry.collect() as session:
         for spec in specs:
-            results, walls = {}, {}
-            for config in CONFIGS:
-                results[config], walls[config] = _run(
+            results, walls, tuned = {}, {}, None
+            for config in configs:
+                results[config], walls[config], info = _run(
                     session, spec, config, args.reps)
+                if config == "autotuned":
+                    tuned = info
 
             base = results["predecoded"]
-            for config in ("fused", "batched"):
+            for config in configs[1:]:
                 r = results[config]
                 if not (r.stats.cycles == base.stats.cycles
                         and r.stats.instructions == base.stats.instructions
@@ -111,19 +129,24 @@ def main():
                 "instructions": base.stats.instructions,
                 "batched_speedup": speedup,
             }
+            if tuned is not None:
+                kernels[spec.name]["autotune"] = tuned
             print(f"{spec.name:20s}"
-                  + "".join(f"{walls[c] * 1e3:12.1f}ms" for c in CONFIGS)
+                  + "".join(f"{walls[c] * 1e3:12.1f}ms" for c in configs)
                   + f"{speedup:12.2f}")
+            if tuned is not None:
+                print(f"{'':20s}  autotune chose B={tuned['factor']}: "
+                      f"{tuned['reason']}")
 
     gm = geomean([k["batched_speedup"] for k in kernels.values()
                   if k["batched_speedup"]])
-    print("-" * (20 + 14 * len(CONFIGS) + 12))
+    print("-" * (20 + 14 * len(configs) + 12))
     print(f"{'geomean batched-vs-fused':48s}{gm:18.2f}")
 
     doc = {
         "schema": "repro-bench/1",
-        "pr": 5,
-        "configs": list(CONFIGS),
+        "pr": 6,
+        "configs": list(configs),
         "kernels": kernels,
         "geomean_batched_speedup": gm,
     }

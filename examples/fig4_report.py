@@ -11,7 +11,10 @@ benchmarks, normalized to LLVM auto-vectorization (paper §6).
 vectorizer shape/memory-form counters, per-function VM cycle
 attribution, ``vm.fuse.*`` superinstruction counters — and writes it as
 structured JSON.  ``--no-fuse`` disables the VM's decode-level
-superinstructions; ``--disk-cache`` enables the persistent compile cache.
+superinstructions; ``--disk-cache`` enables the persistent compile cache;
+``--autotune`` enables the profile-guided engine/batch selector
+(``REPRO_AUTOTUNE=1``) and prints, per kernel, which batch configuration
+it chose and why (pinned profile vs fresh measurement sweep).
 
 ``--telemetry-diff OLD NEW`` compares two telemetry documents PR-over-PR
 (per-pass timing, per-kernel cycles/wall-clock, every counter) and prints
@@ -83,6 +86,30 @@ def _print_degradations(session):
     for entry in fulls:
         reason = entry["reason"].get("error", "?")
         print(f"  whole   {entry['function']}: {reason}")
+
+
+def _print_autotune(session):
+    """Per-kernel profile-guided selection report (``--autotune``).
+
+    Shows the *last* decision per run label (the steady state: a
+    measurement sweep on the first run pins a winner that later runs
+    rehydrate) plus the session's ``vm.autotune.*`` event totals.
+    """
+    print()
+    print("autotune decisions (profile-guided engine/batch selection)")
+    latest = {}
+    for run in session.vm_runs:
+        if run.get("autotune"):
+            latest[run["label"]] = run["autotune"]
+    if not latest:
+        print("  none recorded — tuner disabled or overridden by "
+              "REPRO_BATCH/REPRO_NO_BATCH")
+        return
+    for label, at in latest.items():
+        print(f"  {label:28s} B={at['factor']:<3d} [{at['state']}] "
+              f"{at['reason']}")
+    totals = session.vm_autotune_totals()
+    print(f"  totals: " + ", ".join(f"{k}={v}" for k, v in totals.items()))
 
 
 def _print_table_diff(title, table, fields, unit=""):
@@ -176,6 +203,11 @@ def main():
         help="disable the gang-batching layer (sets REPRO_NO_BATCH=1)",
     )
     parser.add_argument(
+        "--autotune", action="store_true",
+        help="enable profile-guided engine/batch selection "
+             "(sets REPRO_AUTOTUNE=1) and report the decisions",
+    )
+    parser.add_argument(
         "--per-function", action="store_true",
         help="with --telemetry: print per-function pass-timing breakdowns; "
              "with --telemetry-diff: diff them",
@@ -194,6 +226,8 @@ def main():
 
     if args.no_batch:
         os.environ["REPRO_NO_BATCH"] = "1"
+    if args.autotune:
+        os.environ["REPRO_AUTOTUNE"] = "1"
     if args.disk_cache:
         set_disk_cache(True)
 
@@ -209,16 +243,21 @@ def main():
 
     superinstructions = False if args.no_fuse else None
 
-    if args.telemetry:
+    if args.telemetry or args.autotune:
+        # --autotune collects a session even without --telemetry: the
+        # decision report reads the per-run autotune records.
         with telemetry.collect() as session:
             report(specs, superinstructions)
-        session.meta["figure"] = "fig4"
-        session.meta["cycles_by_kernel"] = summarize_telemetry(session)
-        session.write(args.telemetry)
         _print_degradations(session)
+        if args.autotune:
+            _print_autotune(session)
         if args.per_function:
             _print_per_function_timings(session)
-        print(f"\ntelemetry written to {args.telemetry}")
+        if args.telemetry:
+            session.meta["figure"] = "fig4"
+            session.meta["cycles_by_kernel"] = summarize_telemetry(session)
+            session.write(args.telemetry)
+            print(f"\ntelemetry written to {args.telemetry}")
     else:
         report(specs, superinstructions)
 

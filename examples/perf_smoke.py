@@ -2,7 +2,7 @@
 """CI perf-smoke: reduced ispc-suite sweep across engine configurations.
 
     python examples/perf_smoke.py [--kernels a,b] [--impls scalar,parsimony]
-                                  [--out telemetry.json]
+                                  [--out telemetry.json] [--autotune]
 
 Runs each selected kernel under the pre-decoded VM in three configurations
 — batched+fused (the default engine), batched+unfused, and unbatched+fused
@@ -17,11 +17,19 @@ Runs each selected kernel under the pre-decoded VM in three configurations
 * the parsimony implementation never engages gang batching across the
   sweep (``vm.batch.applied`` stays zero — the layer silently died).
 
-``--out`` writes the collected telemetry JSON (flattened ``vm.fuse.*``
-and ``vm.batch.*`` counters, per-run wall-clock) for upload as a CI
-artifact; per-kernel wall-clock for all three configurations plus the
-fused-vs-unfused and batched-vs-unbatched ratios land in
-``meta.perf_smoke``.
+``--autotune`` adds a fourth configuration for the parsimony
+implementation: profile-guided selection (``REPRO_AUTOTUNE=1``).  It
+additionally **fails** if any kernel's autotuned configuration runs
+slower than 0.95× plain unbatched — the regression the tuner exists to
+prevent (a statically mis-batched kernel like stencil losing wall-clock
+to the unbatched engine) — or if the autotuned outputs/``ExecStats``
+diverge from the other configurations.
+
+``--out`` writes the collected telemetry JSON (flattened ``vm.fuse.*``,
+``vm.batch.*``, and ``vm.autotune.*`` counters, per-run wall-clock) for
+upload as a CI artifact; per-kernel wall-clock for all configurations
+plus the fused-vs-unfused, batched-vs-unbatched, and
+autotuned-vs-unbatched ratios land in ``meta.perf_smoke``.
 """
 
 import argparse
@@ -71,6 +79,14 @@ def main():
                         help="comma-separated implementations to run")
     parser.add_argument("--out", metavar="PATH",
                         help="write telemetry JSON (CI artifact)")
+    parser.add_argument("--autotune", action="store_true",
+                        help="also sweep the profile-guided configuration "
+                             "(REPRO_AUTOTUNE=1) and fail if it runs slower "
+                             "than 0.95x plain unbatched on any kernel")
+    parser.add_argument("--autotune-floor", type=float, default=0.95,
+                        metavar="RATIO",
+                        help="minimum unbatched/autotuned wall-clock ratio "
+                             "(default: 0.95)")
     args = parser.parse_args()
 
     wanted = args.kernels.split(",")
@@ -83,6 +99,7 @@ def main():
     failures = []
     rows = {}
     saved_no_batch = os.environ.get("REPRO_NO_BATCH")
+    saved_autotune = os.environ.get("REPRO_AUTOTUNE")
     with telemetry.collect() as session:
         for spec in specs:
             for impl in impls:
@@ -91,6 +108,7 @@ def main():
                 # the environment between runs compiles fresh modules
                 # rather than rehydrating the other configuration's twin.
                 os.environ.pop("REPRO_NO_BATCH", None)
+                os.environ.pop("REPRO_AUTOTUNE", None)
                 fused, fused_run, wall_f = _timed_pair(
                     session, spec, impl, superinstructions=True)
                 unfused, _, wall_uf = _timed_pair(
@@ -101,6 +119,35 @@ def main():
                         session, spec, impl, superinstructions=True)
                 finally:
                     os.environ.pop("REPRO_NO_BATCH", None)
+                tuned = tuned_run = wall_at = wall_nbi = None
+                if args.autotune and impl == "parsimony":
+                    # The floor compares *interleaved* unbatched/autotuned
+                    # samples (min of 3 each): alternating the two configs
+                    # run-by-run means a slow machine phase (CPU quota
+                    # throttling, a noisy neighbor) lands on both sides of
+                    # the ratio instead of biasing whichever ran last.
+                    # The first autotuned run sweeps candidates and pins;
+                    # the rest run the pinned configuration.
+                    walls_nbi, walls_at = [], []
+                    for _ in range(3):
+                        try:
+                            os.environ["REPRO_NO_BATCH"] = "1"
+                            run_impl(spec, impl, superinstructions=True)
+                        finally:
+                            os.environ.pop("REPRO_NO_BATCH", None)
+                        walls_nbi.append(
+                            session.vm_runs[-1].get("wall_seconds") or 0.0)
+                        try:
+                            os.environ["REPRO_AUTOTUNE"] = "1"
+                            tuned = run_impl(spec, impl,
+                                             superinstructions=True)
+                        finally:
+                            os.environ.pop("REPRO_AUTOTUNE", None)
+                        tuned_run = session.vm_runs[-1]
+                        walls_at.append(
+                            tuned_run.get("wall_seconds") or 0.0)
+                    wall_at = min(walls_at)
+                    wall_nbi = min(walls_nbi)
 
                 stats_ok = _stats_equal(fused, unfused)
                 if not stats_ok:
@@ -133,10 +180,40 @@ def main():
                     "fuse_hits": dict(hits),
                     "batch": fused_run.get("batch"),
                 }
+                tuned_note = ""
+                if tuned is not None:
+                    if not _stats_equal(tuned, nobatch):
+                        failures.append(
+                            f"{name}: autotuned ExecStats diverge from unbatched")
+                    if not _outputs_equal(tuned, nobatch):
+                        failures.append(
+                            f"{name}: autotuned outputs diverge from unbatched")
+                    # The bug this layer closes: a statically mis-batched
+                    # kernel must never run slower autotuned than plain
+                    # unbatched (beyond noise).  A tuned factor of 1 means
+                    # the tuner *chose* the unbatched engine — both sides
+                    # of the ratio run the identical module, so the floor
+                    # is vacuously met (comparing noise against itself).
+                    ratio = (wall_nbi / wall_at) if wall_at else None
+                    tuned_factor = (tuned_run.get("autotune") or {}).get("factor")
+                    if (ratio is not None and ratio < args.autotune_floor
+                            and tuned_factor != 1):
+                        failures.append(
+                            f"{name}: autotuned config runs at {ratio:.2f}x "
+                            f"unbatched (< {args.autotune_floor} floor): "
+                            f"{tuned_run.get('autotune')}")
+                    rows[name]["wall_autotuned"] = wall_at
+                    rows[name]["autotune_speedup"] = ratio
+                    rows[name]["autotune"] = tuned_run.get("autotune")
+                    tuned_note = (
+                        f"autotuned={wall_at * 1e3:7.1f}ms "
+                        f"atx={ratio:5.2f} "
+                        f"B={tuned_run.get('autotune', {}).get('factor')} ")
                 print(
                     f"{name:32s} unbatched={wall_nb * 1e3:7.1f}ms "
                     f"unfused={wall_uf * 1e3:7.1f}ms "
                     f"batched={wall_f * 1e3:7.1f}ms "
+                    f"{tuned_note}"
                     f"batchx={rows[name]['batch_speedup']:5.2f} "
                     f"stats={'ok' if stats_ok and batch_stats_ok else 'DIVERGED'} "
                     f"out={'ok' if out_ok and batch_out_ok else 'DIVERGED'}"
@@ -144,12 +221,24 @@ def main():
 
     if saved_no_batch is not None:
         os.environ["REPRO_NO_BATCH"] = saved_no_batch
+    if saved_autotune is not None:
+        os.environ["REPRO_AUTOTUNE"] = saved_autotune
 
     session.meta["perf_smoke"] = rows
     fuse_totals = session.vm_fuse_totals()
     batch_totals = session.vm_batch_totals()
     print(f"\nvm.fuse totals: {fuse_totals}")
     print(f"vm.batch totals: {batch_totals}")
+    if args.autotune:
+        autotune_totals = session.vm_autotune_totals()
+        print(f"vm.autotune totals: {autotune_totals}")
+        # A persisted pin from an earlier process produces no fresh pin
+        # event, so the liveness check is the per-run decision record.
+        if "parsimony" in impls and not any(
+            r.get("autotune") for r in session.vm_runs
+        ):
+            failures.append("autotuner made no decisions across the "
+                            "parsimony sweep (layer silently dead)")
     if "parsimony" in impls and not batch_totals.get("vm.batch.applied"):
         failures.append("gang batching never applied across the parsimony sweep")
     if args.out:

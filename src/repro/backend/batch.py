@@ -59,6 +59,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..diagnostics import emit_warning
 from ..ir.cfg import Loop, find_loops, reverse_postorder
 from ..ir.instructions import Instruction, REDUCE_OPS
 from ..ir.module import BasicBlock, ExternalFunction, Function, Module
@@ -96,11 +97,13 @@ class BatchReport(dict):
     """``{"factor": B, "applied": [...], "rejected": [(fn, loop, reason)]}``."""
 
 
-def select_batch_factor(gang_size: int, requested: Optional[int] = None) -> int:
+def select_batch_factor(gang_size: int, requested: Optional[int] = None,
+                        machine=None) -> int:
     """Resolve the batch factor for one gang loop.
 
     ``requested`` comes from ``REPRO_BATCH`` (rounded down to a power of
-    two); ``None`` asks the cost model.  Returns 1 when batching is not
+    two); ``None`` asks the cost model, which honors ``machine``'s
+    register/lane width when one is given.  Returns 1 when batching is not
     worthwhile.
     """
     if requested is not None:
@@ -110,11 +113,16 @@ def select_batch_factor(gang_size: int, requested: Optional[int] = None) -> int:
         while b * 2 <= requested:
             b *= 2
         return b
-    return suggest_batch_factor(gang_size)
+    return suggest_batch_factor(gang_size, machine)
 
 
 def batching_request() -> Optional[int]:
-    """Environment knobs: ``0`` = disabled, int = forced B, ``None`` = auto."""
+    """Environment knobs: ``0`` = disabled, int = forced B, ``None`` = auto.
+
+    An unparsable ``REPRO_BATCH`` is a *misconfiguration*, not a silent
+    request for auto mode: it falls back to the cost model but emits a
+    structured :class:`~repro.diagnostics.ReproWarning` saying so.
+    """
     if os.environ.get("REPRO_NO_BATCH", "") in ("1", "true"):
         return 0
     forced = os.environ.get("REPRO_BATCH", "")
@@ -122,6 +130,13 @@ def batching_request() -> Optional[int]:
         try:
             return max(0, int(forced))
         except ValueError:
+            emit_warning(
+                f"unparsable REPRO_BATCH={forced!r} (expected an integer); "
+                "falling back to cost-model batch selection",
+                stage="backend",
+                pass_name="batch",
+                detail={"variable": "REPRO_BATCH", "value": forced},
+            )
             return None
     return None
 
@@ -155,8 +170,10 @@ def _match_gang_loop(loop: Loop) -> Optional[_GangLoop]:
     """Recognize the canonical gang loop the driver's lowering emits.
 
     header: ``p = phi [0, entry], [p+G, latch]; icmp ult p, bound; condbr``
-    with a power-of-two step ``G >= 2`` (the gang size — step-1 loops are
-    ordinary scalar loops and are left alone).
+    with a step ``G >= 2`` (the gang size — step-1 loops are ordinary
+    scalar loops and are left alone).  Non-power-of-two steps *match* so
+    that :func:`batch_module` can reject them with a recorded reason
+    instead of leaving the no-batch path silent.
     """
     header = loop.header
     latches = loop.latches
@@ -194,7 +211,7 @@ def _match_gang_loop(loop: Loop) -> Optional[_GangLoop]:
     if not isinstance(step, Constant) or isinstance(step.type, VectorType):
         return None
     gang = _signed(step)
-    if gang < 2 or gang & (gang - 1):
+    if gang < 2:
         return None
     entry_preds = [b for b in header.predecessors if b not in loop.blocks]
     if len(entry_preds) != 1:
@@ -687,6 +704,12 @@ def batch_module(module: Module, requested: Optional[int] = None) -> BatchReport
                        for o in matches)
         ]
         for gl in matches:
+            if gl.gang & (gl.gang - 1):
+                # suggest_batch_factor returns 1 for these; surface the
+                # silent no-batch path as an observable rejection.
+                rejected.append((function.name, gl.loop.header.name,
+                                 f"non-power-of-two gang size {gl.gang}"))
+                continue
             b = select_batch_factor(gl.gang, requested)
             if b < 2:
                 rejected.append((function.name, gl.loop.header.name,

@@ -23,7 +23,7 @@ from ..ir.types import Type, VectorType
 from .machine import ExecStats, Machine
 
 __all__ = ["CostModel", "DEFAULT_COST_MODEL", "TARGET_BATCHED_LANES",
-           "suggest_batch_factor"]
+           "MAX_LEGALIZE_OPS", "suggest_batch_factor"]
 
 #: Lane target for the gang-batching layer.  numpy dispatch overhead is
 #: per-op, so batching pays off until the arrays are a few hundred lanes
@@ -31,18 +31,34 @@ __all__ = ["CostModel", "DEFAULT_COST_MODEL", "TARGET_BATCHED_LANES",
 #: trap-replay restore cost grows with no return.
 TARGET_BATCHED_LANES = 256
 
+#: Machine-aware ceiling: a widened op should legalize into at most this
+#: many machine ops for 32-bit elements, else the modeled back-end would
+#: unroll one IR op into an unreasonable register-pressure blob.  At
+#: AVX-512 widths (16 f32 lanes) this caps the batched width at
+#: ``16 * 16 = 256`` lanes — exactly :data:`TARGET_BATCHED_LANES`, so the
+#: default machine keeps the calibrated target; narrower machines scale
+#: proportionally (AVX2 → 128 lanes, SSE4 → 64).
+MAX_LEGALIZE_OPS = 16
+
 
 def suggest_batch_factor(gang_size: int, machine: Optional[Machine] = None) -> int:
     """How many gangs the batching pass should fuse for ``gang_size``.
 
     Returns a power of two ``B >= 1`` such that ``gang_size * B`` is close
-    to :data:`TARGET_BATCHED_LANES`; ``1`` means batching is not worth it
-    (the gang is already at or past the lane target).
+    to the lane target — :data:`TARGET_BATCHED_LANES`, capped at
+    ``MAX_LEGALIZE_OPS * machine.lanes(32)`` when a ``machine`` is given so
+    the batched vectors respect that machine's register/lane width.  ``1``
+    means batching is not worth it (the gang is already at or past the
+    target, or is not a power of two — the batching pass records the
+    latter as a ``vm.batch.rejected`` reason).
     """
     if gang_size <= 0 or gang_size & (gang_size - 1):
         return 1
+    target = TARGET_BATCHED_LANES
+    if machine is not None:
+        target = min(target, MAX_LEGALIZE_OPS * machine.lanes(32))
     factor = 1
-    while gang_size * factor * 2 <= TARGET_BATCHED_LANES:
+    while gang_size * factor * 2 <= target:
         factor *= 2
     return factor
 

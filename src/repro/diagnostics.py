@@ -25,6 +25,7 @@ while old call sites and tests keep working unchanged.
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -32,9 +33,11 @@ __all__ = [
     "Severity",
     "Diagnostic",
     "ReproError",
+    "ReproWarning",
     "CompileError",
     "ExecutionError",
     "attach_location",
+    "emit_warning",
 ]
 
 
@@ -166,6 +169,44 @@ def attach_location(
         diag.block = block
     if instruction and not diag.instruction:
         diag.instruction = instruction
+
+
+class ReproWarning(UserWarning):
+    """A non-fatal finding carrying the same structured :class:`Diagnostic`
+    as :class:`ReproError` — used for recoverable misconfigurations (an
+    unparsable environment knob, say) that must be *visible* without
+    failing the compile."""
+
+    def __init__(self, diagnostic: Diagnostic):
+        self.diagnostic = diagnostic
+        super().__init__(diagnostic.format())
+
+
+def emit_warning(
+    message: str,
+    *,
+    stage: str = "",
+    pass_name: str = "",
+    function: str = "",
+    detail: Optional[Dict[str, object]] = None,
+    stacklevel: int = 3,
+) -> Diagnostic:
+    """Emit a structured :class:`ReproWarning` through :mod:`warnings`.
+
+    Returns the :class:`Diagnostic` so call sites can also log or attach
+    it.  ``stacklevel`` defaults to the *caller's caller* — the config
+    reader's own caller is usually the interesting frame.
+    """
+    diag = Diagnostic(
+        message=message,
+        severity=Severity.WARNING,
+        stage=stage,
+        pass_name=pass_name,
+        function=function,
+        detail=dict(detail or {}),
+    )
+    warnings.warn(ReproWarning(diag), stacklevel=stacklevel)
+    return diag
 
 
 class CompileError(ReproError):

@@ -20,7 +20,7 @@ import dataclasses
 from collections import OrderedDict
 from typing import Callable, Dict, Optional, Tuple
 
-from . import diskcache, faultinject
+from . import autotune, diskcache, faultinject
 from .backend.batch import batch_module, batching_request
 from .backend.costmodel import CostModel
 from .backend.machine import AVX512, ExecStats, Machine
@@ -157,9 +157,15 @@ def compile_autovec(source: str, machine: Machine = AVX512,
     )
 
 
+#: Sentinel: ``compile_parsimony(batch_request=...)`` not passed — resolve
+#: from the environment, then from the autotuner's pinned profile.
+_BATCH_UNSET = object()
+
+
 def compile_parsimony(source: str, config: Optional[VectorizeConfig] = None,
                       module_name: str = "parsimony",
-                      strict: bool = False) -> Module:
+                      strict: bool = False,
+                      batch_request=_BATCH_UNSET) -> Module:
     """The Parsimony flow (§4): standard pipeline + the SPMD pass, then the
     back-end cleanup the paper relies on (re-inline the vectorized region
     into its gang loop, hoist per-gang-invariant setup).
@@ -167,9 +173,24 @@ def compile_parsimony(source: str, config: Optional[VectorizeConfig] = None,
     A function the vectorizer cannot handle degrades to a correct scalar
     lane loop (recorded in telemetry) instead of failing the compile;
     ``strict=True`` disables that fallback and re-raises the failure.
+
+    ``batch_request`` pins the gang-batching configuration (``0`` = off,
+    ``N`` = forced factor, ``None`` = cost-model auto).  When omitted it
+    resolves from ``REPRO_BATCH``/``REPRO_NO_BATCH``; if those leave the
+    choice on auto and the profile-guided tuner is enabled
+    (``REPRO_AUTOTUNE=1``), a pinned measured winner for this kernel's
+    content fingerprint — persisted across processes next to the disk
+    cache — wins over the static cost model.
     """
 
-    batch_request = batching_request()
+    if batch_request is _BATCH_UNSET:
+        batch_request = batching_request()
+        if batch_request is None and autotune.enabled():
+            pinned = autotune.pinned_request(
+                autotune.fingerprint(source), autotune.engine_config()
+            )
+            if pinned is not None:
+                batch_request = pinned
 
     def build() -> Module:
         module = compile_source(source, module_name)

@@ -34,6 +34,7 @@ __all__ = [
     "collect",
     "current",
     "diff_documents",
+    "record_autotune",
     "record_fallback",
     "record_partial_fallback",
     "record_pass",
@@ -41,7 +42,9 @@ __all__ = [
     "record_vm_run",
 ]
 
-SCHEMA = "repro-telemetry/2"
+#: v3: autotuner evidence — ``vm.autotune`` events/totals and the chosen
+#: configuration on each VM run.
+SCHEMA = "repro-telemetry/3"
 DIFF_SCHEMA = "repro-telemetry-diff/2"
 
 
@@ -63,6 +66,8 @@ class Telemetry:
         self.partial_fallbacks: List[Dict[str, object]] = []
         #: one entry per VM run
         self.vm_runs: List[Dict[str, object]] = []
+        #: one entry per autotuner event (measure / pin / deopt)
+        self.autotune_events: List[Dict[str, object]] = []
         self.meta: Dict[str, object] = {"started_at": time.time()}
 
     # -- recording -------------------------------------------------------------------
@@ -156,6 +161,7 @@ class Telemetry:
         fusion: Optional[Dict[str, object]] = None,
         wall_seconds: Optional[float] = None,
         batch: Optional[Dict[str, object]] = None,
+        autotune: Optional[Dict[str, object]] = None,
     ) -> None:
         entry: Dict[str, object] = {
             "label": label,
@@ -170,7 +176,17 @@ class Telemetry:
             entry["wall_seconds"] = wall_seconds
         if batch is not None:
             entry["batch"] = dict(batch)
+        if autotune is not None:
+            # The chosen engine/batch configuration and why it was chosen
+            # (pinned profile, fresh measurement, deopt, ...).
+            entry["autotune"] = dict(autotune)
         self.vm_runs.append(entry)
+
+    def record_autotune(self, event: str, info: Dict[str, object]) -> None:
+        """One profile-guided-selection event: ``measure`` (a candidate
+        configuration was timed), ``pin`` (a winner was persisted), or
+        ``deopt`` (a pinned choice regressed and was dropped)."""
+        self.autotune_events.append({"event": event, **info})
 
     # -- reporting -------------------------------------------------------------------
 
@@ -229,6 +245,18 @@ class Telemetry:
             totals["vm.batch.replays"] += int(batch.get("replays", 0))
         return totals
 
+    def vm_autotune_totals(self) -> Dict[str, int]:
+        """Autotuner counters, flattened to the ``vm.autotune.*`` keys the
+        perf-smoke CI job and diff mode read: candidate measurements,
+        pinned winners, and deopts."""
+        totals = {"vm.autotune.measure": 0, "vm.autotune.pin": 0,
+                  "vm.autotune.deopt": 0}
+        for entry in self.autotune_events:
+            key = f"vm.autotune.{entry.get('event')}"
+            if key in totals:
+                totals[key] += 1
+        return totals
+
     def vm_fuse_totals(self) -> Dict[str, int]:
         """Superinstruction hit counters summed over runs, flattened to the
         ``vm.fuse.<pattern>`` keys the perf-smoke CI job asserts on."""
@@ -260,6 +288,8 @@ class Telemetry:
                 "runs": self.vm_runs,
                 "fuse_totals": self.vm_fuse_totals(),
                 "batch_totals": self.vm_batch_totals(),
+                "autotune": self.autotune_events,
+                "autotune_totals": self.vm_autotune_totals(),
             },
             "compile_cache": driver.compile_cache_stats(),
             "disk_cache": driver.disk_cache_stats(),
@@ -314,10 +344,15 @@ def record_vectorization(function_name, gang_size, shapes, memory_forms,
 
 
 def record_vm_run(label, stats, hotspots, fusion=None, wall_seconds=None,
-                  batch=None):
+                  batch=None, autotune=None):
     if _current is not None:
         _current.record_vm_run(label, stats, hotspots, fusion, wall_seconds,
-                               batch)
+                               batch, autotune)
+
+
+def record_autotune(event, info):
+    if _current is not None:
+        _current.record_autotune(event, info)
 
 
 # -- PR-over-PR diffing ----------------------------------------------------------
@@ -350,6 +385,8 @@ def _flat_counters(doc: Dict) -> Dict[str, float]:
         flat[key] = n  # already vm.fuse.<pattern>
     for key, n in doc.get("vm", {}).get("batch_totals", {}).items():
         flat[key] = n  # already vm.batch.<counter>
+    for key, n in doc.get("vm", {}).get("autotune_totals", {}).items():
+        flat[key] = n  # already vm.autotune.<counter>
     for section in ("compile_cache", "disk_cache"):
         for key, n in doc.get(section, {}).items():
             if isinstance(n, (int, float)):

@@ -67,3 +67,30 @@ def test_custom_machine_widths():
     m = Machine(name="sve1024", vector_bits=1024)
     assert m.lanes(8) == 128
     assert m.legalize_factor(VectorType(I8, 64)) == 1
+
+
+def test_suggest_batch_factor_honors_machine():
+    """Regression: the ``machine`` parameter must cap the batched width at
+    ``MAX_LEGALIZE_OPS`` machine ops — it used to be accepted and ignored."""
+    from repro.backend.costmodel import (
+        MAX_LEGALIZE_OPS,
+        TARGET_BATCHED_LANES,
+        suggest_batch_factor,
+    )
+
+    # AVX-512's cap (16 ops x 16 f32 lanes = 256) equals the calibrated
+    # lane target, so the default machine keeps the historical answer.
+    assert suggest_batch_factor(8) == suggest_batch_factor(8, AVX512) == 32
+    assert MAX_LEGALIZE_OPS * AVX512.lanes(32) == TARGET_BATCHED_LANES
+
+    # Narrower machines scale the cap down proportionally.
+    assert suggest_batch_factor(8, AVX2) == 16   # 8*16 = 128 lanes
+    assert suggest_batch_factor(8, SSE4) == 8    # 8*8  =  64 lanes
+    for machine in (AVX512, AVX2, SSE4):
+        cap = min(TARGET_BATCHED_LANES, MAX_LEGALIZE_OPS * machine.lanes(32))
+        for gang in (2, 4, 8, 16, 32):
+            assert gang * suggest_batch_factor(gang, machine) <= cap
+
+    # Non-power-of-two and degenerate gangs still mean "don't batch".
+    assert suggest_batch_factor(12, AVX2) == 1
+    assert suggest_batch_factor(0, SSE4) == 1

@@ -17,12 +17,14 @@ and must be **invisible** to everything but wall-clock:
 import numpy as np
 import pytest
 
-from repro import telemetry
-from repro.backend.batch import batch_module, select_batch_factor
+from repro import autotune, telemetry
+from repro.backend.batch import batch_module, batching_request, select_batch_factor
 from repro.benchsuite import run_impl
 from repro.benchsuite.ispc_suite import BENCHMARKS
+from repro.diagnostics import ReproWarning
 from repro.driver import compile_parsimony
 from repro.faultinject import FaultPlan, inject
+from repro.ir import Constant, Function, FunctionType, I32, IRBuilder, Module
 from repro.vm import ExecutionLimitExceeded, Interpreter
 
 SPECS = {spec.name: spec for spec in BENCHMARKS}
@@ -244,3 +246,220 @@ def test_batch_factor_selection():
     assert select_batch_factor(8, 7) == 4
     assert select_batch_factor(8, 1) == 1
     assert select_batch_factor(8, 0) == 1
+
+
+# ---------------------------------------------------------------------------
+# environment-knob parsing
+# ---------------------------------------------------------------------------
+
+def test_batching_request_env_parsing(monkeypatch):
+    monkeypatch.delenv("REPRO_NO_BATCH", raising=False)
+    monkeypatch.delenv("REPRO_BATCH", raising=False)
+    assert batching_request() is None
+    monkeypatch.setenv("REPRO_BATCH", "8")
+    assert batching_request() == 8
+    # Disable always wins over a forced factor.
+    monkeypatch.setenv("REPRO_NO_BATCH", "1")
+    assert batching_request() == 0
+
+
+def test_unparsable_batch_request_warns(monkeypatch):
+    """An unparsable REPRO_BATCH is a misconfiguration, not a silent auto
+    request: the fallback to the cost model must come with a structured
+    warning (issue 6 satellite)."""
+    monkeypatch.delenv("REPRO_NO_BATCH", raising=False)
+    monkeypatch.setenv("REPRO_BATCH", "banana")
+    with pytest.warns(ReproWarning, match="unparsable REPRO_BATCH") as caught:
+        assert batching_request() is None
+    diag = caught[0].message.diagnostic
+    assert diag.stage == "backend"
+    assert diag.pass_name == "batch"
+    assert diag.detail == {"variable": "REPRO_BATCH", "value": "banana"}
+
+
+# ---------------------------------------------------------------------------
+# non-power-of-two gang sizes
+# ---------------------------------------------------------------------------
+
+def _step_loop_module(step):
+    """A module holding the canonical gang loop with the given step — the
+    front-end refuses non-power-of-two gang sizes outright, so exercising
+    the batcher's own rejection path needs hand-built IR."""
+    f = Function("kernel", FunctionType(I32, (I32,)), ["n"])
+    entry = f.add_block("entry")
+    header = f.add_block("header")
+    body = f.add_block("body")
+    exit_ = f.add_block("exit")
+    b = IRBuilder(f, entry)
+    b.br(header)
+    b.position_at_end(header)
+    phi = b.phi(I32, "i")
+    phi.append_operand(Constant(I32, 0))
+    phi.append_operand(entry)
+    b.condbr(b.icmp("ult", phi, f.args[0]), body, exit_)
+    b.position_at_end(body)
+    nxt = b.add(phi, Constant(I32, step))
+    phi.append_operand(nxt)
+    phi.append_operand(body)
+    b.br(header)
+    b.position_at_end(exit_)
+    b.ret(Constant(I32, 0))
+    module = Module(f"step{step}")
+    module.add_function(f)
+    return module
+
+
+def test_non_power_of_two_gang_size_is_a_recorded_rejection():
+    """A 12-wide gang loop must not be silently left unbatched: the reason
+    lands in the report and in ``module.attrs["batch_rejected"]`` — the
+    record ``run_impl`` rolls up into ``vm.batch.rejected`` telemetry."""
+    module = _step_loop_module(12)
+    report = batch_module(module, None)
+    assert not report["applied"]
+    assert report["factor"] == 1
+    reasons = [r for _, _, r in report["rejected"]]
+    assert "non-power-of-two gang size 12" in reasons, reasons
+    recorded = module.attrs["batch_rejected"]
+    assert any(e["reason"] == "non-power-of-two gang size 12" for e in recorded)
+    assert module.attrs["batch_factor"] == 1
+
+    # Power-of-two steps take the normal path on the identical CFG shape.
+    pow2 = _step_loop_module(8)
+    report = batch_module(pow2, None)
+    assert not any("non-power-of-two" in r for _, _, r in report["rejected"])
+
+
+# ---------------------------------------------------------------------------
+# profile-guided selection (issue 6 tentpole): the autotune state machine
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def tuner_store(tmp_path, monkeypatch):
+    """Isolated on-disk profile store + clean counters per test."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_AUTOTUNE", raising=False)
+    monkeypatch.delenv("REPRO_NO_BATCH", raising=False)
+    monkeypatch.delenv("REPRO_BATCH", raising=False)
+    autotune.reset_stats()
+    yield tmp_path
+    autotune.clear()
+    autotune.reset_stats()
+
+
+def test_choose_factor_needs_a_decisive_win():
+    # Real batching wins are multiples: far outside the margin.
+    assert autotune.choose_factor({1: 10.0, 16: 2.0}) == 16
+    # A batched config that merely ties (within PIN_MARGIN) loses to the
+    # safe unbatched side — sampling noise must not pin it.
+    assert autotune.choose_factor({1: 10.0, 2: 9.0}) == 1
+    # Just inside the margin still ties; decisively past it, batching wins.
+    assert autotune.choose_factor({1: 10.0, 2: 10.0 / autotune.PIN_MARGIN}) == 1
+    assert autotune.choose_factor({1: 10.0, 2: 10.0 / autotune.PIN_MARGIN - 1e-6}) == 2
+    assert autotune.choose_factor({1: 26.0}) == 1
+
+
+def test_measure_pin_decision_cycle(tuner_store):
+    fp = autotune.fingerprint("void kernel() {}")
+    engine = autotune.engine_config(True)
+    assert engine == "avx512/fused"
+
+    dec = autotune.decision(fp, engine)
+    assert dec["state"] == "measure"
+    assert dec["requests"] == autotune.CANDIDATE_REQUESTS
+
+    measured = {1: 0.010, 16: 0.002}
+    for factor, wall in measured.items():
+        autotune.record_measurement(fp, engine, factor, wall)
+    best = autotune.choose_factor(measured)
+    assert best == 16
+    reason = autotune.pin(fp, engine, best, measured[best], measured,
+                          request=None)
+    assert "measured fastest" in reason
+
+    dec = autotune.decision(fp, engine)
+    assert dec["state"] == "pinned"
+    assert dec["factor"] == 16
+    # The pin replays the *request* the winner compiled from (auto here):
+    # a forced factor batches multi-gang-loop kernels differently.
+    assert dec["request"] is None
+    assert autotune.stats()["pins"] == 1
+    assert autotune.stats()["measurements"] == 2
+
+
+def test_pin_margin_prefers_smaller_factor_reason(tuner_store):
+    fp = autotune.fingerprint("tie")
+    engine = autotune.engine_config(True)
+    measured = {1: 0.010, 2: 0.009}
+    best = autotune.choose_factor(measured)
+    assert best == 1
+    reason = autotune.pin(fp, engine, best, measured[best], measured,
+                          request=0)
+    assert "preferring smaller B" in reason
+    assert autotune.pinned_request(fp, engine) == 0
+
+
+def test_deopt_drops_pin_after_sustained_regression(tuner_store):
+    fp = autotune.fingerprint("deopt")
+    engine = autotune.engine_config(True)
+    autotune.pin(fp, engine, 8, 0.010, {1: 0.050, 8: 0.010}, request=8)
+
+    slow = autotune.DEOPT_RATIO * 0.010 * 1.1
+    # One-off noise (fewer than DEOPT_WINDOW slow samples) is forgiven...
+    for _ in range(autotune.DEOPT_WINDOW - 1):
+        assert autotune.observe(fp, engine, 8, slow) is None
+    assert autotune.decision(fp, engine)["state"] == "pinned"
+    # ...a faster sample ratchets the baseline and clears the window...
+    assert autotune.observe(fp, engine, 8, 0.008) is None
+    for _ in range(autotune.DEOPT_WINDOW - 1):
+        assert autotune.observe(fp, engine, 8, slow) is None
+    # ...but a full window of slow samples drops the pin.
+    assert autotune.observe(fp, engine, 8, slow) == "deopt"
+    dec = autotune.decision(fp, engine)
+    assert dec["state"] == "measure"
+    assert "deopt" in dec["reason"]
+    assert autotune.stats()["deopts"] == 1
+
+
+def test_corrupt_profile_entry_is_discarded(tuner_store):
+    fp = autotune.fingerprint("corrupt")
+    engine = autotune.engine_config(True)
+    autotune.pin(fp, engine, 2, 0.001, {1: 0.010, 2: 0.001}, request=2)
+    path = autotune._entry_path(fp, engine)
+    assert path.exists()
+
+    autotune._ENTRY_CACHE.clear()
+    path.write_text("{ not json")
+    dec = autotune.decision(fp, engine)
+    assert dec["state"] == "measure"
+    assert not path.exists()  # damaged entry unlinked, not resurrected
+    assert autotune.stats()["errors"] >= 1
+
+
+def test_autotuned_stencil_matches_unbatched_bitwise(tuner_store, monkeypatch):
+    """The issue-6 acceptance pair: REPRO_AUTOTUNE=1 on the regression
+    kernel (stencil) yields outputs and ExecStats bit-identical to the
+    plain unbatched engine, and the sweep surfaces measure/pin telemetry."""
+    monkeypatch.setenv("REPRO_AUTOTUNE_REPS", "1")
+    spec = SPECS["stencil"]
+
+    monkeypatch.setenv("REPRO_NO_BATCH", "1")
+    unbatched = run_impl(spec, "parsimony")
+    monkeypatch.delenv("REPRO_NO_BATCH")
+
+    monkeypatch.setenv("REPRO_AUTOTUNE", "1")
+    with telemetry.collect() as session:
+        tuned = run_impl(spec, "parsimony")   # measurement sweep + pin
+        pinned = run_impl(spec, "parsimony")  # rehydrates the pin
+
+    _assert_stats_equal(tuned.stats, unbatched.stats, "stencil autotuned")
+    _assert_stats_equal(pinned.stats, unbatched.stats, "stencil pinned")
+    for got, want in zip(tuned.output_signature(),
+                         unbatched.output_signature()):
+        np.testing.assert_array_equal(got, want)
+
+    totals = session.vm_autotune_totals()
+    assert totals.get("vm.autotune.measure", 0) >= 2, totals
+    assert totals.get("vm.autotune.pin") == 1, totals
+    states = [r["autotune"]["state"] for r in session.vm_runs
+              if r.get("autotune")]
+    assert states == ["measured", "pinned"], states
