@@ -25,10 +25,21 @@ prevent (a statically mis-batched kernel like stencil losing wall-clock
 to the unbatched engine) — or if the autotuned outputs/``ExecStats``
 diverge from the other configurations.
 
+``--shards N`` adds a sharded configuration: every kernel/impl also runs
+through the supervised multi-process executor (``REPRO_SHARDS=N``, see
+:mod:`repro.shard`) and **fails** if its outputs or ``ExecStats`` diverge
+from the in-process run, or if sharding never engages across the sweep.
+With ``REPRO_FAULT_PLAN`` set (e.g.
+``worker_crash::0:1;worker_hang::0:1``), the same plans are armed around
+both the in-process comparator and the sharded run — the fault matrix —
+and the sweep additionally **fails** if an armed worker fault fires
+without a recorded retry/degradation, or never fires at all on a sharded
+launch.
+
 ``--out`` writes the collected telemetry JSON (flattened ``vm.fuse.*``,
-``vm.batch.*``, and ``vm.autotune.*`` counters, per-run wall-clock) for
-upload as a CI artifact; per-kernel wall-clock for all configurations
-plus the fused-vs-unfused, batched-vs-unbatched, and
+``vm.batch.*``, ``vm.autotune.*``, and ``vm.shard.*`` counters, per-run
+wall-clock) for upload as a CI artifact; per-kernel wall-clock for all
+configurations plus the fused-vs-unfused, batched-vs-unbatched, and
 autotuned-vs-unbatched ratios land in ``meta.perf_smoke``.
 """
 
@@ -38,7 +49,7 @@ import sys
 
 import numpy as np
 
-from repro import telemetry
+from repro import faultinject, telemetry
 from repro.benchsuite import run_impl
 from repro.benchsuite.ispc_suite import BENCHMARKS
 
@@ -87,6 +98,11 @@ def main():
                         metavar="RATIO",
                         help="minimum unbatched/autotuned wall-clock ratio "
                              "(default: 0.95)")
+    parser.add_argument("--shards", type=int, default=0, metavar="N",
+                        help="also sweep the sharded multi-process executor "
+                             "(REPRO_SHARDS=N) and fail on any divergence "
+                             "from the in-process run; honors "
+                             "REPRO_FAULT_PLAN worker-fault matrices")
     args = parser.parse_args()
 
     wanted = args.kernels.split(",")
@@ -98,8 +114,10 @@ def main():
 
     failures = []
     rows = {}
+    faults_fired = 0
     saved_no_batch = os.environ.get("REPRO_NO_BATCH")
     saved_autotune = os.environ.get("REPRO_AUTOTUNE")
+    saved_shards = os.environ.get("REPRO_SHARDS")
     with telemetry.collect() as session:
         for spec in specs:
             for impl in impls:
@@ -109,6 +127,7 @@ def main():
                 # rather than rehydrating the other configuration's twin.
                 os.environ.pop("REPRO_NO_BATCH", None)
                 os.environ.pop("REPRO_AUTOTUNE", None)
+                os.environ.pop("REPRO_SHARDS", None)
                 fused, fused_run, wall_f = _timed_pair(
                     session, spec, impl, superinstructions=True)
                 unfused, _, wall_uf = _timed_pair(
@@ -148,6 +167,33 @@ def main():
                             tuned_run.get("wall_seconds") or 0.0)
                     wall_at = min(walls_at)
                     wall_nbi = min(walls_nbi)
+
+                shard_base = shard_result = shard_report = None
+                fault_log = []
+                wall_sh = plans = None
+                if args.shards:
+                    # Worker-fault plans stay armed around *both* runs:
+                    # while any plan is active the compile cache is
+                    # bypassed, so the in-process comparator must live
+                    # under the same injection state as the sharded run to
+                    # execute an identical module.  Worker sites are only
+                    # consumed by the shard supervisor, so the comparator
+                    # does not eat the plans' firing budget.
+                    plans = faultinject.plans_from_env()
+                    with faultinject.inject(*plans) as fstate:
+                        shard_base = run_impl(spec, impl,
+                                              superinstructions=True)
+                        try:
+                            os.environ["REPRO_SHARDS"] = str(args.shards)
+                            shard_result = run_impl(spec, impl,
+                                                    superinstructions=True)
+                        finally:
+                            os.environ.pop("REPRO_SHARDS", None)
+                        fault_log = list(fstate.log)
+                    shard_run = session.vm_runs[-1]
+                    shard_report = shard_run.get("shard") or {}
+                    wall_sh = shard_run.get("wall_seconds") or 0.0
+                    faults_fired += len(fault_log)
 
                 stats_ok = _stats_equal(fused, unfused)
                 if not stats_ok:
@@ -209,11 +255,39 @@ def main():
                         f"autotuned={wall_at * 1e3:7.1f}ms "
                         f"atx={ratio:5.2f} "
                         f"B={tuned_run.get('autotune', {}).get('factor')} ")
+                shard_note = ""
+                if shard_result is not None:
+                    if not _stats_equal(shard_base, shard_result):
+                        failures.append(
+                            f"{name}: sharded ExecStats diverge from "
+                            f"in-process")
+                    if not _outputs_equal(shard_base, shard_result):
+                        failures.append(
+                            f"{name}: sharded outputs diverge from "
+                            f"in-process")
+                    mode = shard_report.get("mode")
+                    if mode == "degraded" and not plans:
+                        failures.append(
+                            f"{name}: sharded launch degraded with no "
+                            f"faults armed: {shard_report}")
+                    if fault_log and not (shard_report.get("retries")
+                                          or shard_report.get("degraded")):
+                        failures.append(
+                            f"{name}: worker faults fired but no retry or "
+                            f"degradation was recorded: {shard_report}")
+                    rows[name]["shard"] = {
+                        "wall": wall_sh,
+                        "mode": mode,
+                        "retries": shard_report.get("retries"),
+                        "degraded": shard_report.get("degraded"),
+                        "faults_fired": len(fault_log),
+                    }
+                    shard_note = f"sharded={wall_sh * 1e3:7.1f}ms [{mode}] "
                 print(
                     f"{name:32s} unbatched={wall_nb * 1e3:7.1f}ms "
                     f"unfused={wall_uf * 1e3:7.1f}ms "
                     f"batched={wall_f * 1e3:7.1f}ms "
-                    f"{tuned_note}"
+                    f"{tuned_note}{shard_note}"
                     f"batchx={rows[name]['batch_speedup']:5.2f} "
                     f"stats={'ok' if stats_ok and batch_stats_ok else 'DIVERGED'} "
                     f"out={'ok' if out_ok and batch_out_ok else 'DIVERGED'}"
@@ -223,6 +297,8 @@ def main():
         os.environ["REPRO_NO_BATCH"] = saved_no_batch
     if saved_autotune is not None:
         os.environ["REPRO_AUTOTUNE"] = saved_autotune
+    if saved_shards is not None:
+        os.environ["REPRO_SHARDS"] = saved_shards
 
     session.meta["perf_smoke"] = rows
     fuse_totals = session.vm_fuse_totals()
@@ -241,6 +317,15 @@ def main():
                             "parsimony sweep (layer silently dead)")
     if "parsimony" in impls and not batch_totals.get("vm.batch.applied"):
         failures.append("gang batching never applied across the parsimony sweep")
+    if args.shards:
+        shard_totals = session.vm_shard_totals()
+        print(f"vm.shard totals: {shard_totals}")
+        if "parsimony" in impls and not shard_totals.get("vm.shard.sharded"):
+            failures.append("sharded executor never engaged across the "
+                            "sweep (every launch was rejected)")
+        if faultinject.plans_from_env() and not faults_fired:
+            failures.append("REPRO_FAULT_PLAN armed worker faults but none "
+                            "fired across the sweep")
     if args.out:
         session.write(args.out)
         print(f"telemetry written to {args.out}")

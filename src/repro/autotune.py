@@ -60,8 +60,14 @@ import hashlib
 import json
 import os
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
+
+try:  # POSIX only; the store degrades to best-effort without it.
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None
 
 from . import telemetry
 from .diskcache import cache_dir
@@ -193,11 +199,12 @@ def clear() -> None:
     """Drop every persisted profile (best effort)."""
     _ENTRY_CACHE.clear()
     try:
-        for path in store_dir().glob("*.json"):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        for pattern in ("*.json", "*.lock"):
+            for path in store_dir().glob(pattern):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
     except OSError:
         pass
 
@@ -208,6 +215,41 @@ def clear() -> None:
 def _entry_path(fp: str, engine: str) -> Path:
     slug = engine.replace("/", "-")
     return store_dir() / f"{fp[:40]}-{slug}.json"
+
+
+@contextmanager
+def _entry_lock(fp: str, engine: str):
+    """Exclusive advisory lock serializing read-modify-write of one entry.
+
+    Every mutation (:func:`record_measurement`, :func:`pin`,
+    :func:`observe`) is a load-mutate-store; without the lock two processes
+    interleave and the second store silently drops the first one's samples
+    (the classic lost update).  The lock lives in a sidecar ``.lock`` file
+    so the entry itself can keep being replaced atomically.  Best-effort:
+    any OS refusal (read-only dir, missing ``fcntl``) degrades to the old
+    unlocked behavior rather than failing the run.
+    """
+    fd = None
+    try:
+        if fcntl is not None:
+            try:
+                directory = store_dir()
+                directory.mkdir(parents=True, exist_ok=True)
+                lock_path = _entry_path(fp, engine).with_suffix(".lock")
+                fd = os.open(str(lock_path), os.O_CREAT | os.O_RDWR, 0o644)
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            except OSError:
+                if fd is not None:
+                    os.close(fd)
+                fd = None
+        yield
+    finally:
+        if fd is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            except OSError:
+                pass
+            os.close(fd)
 
 
 def _fresh_entry(fp: str, engine: str) -> dict:
@@ -260,7 +302,10 @@ def _store_entry(entry: dict) -> None:
             json.dump(entry, f, indent=1, sort_keys=True)
         os.replace(tmp, path)
         tmp = None
-        _ENTRY_CACHE[path] = (path.stat().st_mtime_ns, json.loads(json.dumps(entry)))
+        # Invalidate rather than repopulate: stat() after the replace can
+        # observe *another* process's even-newer write, and caching this
+        # entry under that mtime would mask it forever (cache poisoning).
+        _ENTRY_CACHE.pop(path, None)
     except Exception:
         _STATS["errors"] += 1
         if tmp is not None:
@@ -333,11 +378,12 @@ def pinned_request(fp: str, engine: str) -> Optional[int]:
 def record_measurement(fp: str, engine: str, factor: int, wall: float) -> None:
     """One candidate's wall-clock sample from a measurement sweep."""
     _STATS["measurements"] += 1
-    entry = _load_entry(fp, engine)
-    samples = entry["samples"].setdefault(str(factor), [])
-    samples.append(wall)
-    del samples[:-MAX_SAMPLES]
-    _store_entry(entry)
+    with _entry_lock(fp, engine):
+        entry = _load_entry(fp, engine)
+        samples = entry["samples"].setdefault(str(factor), [])
+        samples.append(wall)
+        del samples[:-MAX_SAMPLES]
+        _store_entry(entry)
     telemetry.record_autotune(
         "measure",
         {"fingerprint": fp, "engine": engine, "factor": factor, "wall": wall},
@@ -361,7 +407,6 @@ def pin(fp: str, engine: str, factor: int, wall: float,
     if request is _REQUEST_UNSET:
         request = _request_for(factor)
     _STATS["pins"] += 1
-    entry = _load_entry(fp, engine)
     ranked = ", ".join(
         f"B={f}:{w * 1e3:.2f}ms" for f, w in sorted(measured.items())
     )
@@ -371,10 +416,12 @@ def pin(fp: str, engine: str, factor: int, wall: float,
     else:
         reason = (f"measured within {PIN_MARGIN}x of fastest B={fastest}; "
                   f"preferring smaller B of {{{ranked}}}")
-    entry["pinned"] = {"factor": int(factor), "request": request,
-                       "wall": wall, "reason": reason}
-    entry["recent"] = []
-    _store_entry(entry)
+    with _entry_lock(fp, engine):
+        entry = _load_entry(fp, engine)
+        entry["pinned"] = {"factor": int(factor), "request": request,
+                           "wall": wall, "reason": reason}
+        entry["recent"] = []
+        _store_entry(entry)
     telemetry.record_autotune(
         "pin",
         {"fingerprint": fp, "engine": engine, "factor": factor,
@@ -388,32 +435,33 @@ def observe(fp: str, engine: str, factor: int, wall: float) -> Optional[str]:
     """Record a steady-state sample; returns ``"deopt"`` when the pinned
     choice just regressed past the threshold (the pin is dropped and the
     next :func:`decision` re-measures)."""
-    entry = _load_entry(fp, engine)
-    samples = entry["samples"].setdefault(str(factor), [])
-    samples.append(wall)
-    del samples[:-MAX_SAMPLES]
-    pinned = entry.get("pinned")
     event = None
-    if pinned and int(pinned["factor"]) == int(factor):
-        if wall < pinned["wall"]:
-            # New best: ratchet the baseline down and forgive the window.
-            pinned["wall"] = wall
-            entry["recent"] = []
-        else:
-            recent = entry.setdefault("recent", [])
-            recent.append(wall)
-            del recent[:-DEOPT_WINDOW]
-            if (len(recent) >= DEOPT_WINDOW
-                    and min(recent) > DEOPT_RATIO * pinned["wall"]):
-                _STATS["deopts"] += 1
-                entry["deopts"] = int(entry.get("deopts", 0)) + 1
-                entry["pinned"] = None
+    with _entry_lock(fp, engine):
+        entry = _load_entry(fp, engine)
+        samples = entry["samples"].setdefault(str(factor), [])
+        samples.append(wall)
+        del samples[:-MAX_SAMPLES]
+        pinned = entry.get("pinned")
+        if pinned and int(pinned["factor"]) == int(factor):
+            if wall < pinned["wall"]:
+                # New best: ratchet the baseline down and forgive the window.
+                pinned["wall"] = wall
                 entry["recent"] = []
-                event = "deopt"
-                telemetry.record_autotune(
-                    "deopt",
-                    {"fingerprint": fp, "engine": engine, "factor": factor,
-                     "wall": wall, "baseline": pinned["wall"]},
-                )
-    _store_entry(entry)
+            else:
+                recent = entry.setdefault("recent", [])
+                recent.append(wall)
+                del recent[:-DEOPT_WINDOW]
+                if (len(recent) >= DEOPT_WINDOW
+                        and min(recent) > DEOPT_RATIO * pinned["wall"]):
+                    _STATS["deopts"] += 1
+                    entry["deopts"] = int(entry.get("deopts", 0)) + 1
+                    entry["pinned"] = None
+                    entry["recent"] = []
+                    event = "deopt"
+                    telemetry.record_autotune(
+                        "deopt",
+                        {"fingerprint": fp, "engine": engine, "factor": factor,
+                         "wall": wall, "baseline": pinned["wall"]},
+                    )
+        _store_entry(entry)
     return event

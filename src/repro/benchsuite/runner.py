@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from .. import autotune, faultinject, telemetry
+from .. import autotune, diskcache, faultinject, shard, telemetry
 from ..backend.batch import batching_request
 from ..backend.machine import AVX512, ExecStats, Machine
 from ..driver import compile_autovec, compile_ispc, compile_parsimony, compile_scalar
@@ -203,8 +203,28 @@ def run_impl(spec: KernelSpec, impl: str, machine: Machine = AVX512,
     # Interpreter stats accumulate across run() calls; start this
     # measurement from a known-zero state.
     interp.reset_stats()
+    shards = shard.shard_count()
+    shard_report = None
     start = time.perf_counter()
-    returned = interp.run("kernel", *addrs, *workload.scalars)
+    if shards >= 2:
+        # Supervised multi-process execution (REPRO_SHARDS): bitwise
+        # identical to the in-process engine, or an in-process run with a
+        # ``rejected``/``degraded`` shard report — see :mod:`repro.shard`.
+        recipe = None
+        if impl == "parsimony" and autotune_info is None and diskcache.enabled():
+            recipe = {"source": spec.psim_src,
+                      "module_name": f"{spec.name}.parsimony"}
+        engine = shard.run_sharded(
+            module, "kernel", (*addrs, *workload.scalars),
+            machine=machine, memory=interp.memory, shards=shards,
+            predecode=predecode, superinstructions=superinstructions,
+            label=f"{spec.name}/{impl}", recipe=recipe,
+        )
+        returned = engine.returned
+        shard_report = engine.report
+    else:
+        engine = interp
+        returned = interp.run("kernel", *addrs, *workload.scalars)
     wall = time.perf_counter() - start
     batch = None
     if "batch_factor" in module.attrs:
@@ -212,7 +232,7 @@ def run_impl(spec: KernelSpec, impl: str, machine: Machine = AVX512,
             "factor": module.attrs["batch_factor"],
             "applied": len(module.attrs.get("batch_applied", ())),
             "rejected": len(module.attrs.get("batch_rejected", ())),
-            "replays": interp.batch_replays,
+            "replays": engine.batch_replays,
         }
     if autotune_info is not None:
         # The telemetered run doubles as a steady-state sample; a pinned
@@ -223,9 +243,9 @@ def run_impl(spec: KernelSpec, impl: str, machine: Machine = AVX512,
                             autotune_info["factor"], wall) == "deopt":
             autotune_info["deopt"] = True
     telemetry.record_vm_run(
-        f"{spec.name}/{impl}", interp.stats, interp.hotspots(),
-        fusion=interp.fusion_report(), wall_seconds=wall, batch=batch,
-        autotune=autotune_info,
+        f"{spec.name}/{impl}", engine.stats, engine.hotspots(),
+        fusion=engine.fusion_report(), wall_seconds=wall, batch=batch,
+        autotune=autotune_info, shard=shard_report,
     )
     outputs = [
         interp.memory.read_array(addrs[idx], workload.arrays[idx].dtype,
@@ -234,8 +254,8 @@ def run_impl(spec: KernelSpec, impl: str, machine: Machine = AVX512,
     ]
     return KernelResult(
         impl=impl,
-        cycles=interp.stats.cycles,
-        stats=interp.stats,
+        cycles=engine.stats.cycles,
+        stats=engine.stats,
         outputs=outputs,
         returned=returned if workload.returns_value else None,
     )

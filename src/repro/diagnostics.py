@@ -141,6 +141,39 @@ class ReproError(Exception):
         self.diagnostic = diagnostic
         super().__init__(diagnostic.format())
 
+    def __reduce__(self):
+        """Pickle by reconstructing from the structured :class:`Diagnostic`.
+
+        The default ``BaseException`` reduce re-runs ``__init__`` with the
+        *formatted* message, which demotes the structured provenance
+        (stage/pass/function/detail) to free text and silently drops the
+        ``__cause__``/``__context__`` chain.  Shard workers ship errors to
+        the supervisor over a pipe, so the round-trip must be lossless.
+        """
+        attrs = {k: v for k, v in self.__dict__.items() if k != "diagnostic"}
+        return (
+            _restore_error,
+            (type(self), self.diagnostic, attrs, self.__cause__,
+             self.__context__, self.__suppress_context__),
+        )
+
+
+def _restore_error(cls, diagnostic, attrs, cause, context, suppress_context):
+    """Unpickle hook for :class:`ReproError` (see ``__reduce__``).
+
+    Bypasses the subclass ``__init__`` (builtin mixins like ``SyntaxError``
+    have incompatible signatures) and rebuilds the instance field by field.
+    """
+    exc = cls.__new__(cls)
+    BaseException.__init__(exc, diagnostic.format())
+    exc.diagnostic = diagnostic
+    if attrs:
+        exc.__dict__.update(attrs)
+    exc.__cause__ = cause
+    exc.__context__ = context
+    exc.__suppress_context__ = suppress_context
+    return exc
+
 
 def attach_location(
     exc: BaseException,

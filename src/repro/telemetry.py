@@ -44,7 +44,9 @@ __all__ = [
 
 #: v3: autotuner evidence — ``vm.autotune`` events/totals and the chosen
 #: configuration on each VM run.
-SCHEMA = "repro-telemetry/3"
+#: v4: sharded-execution evidence — a per-run ``shard`` record (mode,
+#: shard/worker counts, retries, degradations) and ``vm.shard.*`` totals.
+SCHEMA = "repro-telemetry/4"
 DIFF_SCHEMA = "repro-telemetry-diff/2"
 
 
@@ -162,6 +164,7 @@ class Telemetry:
         wall_seconds: Optional[float] = None,
         batch: Optional[Dict[str, object]] = None,
         autotune: Optional[Dict[str, object]] = None,
+        shard: Optional[Dict[str, object]] = None,
     ) -> None:
         entry: Dict[str, object] = {
             "label": label,
@@ -180,6 +183,11 @@ class Telemetry:
             # The chosen engine/batch configuration and why it was chosen
             # (pinned profile, fresh measurement, deopt, ...).
             entry["autotune"] = dict(autotune)
+        if shard is not None:
+            # The merged supervisor report for a sharded launch: mode
+            # (sharded / rejected / degraded variants), shard and worker
+            # counts, retries, and per-shard degradations.
+            entry["shard"] = dict(shard)
         self.vm_runs.append(entry)
 
     def record_autotune(self, event: str, info: Dict[str, object]) -> None:
@@ -257,6 +265,25 @@ class Telemetry:
                 totals[key] += 1
         return totals
 
+    def vm_shard_totals(self) -> Dict[str, int]:
+        """Sharded-execution counters summed over runs, flattened to the
+        ``vm.shard.*`` keys the shard-smoke CI job reads: launches that ran
+        sharded, shard retries, recorded per-shard degradations, and
+        launches the legality analysis rejected back to in-process."""
+        totals = {"vm.shard.sharded": 0, "vm.shard.retries": 0,
+                  "vm.shard.degraded": 0, "vm.shard.rejected": 0}
+        for run in self.vm_runs:
+            shard = run.get("shard")
+            if not shard:
+                continue
+            if shard.get("mode") == "rejected":
+                totals["vm.shard.rejected"] += 1
+            else:
+                totals["vm.shard.sharded"] += 1
+            totals["vm.shard.retries"] += int(shard.get("retries", 0))
+            totals["vm.shard.degraded"] += int(shard.get("degraded", 0))
+        return totals
+
     def vm_fuse_totals(self) -> Dict[str, int]:
         """Superinstruction hit counters summed over runs, flattened to the
         ``vm.fuse.<pattern>`` keys the perf-smoke CI job asserts on."""
@@ -290,6 +317,7 @@ class Telemetry:
                 "batch_totals": self.vm_batch_totals(),
                 "autotune": self.autotune_events,
                 "autotune_totals": self.vm_autotune_totals(),
+                "shard_totals": self.vm_shard_totals(),
             },
             "compile_cache": driver.compile_cache_stats(),
             "disk_cache": driver.disk_cache_stats(),
@@ -344,10 +372,10 @@ def record_vectorization(function_name, gang_size, shapes, memory_forms,
 
 
 def record_vm_run(label, stats, hotspots, fusion=None, wall_seconds=None,
-                  batch=None, autotune=None):
+                  batch=None, autotune=None, shard=None):
     if _current is not None:
         _current.record_vm_run(label, stats, hotspots, fusion, wall_seconds,
-                               batch, autotune)
+                               batch, autotune, shard)
 
 
 def record_autotune(event, info):
@@ -387,6 +415,8 @@ def _flat_counters(doc: Dict) -> Dict[str, float]:
         flat[key] = n  # already vm.batch.<counter>
     for key, n in doc.get("vm", {}).get("autotune_totals", {}).items():
         flat[key] = n  # already vm.autotune.<counter>
+    for key, n in doc.get("vm", {}).get("shard_totals", {}).items():
+        flat[key] = n  # already vm.shard.<counter>
     for section in ("compile_cache", "disk_cache"):
         for key, n in doc.get(section, {}).items():
             if isinstance(n, (int, float)):

@@ -368,6 +368,11 @@ class Interpreter:
         self.batch_replays = 0
         self._fallback_interp: Optional["Interpreter"] = None
         self._batch_cache: Dict[Instruction, tuple] = {}
+        #: When set (a ``repro.shard._ShardRun``), the top-level decoded
+        #: dispatch loop executes only this shard's slice of every matched
+        #: gang loop and rolls serial charges back on shards > 0 — see
+        #: :mod:`repro.shard`.  ``None`` = normal full execution.
+        self.shard = None
 
     # -- public API -----------------------------------------------------------------
 
@@ -385,7 +390,11 @@ class Interpreter:
         if (
             self.module.attrs.get("batch_fallback") is not None
             and not faultinject.active()
+            and self.shard is None
         ):
+            # Sharded runs bypass trap replay: a shard that traps fails the
+            # whole launch over to the supervisor's full in-process rerun,
+            # which takes this path and is authoritative.
             return self._run_replayable(function, argvals, args)
         return self._exec_function(function, argvals, depth=0)
 
@@ -610,8 +619,16 @@ class Interpreter:
             pending: Dict[str, int] = {}
         else:
             activity = pending = None  # type: ignore[assignment]
+        shard = self.shard
+        ctl = (shard.controller(function, self)
+               if shard is not None and depth == 0 else None)
         try:
             while True:
+                if ctl is not None:
+                    jump = ctl.step(block, prev, env)
+                    if jump is not None:
+                        prev, block = jump
+                        continue
                 d = decoded.get(block)
                 if d is None:
                     d = decoded[block] = self._decode_block(block, function)
@@ -620,6 +637,8 @@ class Interpreter:
                         d.batch, env, depth, function, prev, activity, pending
                     )
                     if done:
+                        if ctl is not None:
+                            ctl.finish()
                         return payload
                     prev, block = block, payload
                     continue
@@ -722,6 +741,8 @@ class Interpreter:
                     prev = block
                     block = term[4] if term[3](env) else term[5]
                 elif kind == _T_RET:
+                    if ctl is not None:
+                        ctl.finish()
                     resolver = term[3]
                     return resolver(env) if resolver is not None else None
                 else:

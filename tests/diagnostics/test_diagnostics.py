@@ -86,3 +86,65 @@ def test_catching_the_roots_spans_the_pipeline():
 
     with pytest.raises(CompileError):
         compile_parsimony("void kernel( {", module_name="syntaxerr")
+
+
+# -- pickling (issue 7: errors cross the shard supervisor's pipes) -------------
+
+
+def test_pickle_round_trip_preserves_provenance():
+    import pickle
+
+    err = ExecutionError(
+        "store out of bounds",
+        stage="vm",
+        function="kernel",
+        block="body",
+        instruction="st",
+        detail={"addr": 123, "shard": 2},
+    )
+    clone = pickle.loads(pickle.dumps(err))
+    assert type(clone) is ExecutionError
+    assert str(clone) == str(err)
+    diag = clone.diagnostic
+    assert diag.stage == "vm"
+    assert diag.function == "kernel"
+    assert diag.block == "body"
+    assert diag.instruction == "st"
+    assert diag.detail == {"addr": 123, "shard": 2}
+
+
+def test_pickle_round_trip_preserves_cause_chain():
+    import pickle
+
+    try:
+        try:
+            raise ValueError("root cause")
+        except ValueError as inner:
+            raise ExecutionError(
+                "trap while replaying", stage="vm", pass_name="batch"
+            ) from inner
+    except ExecutionError as outer:
+        err = outer
+    clone = pickle.loads(pickle.dumps(err))
+    assert clone.diagnostic.pass_name == "batch"
+    assert isinstance(clone.__cause__, ValueError)
+    assert str(clone.__cause__) == "root cause"
+    assert clone.__suppress_context__
+
+
+def test_pickle_round_trip_builtin_mixin_subclasses():
+    """Subclasses rebasing onto builtin exceptions (SyntaxError/TypeError
+    mixins) have incompatible __init__ signatures; the restore path must
+    bypass them."""
+    import pickle
+
+    from repro.frontend.lexer import LexError
+    from repro.frontend.sema import SemaError
+
+    lex = pickle.loads(pickle.dumps(LexError("bad token", stage="lexer")))
+    assert isinstance(lex, SyntaxError)
+    assert lex.diagnostic.stage == "lexer"
+
+    sema = pickle.loads(pickle.dumps(SemaError(3, "bad cast")))
+    assert isinstance(sema, TypeError)
+    assert sema.diagnostic.message == "line 3: bad cast"

@@ -27,13 +27,20 @@ local soak runs scale it up via the environment::
     REPRO_FUZZ_N=500 python -m pytest tests/fuzz -q
 """
 
+import atexit
 import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
 
 import numpy as np
 import pytest
 
+from repro import diskcache, shard
 from repro.benchsuite.fuzzgen import N_THREADS, generate_kernel, workload_arrays
-from repro.driver import compile_parsimony
+from repro.driver import clear_compile_cache, compile_parsimony
 from repro.faultinject import FaultPlan, inject
 from repro.vm import Interpreter
 
@@ -50,6 +57,25 @@ _BATCH_EVERY = 3
 #: Tally of how those forced-batch compiles landed, so the suite can
 #: assert the batching layer actually engages on the fuzz corpus.
 _BATCH_CORPUS = {"batched": 0, "rejected": 0}
+
+#: Every ~25th seed additionally runs the cross-process differential:
+#: compile + persist in a *subprocess* (disk cache), rehydrate in the
+#: parent, run sharded across worker processes, compare bitwise.
+_XPROC_EVERY = 25
+
+#: Tally of how the sharded launches landed (legality rejections are
+#: fine; a corpus where sharding never engages fuzzes a dead layer).
+_XPROC_CORPUS = {"sharded": 0, "rejected": 0}
+
+_XPROC_DIR = None
+
+
+def _xproc_cache_dir():
+    global _XPROC_DIR
+    if _XPROC_DIR is None:
+        _XPROC_DIR = tempfile.mkdtemp(prefix="repro-fuzz-xproc-")
+        atexit.register(shutil.rmtree, _XPROC_DIR, ignore_errors=True)
+    return _XPROC_DIR
 
 
 def _run(module, seed):
@@ -109,6 +135,9 @@ def test_differential_fuzz_kernel(seed):
     if seed % _BATCH_EVERY == 0:
         _batched_differential(kernel, seed, plain_out, context)
 
+    if seed % _XPROC_EVERY == 1:
+        _cross_process_differential(kernel, seed, plain_out, context)
+
 
 def _batched_differential(kernel, seed, plain_out, context):
     """Forced-batch build vs unbatched build: outputs and ExecStats."""
@@ -143,6 +172,75 @@ def _batched_differential(kernel, seed, plain_out, context):
         f"batched per-opcode counts diverge: {context}")
 
 
+def _run_sharded(module, seed, shards=3):
+    """Like :func:`_run`, but through the supervised multi-process engine."""
+    A, B, C, OUT, IOUT, sv, si = workload_arrays(seed)
+    interp = Interpreter(module)
+    addrs = [interp.memory.alloc_array(a) for a in (A, B, C, OUT, IOUT)]
+    result = shard.run_sharded(
+        module, "kernel", (*addrs, sv, si, N_THREADS),
+        memory=interp.memory, shards=shards,
+    )
+    outputs = (
+        interp.memory.read_array(addrs[3], np.float32, N_THREADS),
+        interp.memory.read_array(addrs[4], np.int32, N_THREADS),
+    )
+    return outputs, result.stats, result.report
+
+
+def _cross_process_differential(kernel, seed, plain_out, context):
+    """Compile + persist in a subprocess, rehydrate from the disk cache in
+    the parent, run sharded across worker processes: outputs and ExecStats
+    must agree bitwise end-to-end."""
+    cache_dir = _xproc_cache_dir()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+    env["REPRO_CACHE_DIR"] = cache_dir
+    env["REPRO_DISK_CACHE"] = "1"
+    child = (
+        "import sys\n"
+        "from repro import diskcache\n"
+        "from repro.driver import compile_parsimony\n"
+        "compile_parsimony(sys.stdin.read())\n"
+        "stats = diskcache.stats()\n"
+        "assert stats['writes'] + stats['hits'] >= 1, stats\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", child], input=kernel.source.encode(),
+        env=env, capture_output=True, timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"child compile failed: {proc.stderr.decode()[-500:]}\n{context}"
+    )
+
+    saved_dir = os.environ.get("REPRO_CACHE_DIR")
+    clear_compile_cache()  # force the parent through the disk layer
+    os.environ["REPRO_CACHE_DIR"] = cache_dir
+    diskcache.set_enabled(True)
+    diskcache.reset_stats()
+    try:
+        module = compile_parsimony(kernel.source)
+        assert diskcache.stats()["hits"] >= 1, (diskcache.stats(), context)
+    finally:
+        diskcache.set_enabled(None)
+        if saved_dir is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = saved_dir
+
+    ref_out, ref_stats = _run(module, seed)
+    _assert_same(ref_out, plain_out, f"rehydrated vs plain: {context}")
+    got_out, got_stats, report = _run_sharded(module, seed)
+    _XPROC_CORPUS["sharded" if report["mode"] == "sharded" else "rejected"] += 1
+    _assert_same(got_out, ref_out, f"sharded vs in-process: {context}")
+    assert got_stats.cycles == ref_stats.cycles, (
+        f"sharded cycles diverge: {context}")
+    assert got_stats.instructions == ref_stats.instructions, (
+        f"sharded instruction count diverges: {context}")
+    assert dict(got_stats.counts) == dict(ref_stats.counts), (
+        f"sharded per-opcode counts diverge: {context}")
+
+
 def test_zz_corpus_exercised_partial_fallback():
     """Runs after the matrix above (pytest preserves file order): the corpus
     must have engaged the region-granular path, not just whole-function."""
@@ -156,3 +254,13 @@ def test_zz_corpus_exercised_batching():
     where batching never applies means the hook fuzzes a dead layer)."""
     assert sum(_BATCH_CORPUS.values()) == len(range(0, FUZZ_N, _BATCH_EVERY))
     assert _BATCH_CORPUS["batched"] > 0, _BATCH_CORPUS
+
+
+def test_zz_corpus_exercised_cross_process_sharding():
+    """The cross-process differential must have run on every ~25th seed
+    and actually sharded kernels across worker processes."""
+    expected = len([s for s in range(FUZZ_N) if s % _XPROC_EVERY == 1])
+    if expected == 0:
+        pytest.skip("FUZZ_N too small for the cross-process cadence")
+    assert sum(_XPROC_CORPUS.values()) == expected
+    assert _XPROC_CORPUS["sharded"] > 0, _XPROC_CORPUS
