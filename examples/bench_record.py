@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Record the engine's wall-clock trajectory as a benchmark artifact.
 
-    python examples/bench_record.py [--out BENCH_5.json] [--kernels a,b]
+    python examples/bench_record.py [--out BENCH_8.json] [--kernels a,b]
                                     [--reps 2] [--min-geomean 1.0]
+                                    [--min-codegen-geomean 1.0]
                                     [--autotune]
 
 Runs every fig4 kernel's Parsimony build under the engine generations
@@ -13,21 +14,25 @@ that successive PRs stacked on the interpreter —
 * ``fused``       — decode-level superinstructions on, batching off
                     (the PR 4 engine);
 * ``batched``     — gang batching on top of fusion (the PR 5 engine);
-* ``autotuned``   — profile-guided engine/batch selection
+* ``codegen``     — whole-kernel codegen on top of batching: the whole
+                    kernel compiled to one generated Python function,
+                    the dispatch loop retired (the PR 8 engine);
+* ``autotuned``   — profile-guided engine/batch/codegen selection
                     (``--autotune``: the PR 6 engine, ``REPRO_AUTOTUNE=1``)
 
 — asserts all configurations agree bitwise on outputs *and*
 ``ExecStats`` (every layer is accounting-transparent by contract), and
 writes a JSON artifact with per-kernel wall-clock for each generation
-plus the batched-vs-fused geomean speedup.  With ``--autotune`` the
-artifact and the table also record which batch configuration the tuner
-selected for each kernel and why (the measured candidate ranking).
-Exits non-zero on any divergence or if the geomean falls below
-``--min-geomean``.
+plus the batched-vs-fused and codegen-vs-batched geomean speedups.
+With ``--autotune`` the artifact and the table also record which
+configuration the tuner selected for each kernel and why (the measured
+candidate ranking).  Exits non-zero on any divergence or if either
+geomean falls below its floor (``--min-geomean``,
+``--min-codegen-geomean``).
 
 The artifact is the PR-over-PR trajectory record: CI uploads one per
-run, and the checked-in ``BENCH_5.json`` snapshots the machine that
-validated this PR's ≥1.4× acceptance bar.
+run, and the checked-in ``BENCH_8.json`` snapshots the machine that
+validated this PR's ≥1.5× codegen-vs-batched acceptance bar.
 """
 
 import argparse
@@ -41,31 +46,38 @@ from repro import telemetry
 from repro.benchsuite import geomean, run_impl
 from repro.benchsuite.ispc_suite import BENCHMARKS
 
-CONFIGS = ("predecoded", "fused", "batched")
+CONFIGS = ("predecoded", "fused", "batched", "codegen")
 
 
-def _run(session, spec, config, reps):
-    """Best-of-``reps`` VM wall-clock for one engine configuration.
+def _run_once(session, spec, config):
+    """One VM run of ``config``; returns ``(result, wall, autotune)``.
 
     Wall-clock covers ``interp.run`` only (the telemetry measurement),
     not compilation or workload setup — the trajectory tracks execution
     engine cost, and the compile cache already absorbs rebuilds.  The
     ``autotuned`` configuration's measurement sweep is untelemetered, so
     its wall-clock is the pinned configuration's steady-state cost.
+
+    Reps are interleaved round-robin across configurations by the
+    caller: a slow machine phase (CPU quota throttling, a noisy
+    neighbor) then lands on every configuration instead of biasing
+    whichever block of reps it overlapped.
     """
     no_batch = config in ("predecoded", "fused")
     fuse = config != "predecoded"
+    # Explicit False freezes ambient REPRO_CODEGEN out of the ladder
+    # configs; the autotuned config passes None so the tuner owns the
+    # codegen leg along with the batch factor.
+    codegen = {"codegen": True, "autotuned": None}.get(config, False)
     try:
         if no_batch:
             os.environ["REPRO_NO_BATCH"] = "1"
         if config == "autotuned":
             os.environ["REPRO_AUTOTUNE"] = "1"
-        result = None
-        for _ in range(reps):
-            result = run_impl(spec, "parsimony", superinstructions=fuse)
-        runs = session.vm_runs[-reps:]
-        wall = min(r.get("wall_seconds") or 0.0 for r in runs)
-        return result, wall, runs[-1].get("autotune")
+        result = run_impl(spec, "parsimony", superinstructions=fuse,
+                          codegen=codegen)
+        run = session.vm_runs[-1]
+        return result, run.get("wall_seconds") or 0.0, run.get("autotune")
     finally:
         os.environ.pop("REPRO_NO_BATCH", None)
         os.environ.pop("REPRO_AUTOTUNE", None)
@@ -73,14 +85,18 @@ def _run(session, spec, config, reps):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_5.json", metavar="PATH",
-                        help="artifact path (default: BENCH_5.json)")
+    parser.add_argument("--out", default="BENCH_8.json", metavar="PATH",
+                        help="artifact path (default: BENCH_8.json)")
     parser.add_argument("--kernels", metavar="NAMES",
                         help="comma-separated subset of fig4 kernels")
     parser.add_argument("--reps", type=int, default=2,
-                        help="timing repetitions per configuration (min wins)")
+                        help="timing repetitions per configuration, "
+                             "interleaved round-robin (min wins)")
     parser.add_argument("--min-geomean", type=float, default=1.0,
                         help="fail if batched-vs-fused geomean drops below this")
+    parser.add_argument("--min-codegen-geomean", type=float, default=1.0,
+                        help="fail if codegen-vs-batched geomean drops "
+                             "below this")
     parser.add_argument("--autotune", action="store_true",
                         help="also run the profile-guided autotuned "
                              "configuration (REPRO_AUTOTUNE=1) and record "
@@ -99,15 +115,19 @@ def main():
     failures = []
     kernels = {}
     print(f"{'kernel':20s}" + "".join(f"{c:>14s}" for c in configs)
-          + f"{'batched x':>12s}")
+          + f"{'batched x':>12s}{'codegen x':>12s}")
     with telemetry.collect() as session:
         for spec in specs:
-            results, walls, tuned = {}, {}, None
-            for config in configs:
-                results[config], walls[config], info = _run(
-                    session, spec, config, args.reps)
-                if config == "autotuned":
-                    tuned = info
+            results, tuned = {}, None
+            samples = {config: [] for config in configs}
+            for _ in range(args.reps):
+                for config in configs:
+                    results[config], wall, info = _run_once(
+                        session, spec, config)
+                    samples[config].append(wall)
+                    if config == "autotuned":
+                        tuned = info
+            walls = {config: min(s) for config, s in samples.items()}
 
             base = results["predecoded"]
             for config in configs[1:]:
@@ -123,32 +143,39 @@ def main():
                     failures.append(f"{spec.name}: {config} outputs diverge")
 
             speedup = walls["fused"] / walls["batched"] if walls["batched"] else None
+            cg_speedup = (walls["batched"] / walls["codegen"]
+                          if walls["codegen"] else None)
             kernels[spec.name] = {
                 "wall_seconds": walls,
                 "cycles": base.stats.cycles,
                 "instructions": base.stats.instructions,
                 "batched_speedup": speedup,
+                "codegen_speedup": cg_speedup,
             }
             if tuned is not None:
                 kernels[spec.name]["autotune"] = tuned
             print(f"{spec.name:20s}"
                   + "".join(f"{walls[c] * 1e3:12.1f}ms" for c in configs)
-                  + f"{speedup:12.2f}")
+                  + f"{speedup:12.2f}{cg_speedup:12.2f}")
             if tuned is not None:
                 print(f"{'':20s}  autotune chose B={tuned['factor']}: "
                       f"{tuned['reason']}")
 
     gm = geomean([k["batched_speedup"] for k in kernels.values()
                   if k["batched_speedup"]])
-    print("-" * (20 + 14 * len(configs) + 12))
+    gm_cg = geomean([k["codegen_speedup"] for k in kernels.values()
+                     if k["codegen_speedup"]])
+    print("-" * (20 + 14 * len(configs) + 24))
     print(f"{'geomean batched-vs-fused':48s}{gm:18.2f}")
+    print(f"{'geomean codegen-vs-batched':48s}{gm_cg:18.2f}")
 
     doc = {
         "schema": "repro-bench/1",
-        "pr": 6,
+        "pr": 8,
         "configs": list(configs),
         "kernels": kernels,
         "geomean_batched_speedup": gm,
+        "geomean_codegen_speedup": gm_cg,
     }
     with open(args.out, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
@@ -158,6 +185,10 @@ def main():
     if gm < args.min_geomean:
         failures.append(
             f"batched-vs-fused geomean {gm:.2f} below floor {args.min_geomean}")
+    if gm_cg < args.min_codegen_geomean:
+        failures.append(
+            f"codegen-vs-batched geomean {gm_cg:.2f} below floor "
+            f"{args.min_codegen_geomean}")
     if failures:
         print("\nBENCH-RECORD FAILURES:", file=sys.stderr)
         for f in failures:

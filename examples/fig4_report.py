@@ -9,12 +9,16 @@ benchmarks, normalized to LLVM auto-vectorization (paper §6).
 ``--kernels`` selects an arbitrary comma-separated subset;
 ``--telemetry PATH`` collects pipeline observability — pass timings,
 vectorizer shape/memory-form counters, per-function VM cycle
-attribution, ``vm.fuse.*`` superinstruction counters — and writes it as
+attribution, ``vm.fuse.*`` superinstruction counters, and
+``vm.codegen.*`` whole-kernel-codegen counters — and writes it as
 structured JSON.  ``--no-fuse`` disables the VM's decode-level
 superinstructions; ``--disk-cache`` enables the persistent compile cache;
 ``--autotune`` enables the profile-guided engine/batch selector
 (``REPRO_AUTOTUNE=1``) and prints, per kernel, which batch configuration
-it chose and why (pinned profile vs fresh measurement sweep).
+it chose and why (pinned profile vs fresh measurement sweep);
+``--codegen`` runs the VM through whole-kernel codegen
+(``REPRO_CODEGEN=1``) and prints, per kernel, the compile/cache/bailout
+activity.
 
 ``--telemetry-diff OLD NEW`` compares two telemetry documents PR-over-PR
 (per-pass timing, per-kernel cycles/wall-clock, every counter) and prints
@@ -109,6 +113,36 @@ def _print_autotune(session):
         print(f"  {label:28s} B={at['factor']:<3d} [{at['state']}] "
               f"{at['reason']}")
     totals = session.vm_autotune_totals()
+    print(f"  totals: " + ", ".join(f"{k}={v}" for k, v in totals.items()))
+
+
+def _print_codegen(session):
+    """Per-kernel whole-kernel-codegen report (``--codegen``).
+
+    Shows the *last* codegen record per run label (the steady state:
+    later runs rehydrate compiled code from the in-process or disk
+    cache) plus the session's ``vm.codegen.*`` counter totals.
+    """
+    print()
+    print("codegen activity (whole-kernel compiled dispatch)")
+    latest = {}
+    for run in session.vm_runs:
+        if run.get("codegen"):
+            latest[run["label"]] = run["codegen"]
+    if not latest:
+        print("  none recorded — codegen disabled or overridden by "
+              "REPRO_NO_CODEGEN")
+        return
+    for label, cg in latest.items():
+        bailouts = cg.get("bailouts") or {}
+        note = (f"bailouts={dict(bailouts)}" if bailouts
+                else "no bailouts")
+        print(f"  {label:28s} compiles={cg.get('compiles', 0)} "
+              f"cache_hits={cg.get('cache_hits', 0)} "
+              f"disk_hits={cg.get('disk_hits', 0)} "
+              f"calls={cg.get('calls', 0)} "
+              f"replays={cg.get('replays', 0)} {note}")
+    totals = session.vm_codegen_totals()
     print(f"  totals: " + ", ".join(f"{k}={v}" for k, v in totals.items()))
 
 
@@ -208,6 +242,11 @@ def main():
              "(sets REPRO_AUTOTUNE=1) and report the decisions",
     )
     parser.add_argument(
+        "--codegen", action="store_true",
+        help="run kernels through whole-kernel codegen "
+             "(sets REPRO_CODEGEN=1) and report compile/bailout activity",
+    )
+    parser.add_argument(
         "--per-function", action="store_true",
         help="with --telemetry: print per-function pass-timing breakdowns; "
              "with --telemetry-diff: diff them",
@@ -228,6 +267,8 @@ def main():
         os.environ["REPRO_NO_BATCH"] = "1"
     if args.autotune:
         os.environ["REPRO_AUTOTUNE"] = "1"
+    if args.codegen:
+        os.environ["REPRO_CODEGEN"] = "1"
     if args.disk_cache:
         set_disk_cache(True)
 
@@ -243,14 +284,16 @@ def main():
 
     superinstructions = False if args.no_fuse else None
 
-    if args.telemetry or args.autotune:
-        # --autotune collects a session even without --telemetry: the
-        # decision report reads the per-run autotune records.
+    if args.telemetry or args.autotune or args.codegen:
+        # --autotune/--codegen collect a session even without
+        # --telemetry: their reports read the per-run records.
         with telemetry.collect() as session:
             report(specs, superinstructions)
         _print_degradations(session)
         if args.autotune:
             _print_autotune(session)
+        if args.codegen:
+            _print_codegen(session)
         if args.per_function:
             _print_per_function_timings(session)
         if args.telemetry:

@@ -4,18 +4,24 @@
     python examples/perf_smoke.py [--kernels a,b] [--impls scalar,parsimony]
                                   [--out telemetry.json] [--autotune]
 
-Runs each selected kernel under the pre-decoded VM in three configurations
-— batched+fused (the default engine), batched+unfused, and unbatched+fused
-(``REPRO_NO_BATCH=1``) — and **fails (exit 1)** if:
+Runs each selected kernel under the pre-decoded VM in four configurations
+— batched+fused (the default engine), batched+unfused, unbatched+fused
+(``REPRO_NO_BATCH=1``), and whole-kernel codegen (``codegen=True``, the
+top of the engine ladder) — and **fails (exit 1)** if:
 
 * any configuration's outputs diverge bit-for-bit from any other,
 * any configuration's ``ExecStats`` (cycles, instructions, per-opcode
-  counts) diverge (the accounting-transparency contract: neither fusion
-  nor gang batching may change what the machine model charges),
+  counts) diverge (the accounting-transparency contract: neither fusion,
+  gang batching, nor whole-kernel codegen may change what the machine
+  model charges),
 * any kernel/impl records zero ``vm.fuse.window`` hits on the unbatched
   fused run,
 * the parsimony implementation never engages gang batching across the
-  sweep (``vm.batch.applied`` stays zero — the layer silently died).
+  sweep (``vm.batch.applied`` stays zero — the layer silently died),
+* the codegen engine never compiles a kernel across the sweep
+  (``vm.codegen.calls`` stays zero — every kernel bailed out), or a
+  kernel where codegen *did* engage runs slower than the codegen floor
+  (default 0.9× the batched engine, measured interleaved).
 
 ``--autotune`` adds a fourth configuration for the parsimony
 implementation: profile-guided selection (``REPRO_AUTOTUNE=1``).  It
@@ -37,10 +43,11 @@ without a recorded retry/degradation, or never fires at all on a sharded
 launch.
 
 ``--out`` writes the collected telemetry JSON (flattened ``vm.fuse.*``,
-``vm.batch.*``, ``vm.autotune.*``, and ``vm.shard.*`` counters, per-run
-wall-clock) for upload as a CI artifact; per-kernel wall-clock for all
-configurations plus the fused-vs-unfused, batched-vs-unbatched, and
-autotuned-vs-unbatched ratios land in ``meta.perf_smoke``.
+``vm.batch.*``, ``vm.autotune.*``, ``vm.shard.*``, and ``vm.codegen.*``
+counters, per-run wall-clock) for upload as a CI artifact; per-kernel
+wall-clock for all configurations plus the fused-vs-unfused,
+batched-vs-unbatched, codegen-vs-batched, and autotuned-vs-unbatched
+ratios land in ``meta.perf_smoke``.
 """
 
 import argparse
@@ -98,6 +105,10 @@ def main():
                         metavar="RATIO",
                         help="minimum unbatched/autotuned wall-clock ratio "
                              "(default: 0.95)")
+    parser.add_argument("--codegen-floor", type=float, default=0.9,
+                        metavar="RATIO",
+                        help="minimum batched/codegen wall-clock ratio for "
+                             "kernels where codegen engaged (default: 0.9)")
     parser.add_argument("--shards", type=int, default=0, metavar="N",
                         help="also sweep the sharded multi-process executor "
                              "(REPRO_SHARDS=N) and fail on any divergence "
@@ -118,6 +129,8 @@ def main():
     saved_no_batch = os.environ.get("REPRO_NO_BATCH")
     saved_autotune = os.environ.get("REPRO_AUTOTUNE")
     saved_shards = os.environ.get("REPRO_SHARDS")
+    saved_codegen = os.environ.get("REPRO_CODEGEN")
+    saved_no_codegen = os.environ.get("REPRO_NO_CODEGEN")
     with telemetry.collect() as session:
         for spec in specs:
             for impl in impls:
@@ -128,6 +141,8 @@ def main():
                 os.environ.pop("REPRO_NO_BATCH", None)
                 os.environ.pop("REPRO_AUTOTUNE", None)
                 os.environ.pop("REPRO_SHARDS", None)
+                os.environ.pop("REPRO_CODEGEN", None)
+                os.environ.pop("REPRO_NO_CODEGEN", None)
                 fused, fused_run, wall_f = _timed_pair(
                     session, spec, impl, superinstructions=True)
                 unfused, _, wall_uf = _timed_pair(
@@ -138,6 +153,24 @@ def main():
                         session, spec, impl, superinstructions=True)
                 finally:
                     os.environ.pop("REPRO_NO_BATCH", None)
+                # Whole-kernel codegen: same interleaved idiom as the
+                # autotune floor — alternating batched/codegen samples so
+                # machine-phase noise lands on both sides of the ratio.
+                # The first codegen run pays the one-time compile; min(3)
+                # reports the steady-state call-through cost.
+                walls_cgb, walls_cg = [], []
+                cgres = cg_run = None
+                for _ in range(3):
+                    run_impl(spec, impl, superinstructions=True)
+                    walls_cgb.append(
+                        session.vm_runs[-1].get("wall_seconds") or 0.0)
+                    cgres = run_impl(spec, impl, superinstructions=True,
+                                     codegen=True)
+                    cg_run = session.vm_runs[-1]
+                    walls_cg.append(cg_run.get("wall_seconds") or 0.0)
+                wall_cgb, wall_cg = min(walls_cgb), min(walls_cg)
+                cg_report = cg_run.get("codegen") or {}
+
                 tuned = tuned_run = wall_at = wall_nbi = None
                 if args.autotune and impl == "parsimony":
                     # The floor compares *interleaved* unbatched/autotuned
@@ -215,16 +248,39 @@ def main():
                 if not hits.get("window"):
                     failures.append(f"{name}: zero vm.fuse.window hits")
 
+                cg_stats_ok = _stats_equal(fused, cgres)
+                if not cg_stats_ok:
+                    failures.append(
+                        f"{name}: codegen ExecStats diverge from batched")
+                cg_out_ok = _outputs_equal(fused, cgres)
+                if not cg_out_ok:
+                    failures.append(
+                        f"{name}: codegen outputs diverge from batched")
+                # The floor only binds where codegen actually engaged: a
+                # bailed-out kernel runs the decoded engine on both sides
+                # of the ratio, so comparing it against the floor would
+                # just measure noise against itself.
+                cg_ratio = (wall_cgb / wall_cg) if wall_cg else None
+                if (cg_ratio is not None and cg_ratio < args.codegen_floor
+                        and cg_report.get("calls")):
+                    failures.append(
+                        f"{name}: codegen config runs at {cg_ratio:.2f}x "
+                        f"batched (< {args.codegen_floor} floor): "
+                        f"{cg_report}")
+
                 rows[name] = {
                     "wall_batched": wall_f,
                     "wall_unfused": wall_uf,
                     "wall_unbatched": wall_nb,
+                    "wall_codegen": wall_cg,
                     "dispatch_speedup": (wall_uf / wall_f) if wall_f else None,
                     "batch_speedup": (wall_nb / wall_f) if wall_f else None,
-                    "stats_identical": stats_ok and batch_stats_ok,
-                    "outputs_identical": out_ok and batch_out_ok,
+                    "codegen_speedup": cg_ratio,
+                    "stats_identical": stats_ok and batch_stats_ok and cg_stats_ok,
+                    "outputs_identical": out_ok and batch_out_ok and cg_out_ok,
                     "fuse_hits": dict(hits),
                     "batch": fused_run.get("batch"),
+                    "codegen": cg_report,
                 }
                 tuned_note = ""
                 if tuned is not None:
@@ -283,14 +339,18 @@ def main():
                         "faults_fired": len(fault_log),
                     }
                     shard_note = f"sharded={wall_sh * 1e3:7.1f}ms [{mode}] "
+                all_stats_ok = stats_ok and batch_stats_ok and cg_stats_ok
+                all_out_ok = out_ok and batch_out_ok and cg_out_ok
                 print(
                     f"{name:32s} unbatched={wall_nb * 1e3:7.1f}ms "
                     f"unfused={wall_uf * 1e3:7.1f}ms "
                     f"batched={wall_f * 1e3:7.1f}ms "
+                    f"codegen={wall_cg * 1e3:7.1f}ms "
                     f"{tuned_note}{shard_note}"
                     f"batchx={rows[name]['batch_speedup']:5.2f} "
-                    f"stats={'ok' if stats_ok and batch_stats_ok else 'DIVERGED'} "
-                    f"out={'ok' if out_ok and batch_out_ok else 'DIVERGED'}"
+                    f"cgx={cg_ratio:5.2f} "
+                    f"stats={'ok' if all_stats_ok else 'DIVERGED'} "
+                    f"out={'ok' if all_out_ok else 'DIVERGED'}"
                 )
 
     if saved_no_batch is not None:
@@ -299,12 +359,21 @@ def main():
         os.environ["REPRO_AUTOTUNE"] = saved_autotune
     if saved_shards is not None:
         os.environ["REPRO_SHARDS"] = saved_shards
+    if saved_codegen is not None:
+        os.environ["REPRO_CODEGEN"] = saved_codegen
+    if saved_no_codegen is not None:
+        os.environ["REPRO_NO_CODEGEN"] = saved_no_codegen
 
     session.meta["perf_smoke"] = rows
     fuse_totals = session.vm_fuse_totals()
     batch_totals = session.vm_batch_totals()
+    codegen_totals = session.vm_codegen_totals()
     print(f"\nvm.fuse totals: {fuse_totals}")
     print(f"vm.batch totals: {batch_totals}")
+    print(f"vm.codegen totals: {codegen_totals}")
+    if not codegen_totals.get("vm.codegen.calls"):
+        failures.append("whole-kernel codegen never ran a compiled kernel "
+                        "across the sweep (every kernel bailed out)")
     if args.autotune:
         autotune_totals = session.vm_autotune_totals()
         print(f"vm.autotune totals: {autotune_totals}")
@@ -335,7 +404,8 @@ def main():
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         sys.exit(1)
-    print("\nperf-smoke OK: batched/fused engines bit-identical to baseline")
+    print("\nperf-smoke OK: batched/fused/codegen engines bit-identical "
+          "to baseline")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,832 @@
+"""Whole-kernel codegen: one generated Python function per IR function.
+
+The engine ladder so far (reference → predecoded thunks →
+superinstruction windows → gang batching) still pays a Python-level
+fetch/decode step at every basic-block boundary: a dict lookup for the
+decoded block, per-phi resolver calls, tuple unpacks per body entry, and
+a terminator dispatch.  This module retires that loop entirely — at
+decode time it *linearizes* a function's structurized CFG into a single
+generated Python function over the live payloads:
+
+* every SSA value becomes a Python local (``v7``), so the per-value
+  ``env`` dict disappears along with its reads and writes;
+* natural loops become native ``while True:`` loops whose exit edges
+  lower to ``break`` — for vectorized divergent loops the loop condition
+  is the ``mask_any`` lane-mask reduction, i.e. the classic
+  ``while mask.any():`` shape — and backedges lower to a parallel phi
+  assignment plus ``continue``;
+* forward branches lower to ``if``/``else`` on the (already
+  mask-converted) scalar condition, with the structural join computed
+  from the immediate postdominator;
+* the superinstruction window emitter's expression inliner
+  (:meth:`Interpreter._inline_expr` / :meth:`Interpreter._value_impl`)
+  becomes the per-run expression generator inside the one function;
+* gang-batched blocks inline their narrow-prototype charging
+  (multiplicity × per-item cost, divergent-loop activity dicts) exactly
+  as :meth:`Interpreter._exec_batch_block` interprets it.
+
+Accounting contract
+-------------------
+
+``ExecStats`` stays bit-identical to the reference engine for every run
+that completes, and the trap-replay protocol covers the rest:
+
+* all charges of one basic block merge into a single prologue — one
+  cycles add, one instruction add, one counter update per distinct
+  opcode, one budget check.  Cycle costs are dyadic rationals well
+  inside float53 (the window emitter's bulk-charge argument), so the
+  merged sums are bit-identical to the reference engine's sequential
+  accumulation; instruction and opcode counts are integers and commute;
+* batched blocks fold their narrow-prototype charges the same way,
+  grouped by multiplicity spec: static multiplicities fold at emit time,
+  divergent ones resolve one ``_m`` per spec per execution (activity is
+  constant within a block — it only changes at backedge commits);
+* the per-block budget check traps **iff** the reference engine traps:
+  the instruction counter is monotone and every charging block checks,
+  so any reference-engine budget crossing fires a (possibly later) check
+  here, and a check here never fires unless the reference engine crossed
+  first;
+* a trap's exact trap-point stats, message, and memory effects come from
+  the **replay**: the codegen engine only ever runs under
+  :meth:`Interpreter._run_replayable`, which snapshots memory + stats,
+  rolls back on any ``VMTrap``/``MemoryError_``, and re-runs on the
+  predecoded twin (``codegen=False``), whose outcome is authoritative —
+  the same contract gang batching established.  The interpreter arms the
+  codegen engine *only* inside that wrapper, so fault-injected and
+  sharded runs (which skip the wrapper) transparently use the decoded
+  engine.
+
+Bailout taxonomy
+----------------
+
+Linearization is best-effort: any shape the structurer cannot express as
+native Python control flow raises :class:`CodegenBailout` with a reason
+(``multi-exit-loop``, ``multi-level-break``, ``block-re-emitted``,
+``opcode:<op>``, ``function-too-large``, ``injected-fault``, ...) and
+the function falls back to the decoded engine.  Reasons are tallied per
+interpreter and surface as ``vm.codegen.bailouts`` telemetry.
+
+Caching
+-------
+
+Generated source embeds only structure (costs as literals, opcode
+strings, hoisted-name wiring); payloads and impls bind at ``exec`` time
+through default arguments, so the *code object* is shareable.  Sources
+are cached process-wide and the compiled code objects persist across
+processes via :mod:`repro.diskcache` (``store_code``/``load_code``).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, List, Optional, Set, Tuple
+
+from .. import diskcache
+from ..ir.cfg import Loop, find_loops, reverse_postorder
+from ..ir.instructions import REDUCE_OPS
+from ..ir.module import BasicBlock, ExternalFunction, Function
+from ..ir.types import VectorType
+from ..ir.values import Constant, UndefValue, Value
+from ..vm.interp import (
+    _GROUP_OPS,
+    _budget_trap,
+    _constant_payload,
+    _undef_payload,
+)
+from ..vm.ops import VMTrap, gang_activity_count
+
+__all__ = ["CodegenBailout", "emit_function", "compiled_code", "bind_code"]
+
+#: Emission refuses functions above this static instruction count — the
+#: generated source would dwarf the decode win and slow ``compile()``.
+MAX_CODEGEN_INSTRS = 8000
+
+#: Emission refuses nesting deeper than this (the CPython tokenizer caps
+#: indentation at 100 levels; structured kernels sit far below this).
+MAX_NESTING = 40
+
+#: Virtual exit node for the postdominator computation.
+_EXIT = object()
+
+#: Generated source → compiled code object, shared across every
+#: interpreter in the process (the source embeds no payloads).
+_CODE_CACHE: Dict[str, object] = {}
+
+#: Hoisted prologue names rebuilt per interpreter (everything else in the
+#: bindings is interpreter-independent or re-derivable from a recipe).
+_FIXED_BINDINGS = frozenset(
+    ("_s", "_c", "_interp", "_mem", "_fname", "_trap", "_exec", "_gac", "_VMTrap")
+)
+
+#: Ops whose ``_value_impl`` closure captures interpreter state (memory,
+#: or the interpreter itself for cross-lane reduces) and must be rebuilt
+#: when a cached emission rebinds to another interpreter; every other
+#: impl closure depends only on the instruction and is shared.
+_REBIND_OPS = REDUCE_OPS | frozenset(
+    ("load", "store", "vload", "vstore", "gather", "scatter",
+     "alloca", "atomicrmw")
+)
+
+#: Key → [(machine, cost_model, source, recipe, bailout_reason)]:
+#: emission (linearization + postdominators) amortizes across fresh
+#: interpreters — and, via the driver's ``emit_key`` stamps, across
+#: fresh compile-cache clones — of the same kernel; only the prologue
+#: names and the memory-capturing impl closures rebind per interpreter.
+#: Stamped structural keys (tuples) live in a capped plain dict;
+#: unstamped functions key the weak side so hand-built IR can't leak.
+_EMIT_CACHE: Dict[tuple, list] = {}
+_EMIT_CACHE_CAPACITY = 512
+_EMIT_CACHE_BY_FN: "weakref.WeakKeyDictionary[Function, list]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+class CodegenBailout(Exception):
+    """This function's CFG or opcode mix cannot be linearized; the caller
+    falls back to the decoded engine and records ``reason``."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+def _postdominators(function: Function) -> Dict[BasicBlock, object]:
+    """Immediate postdominators of the reachable CFG (Cooper–Harvey–
+    Kennedy on the reverse graph, with a virtual exit joining every
+    ``ret``/``unreachable`` block).  Blocks that cannot reach an exit
+    (infinite loops) are absent from the result.
+    """
+    reachable = reverse_postorder(function)
+    reachable_set = set(reachable)
+    exits = [
+        b for b in reachable
+        if b.instructions and b.instructions[-1].opcode in ("ret", "unreachable")
+    ]
+    # Reverse-graph successors: CFG predecessors (restricted to reachable).
+    rsucc: Dict[object, List[object]] = {
+        b: [p for p in b.predecessors if p in reachable_set] for b in reachable
+    }
+    rsucc[_EXIT] = list(exits)
+
+    # Postorder of the reverse graph from the virtual exit (iterative).
+    visited: Set[object] = {_EXIT}
+    postorder: List[object] = []
+    stack: List[Tuple[object, object]] = [(_EXIT, iter(rsucc[_EXIT]))]
+    while stack:
+        _node, it = stack[-1]
+        advanced = False
+        for nxt in it:
+            if nxt not in visited:
+                visited.add(nxt)
+                stack.append((nxt, iter(rsucc[nxt])))
+                advanced = True
+                break
+        if not advanced:
+            postorder.append(stack.pop()[0])
+    rpo = postorder[::-1]
+    index = {b: i for i, b in enumerate(rpo)}
+    ipdom: Dict[object, object] = {_EXIT: _EXIT}
+
+    def intersect(b1: object, b2: object) -> object:
+        while b1 is not b2:
+            while index[b1] > index[b2]:
+                b1 = ipdom[b1]
+            while index[b2] > index[b1]:
+                b2 = ipdom[b2]
+        return b1
+
+    changed = True
+    while changed:
+        changed = False
+        for block in rpo:
+            if block is _EXIT:
+                continue
+            # Reverse-graph predecessors: CFG successors (+ the virtual
+            # exit edge for exit blocks).
+            preds: List[object] = [
+                s for s in block.successors
+                if s in reachable_set and ipdom.get(s) is not None
+            ]
+            if block.instructions and block.instructions[-1].opcode in (
+                "ret", "unreachable"
+            ):
+                preds.append(_EXIT)
+            if not preds:
+                continue
+            new = preds[0]
+            for p in preds[1:]:
+                new = intersect(p, new)
+            if ipdom.get(block) is not new:
+                ipdom[block] = new
+                changed = True
+    ipdom.pop(_EXIT, None)
+    return ipdom
+
+
+class _Emitter:
+    """Linearizes one function into generated Python source + bindings."""
+
+    def __init__(self, interp, function: Function):
+        self.interp = interp
+        self.fn = function
+        self.lines: List[str] = []
+        self.indent = 2
+        self.names: Dict[Value, str] = {}
+        for i, arg in enumerate(function.args):
+            self.names[arg] = f"a{i}"
+        self.hoisted: Dict[str, object] = {
+            "_s": interp.stats,
+            "_c": interp.stats.counts,
+            "_interp": interp,
+            "_mem": interp.memory,
+            "_fname": function.name,
+            "_trap": _budget_trap,
+            "_exec": interp._exec_function,
+            "_gac": gang_activity_count,
+            "_VMTrap": VMTrap,
+        }
+        self._memo: Dict[object, str] = {}
+        #: Hoisted name → Instruction for ``_value_impl`` closures, which
+        #: may capture this interpreter's memory and must be rebuilt when
+        #: the cached emission rebinds to another interpreter.
+        self.impl_instrs: Dict[str, object] = {}
+        #: Stack of (loop, exit_block) for the Python loops currently open.
+        self.open: List[Tuple[Loop, Optional[BasicBlock]]] = []
+        self.open_headers: Set[BasicBlock] = set()
+        self.emitted: Set[BasicBlock] = set()
+        self.loops_by_header: Dict[BasicBlock, Loop] = {
+            loop.header: loop for loop in find_loops(function)
+        }
+        self.pdom = _postdominators(function)
+        self._batched_blocks: Dict[BasicBlock, bool] = {}
+
+    # -- small helpers -----------------------------------------------------------
+
+    def line(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def hoist(self, obj, key=None) -> str:
+        key = id(obj) if key is None else key
+        name = self._memo.get(key)
+        if name is None:
+            name = f"_h{len(self._memo)}"
+            self._memo[key] = name
+            self.hoisted[name] = obj
+        return name
+
+    def name_of(self, instr: Value) -> str:
+        name = self.names.get(instr)
+        if name is None:
+            name = self.names[instr] = f"v{len(self.names)}"
+        return name
+
+    def ref(self, v: Value) -> str:
+        name = self.names.get(v)
+        if name is not None:
+            return name
+        if isinstance(v, Constant):
+            return self.hoist(_constant_payload(v), key=("c", id(v)))
+        if isinstance(v, UndefValue):
+            return self.hoist(_undef_payload(v.type), key=("u", id(v)))
+        if getattr(v, "opcode", None) == "phi":
+            # Phi locals are assigned on every incoming edge before any
+            # read, so naming on demand is safe.
+            return self.name_of(v)
+        raise CodegenBailout("use-before-def")
+
+    def _is_batched(self, block: BasicBlock) -> bool:
+        flag = self._batched_blocks.get(block)
+        if flag is None:
+            flag = self._batched_blocks[block] = any(
+                "batch_mult" in i.attrs for i in block.instructions
+            )
+        return flag
+
+    def kind(self, target: BasicBlock, stop: Optional[BasicBlock]) -> str:
+        """Classify an edge target relative to the open Python loops."""
+        top = len(self.open) - 1
+        for i in range(top, -1, -1):
+            loop, exit_b = self.open[i]
+            if target is loop.header:
+                if i == top:
+                    return "continue"
+                raise CodegenBailout("multi-level-continue")
+            if target is exit_b:
+                if i == top:
+                    return "break"
+                raise CodegenBailout("multi-level-break")
+        if target is stop:
+            return "stop"
+        return "inline"
+
+    # -- accounting emission -----------------------------------------------------
+
+    def _ext_cost(self, callee: ExternalFunction, arg_types) -> float:
+        cost = callee.cost
+        if callable(cost):
+            cost = cost(self.interp.machine, list(arg_types))
+        return float(cost)
+
+    def emit_charges(self, block: BasicBlock, batched: bool) -> None:
+        """One merged charge prologue for everything the block executes.
+
+        The reference engines' per-instruction charges (including the
+        decoded engine's phi sweep and the batched engine's narrow
+        prototypes × multiplicity) fold into at most one cycles add, one
+        instruction add, one counter update per distinct key, one ``_m``
+        resolve per divergent spec, and one budget check.  Completed-run
+        totals are bit-identical (dyadic costs sum exactly under any
+        association; counts commute); a trap's exact trap-point stats
+        come from the replay.
+        """
+        cost = self.interp._cost
+        cycles = 0.0
+        instrs = 0
+        counts: Dict[str, int] = {}
+        # Divergent-multiplicity groups: spec -> [cycles/_m, instrs/_m, counts/_m]
+        groups: Dict[tuple, list] = {}
+        for ins in block.instructions:
+            if "batch_mult" in ins.attrs:
+                items, spec = self.interp._batch_info(ins)
+                if isinstance(spec, int):
+                    m = spec
+                    if m:
+                        for key, c in items:
+                            cycles += c * m
+                            instrs += m
+                            counts[key] = counts.get(key, 0) + m
+                else:
+                    g = groups.setdefault(spec, [0.0, 0, {}])
+                    for key, c in items:
+                        g[0] += c
+                        g[1] += 1
+                        g[2][key] = g[2].get(key, 0) + 1
+            elif batched:
+                raise CodegenBailout("mixed-batch-body")
+            else:
+                op = ins.opcode
+                # The engines hardcode phi charges at 0.0 cycles.
+                cycles += 0.0 if op == "phi" else cost(ins)
+                instrs += 1
+                counts[op] = counts.get(op, 0) + 1
+                if op == "call":
+                    callee = ins.operands[0]
+                    if isinstance(callee, ExternalFunction):
+                        label = f"ext:{callee.name}"
+                        cycles += self._ext_cost(
+                            callee, (o.type for o in ins.operands[1:])
+                        )
+                        instrs += 1
+                        counts[label] = counts.get(label, 0) + 1
+        checked = False
+        if cycles:
+            self.line(f"_s.cycles += {cycles!r}")
+        if instrs:
+            self.line(f"_s.instructions += {instrs}")
+            checked = True
+        for key, n in counts.items():
+            self.line(f"_c[{key!r}] = _c.get({key!r}, 0) + {n}")
+        for spec, (gcycles, ginstrs, gcounts) in groups.items():
+            # Mirror Interpreter._batch_mult: the first live divergent
+            # loop's activity count wins, the trailing static B backstops.
+            lids: List[str] = []
+            tail = 0
+            for x in spec:
+                if isinstance(x, int):
+                    tail = x
+                    break
+                lids.append(x)
+            expr = repr(tail)
+            for lid in reversed(lids):
+                expr = f"_act.get({lid!r}, {expr})"
+            self.line(f"_m = {expr}")
+            self.line("if _m:")
+            self.indent += 1
+            if gcycles:
+                self.line(f"_s.cycles += {gcycles!r} * _m")
+            self.line(f"_s.instructions += {ginstrs} * _m")
+            for key, n in gcounts.items():
+                mult = "_m" if n == 1 else f"{n} * _m"
+                self.line(f"_c[{key!r}] = _c.get({key!r}, 0) + {mult}")
+            self.indent -= 1
+            checked = True
+        if checked:
+            self.line("if _s.instructions > _L:")
+            self.line("    _trap(_interp, _fname)")
+
+    # -- value emission ----------------------------------------------------------
+
+    def emit_compute(self, ins) -> None:
+        argrefs = [self.ref(o) for o in ins.operands]
+        expr = self.interp._inline_expr(ins, argrefs, self.hoist)
+        if expr is None:
+            impl = self.hoist(
+                self.interp._value_impl(ins), key=("impl", id(ins))
+            )
+            if ins.opcode in _REBIND_OPS:
+                self.impl_instrs[impl] = ins
+            expr = f"{impl}({', '.join(argrefs)})"
+        self.line(f"{self.name_of(ins)} = {expr}")
+
+    def emit_call(self, ins, batched: bool) -> None:
+        callee = ins.operands[0]
+        args = ", ".join(self.ref(o) for o in ins.operands[1:])
+        if isinstance(callee, ExternalFunction):
+            # Charges (the 'call' dispatch + ``ext:<name>`` leg, or the
+            # batched narrow prototypes) live in the block prologue; only
+            # the impl invocation remains here.
+            impl = self.hoist(callee.impl, key=("ext", callee.name))
+            self.line(f"{self.name_of(ins)} = {impl}({args})")
+        elif batched:
+            raise CodegenBailout("batched-internal-call")
+        else:
+            fref = self.hoist(callee, key=("fn", callee.name))
+            self.line(
+                f"{self.name_of(ins)} = _exec({fref}, [{args}], depth + 1)"
+            )
+
+    # -- edges -------------------------------------------------------------------
+
+    def emit_phi_moves(self, src: BasicBlock, dst: BasicBlock) -> None:
+        """Parallel phi assignment for the ``src``→``dst`` edge.  Phi
+        charges are edge-independent and live in ``dst``'s prologue."""
+        phis = []
+        for ins in dst.instructions:
+            if ins.opcode != "phi":
+                break
+            phis.append(ins)
+        if not phis:
+            return
+        targets = [self.name_of(p) for p in phis]
+        exprs = [self.ref(p.phi_value_for(src)) for p in phis]
+        self.line(f"{', '.join(targets)} = {', '.join(exprs)}")
+
+    def emit_edge(
+        self,
+        src: BasicBlock,
+        target: BasicBlock,
+        stop: Optional[BasicBlock],
+        commit: Optional[List[str]] = None,
+    ) -> None:
+        """Tail-position edge inside a suite: commit + moves + jump/region."""
+        for text in commit or ():
+            self.line(text)
+        self.emit_phi_moves(src, target)
+        k = self.kind(target, stop)
+        if k == "continue":
+            self.line("continue")
+        elif k == "break":
+            self.line("break")
+        elif k == "inline":
+            self.emit_from(target, stop)
+        # "stop": fall out of the suite.
+
+    def _suite(self, emit_fn) -> None:
+        self.indent += 1
+        if self.indent > MAX_NESTING:
+            raise CodegenBailout("deep-nesting")
+        mark = len(self.lines)
+        emit_fn()
+        if len(self.lines) == mark:
+            self.line("pass")
+        self.indent -= 1
+
+    # -- structure ---------------------------------------------------------------
+
+    def emit_from(self, block: Optional[BasicBlock],
+                  stop: Optional[BasicBlock]) -> None:
+        """Emit the region starting at ``block`` until control reaches
+        ``stop`` (not emitted), a jump, or a return."""
+        while block is not None:
+            if block is stop:
+                return
+            loop = self.loops_by_header.get(block)
+            if loop is not None and block not in self.open_headers:
+                exits = loop.exit_blocks()
+                if len(exits) > 1:
+                    raise CodegenBailout("multi-exit-loop")
+                exit_b = exits[0] if exits else None
+                self.line("while True:")
+                self.open.append((loop, exit_b))
+                self.open_headers.add(block)
+                header = block
+                self._suite(lambda: self.emit_from(header, None))
+                self.open.pop()
+                self.open_headers.discard(header)
+                if exit_b is None:
+                    return  # infinite loop: nothing after is reachable
+                k = self.kind(exit_b, stop)
+                if k == "inline":
+                    block = exit_b
+                    continue
+                if k == "continue":
+                    self.line("continue")
+                elif k == "break":
+                    self.line("break")
+                return
+            block = self.emit_block(block, stop)
+
+    def emit_block(self, block: BasicBlock,
+                   stop: Optional[BasicBlock]) -> Optional[BasicBlock]:
+        """Emit one block's charges + body + terminator; returns the
+        inline continuation block, or ``None`` when the suite ends here."""
+        if block in self.emitted:
+            raise CodegenBailout("block-re-emitted")
+        self.emitted.add(block)
+        instrs = block.instructions
+        if not instrs or not instrs[-1].is_terminator:
+            raise CodegenBailout("no-terminator")
+        batched = self._is_batched(block)
+        self.emit_charges(block, batched)
+        nphi = 0
+        while nphi < len(instrs) and instrs[nphi].opcode == "phi":
+            nphi += 1
+        body, term = instrs[nphi:-1], instrs[-1]
+        for ins in body:
+            op = ins.opcode
+            if op == "call":
+                self.emit_call(ins, batched)
+            elif op in _GROUP_OPS:
+                self.emit_compute(ins)
+            else:
+                raise CodegenBailout(f"opcode:{op}")
+            if batched:
+                ba = ins.attrs.get("batch_activity")
+                if ba is not None:
+                    mask = self.ref(ins.operands[0])
+                    self.line(f"_pend[{ba[0]!r}] = _gac({mask}, {ba[1]})")
+        return self.emit_terminator(block, term, stop, batched)
+
+    def _unreachable_msg(self) -> str:
+        return f"reached 'unreachable' in @{self.fn.name}"
+
+    def emit_terminator(self, block: BasicBlock, term,
+                        stop: Optional[BasicBlock],
+                        batched: bool) -> Optional[BasicBlock]:
+        op = term.opcode
+        if op == "ret":
+            if batched:
+                raise CodegenBailout("batched-terminator:ret")
+            if term.operands:
+                v = term.operands[0]
+                r = self.ref(v)
+                if isinstance(v, (Constant, UndefValue)) and isinstance(
+                    v.type, VectorType
+                ):
+                    # Shared constant payloads must not leak to callers
+                    # who may mutate the returned array.
+                    r = f"{r}.copy()"
+                self.line(f"return {r}")
+            else:
+                self.line("return None")
+            return None
+        if op == "unreachable":
+            self.line(f"raise _VMTrap({self._unreachable_msg()!r})")
+            return None
+        if op == "br":
+            self.emit_phi_moves(block, term.operands[0])
+            return self._goto(term.operands[0], stop)
+        if op == "condbr":
+            cond = self.ref(term.operands[0])
+            commits: Optional[Tuple[List[str], List[str]]] = None
+            backedge = term.attrs.get("batch_backedge") if batched else None
+            if backedge is not None:
+                # Divergent-loop backedge: this block's prologue charged
+                # with the *previous* iteration's activity; commit the
+                # count the mask reduction just produced before the next
+                # iteration (or drop the loop's state on exit).
+                lid, taken_idx = backedge
+                commit = [f"_act[{lid!r}] = _pend[{lid!r}]"]
+                drop = [f"_act.pop({lid!r}, None)", f"_pend.pop({lid!r}, None)"]
+                commits = (commit, drop) if taken_idx == 1 else (drop, commit)
+            return self.emit_condbr(
+                block, cond, term.operands[1], term.operands[2], stop, commits
+            )
+        raise CodegenBailout(f"terminator:{op}")
+
+    def _goto(self, target: BasicBlock,
+              stop: Optional[BasicBlock]) -> Optional[BasicBlock]:
+        """Unconditional transfer whose phi moves are already emitted."""
+        k = self.kind(target, stop)
+        if k == "inline":
+            return target
+        if k == "continue":
+            self.line("continue")
+        elif k == "break":
+            self.line("break")
+        return None
+
+    def emit_condbr(
+        self,
+        src: BasicBlock,
+        cond: str,
+        iftrue: BasicBlock,
+        iffalse: BasicBlock,
+        stop: Optional[BasicBlock],
+        commits: Optional[Tuple[List[str], List[str]]],
+    ) -> Optional[BasicBlock]:
+        """Structured lowering of a conditional branch; returns the inline
+        continuation (the join) or ``None`` when the suite ends here."""
+        ctrue = commits[0] if commits else None
+        cfalse = commits[1] if commits else None
+        ka = self.kind(iftrue, stop)
+        kb = self.kind(iffalse, stop)
+
+        if ka == "inline" and kb == "inline":
+            # Forward diamond: the join is the immediate postdominator.
+            join = self.pdom.get(src)
+            if (
+                join is not _EXIT
+                and join is not None
+                and self.kind(join, stop) == "inline"
+            ):
+                self.line(f"if {cond}:")
+                self._suite(lambda: self.emit_edge(src, iftrue, join, ctrue))
+                self.line("else:")
+                self._suite(lambda: self.emit_edge(src, iffalse, join, cfalse))
+                return join
+            # No structural join (both arms return, or converge only at a
+            # jump target): every path leaves its suite on its own.
+            self.line(f"if {cond}:")
+            self._suite(lambda: self.emit_edge(src, iftrue, stop, ctrue))
+            self.line("else:")
+            self._suite(lambda: self.emit_edge(src, iffalse, stop, cfalse))
+            return None
+        if ka != "inline" and kb != "inline":
+            self.line(f"if {cond}:")
+            self._suite(lambda: self.emit_edge(src, iftrue, stop, ctrue))
+            self.line("else:")
+            self._suite(lambda: self.emit_edge(src, iffalse, stop, cfalse))
+            return None
+        # Exactly one arm is inline.
+        if ka == "inline":
+            if kb == "stop":
+                self.line(f"if {cond}:")
+                self._suite(lambda: self.emit_edge(src, iftrue, stop, ctrue))
+                self.line("else:")
+                self._suite(lambda: self.emit_edge(src, iffalse, stop, cfalse))
+                return None
+            # False arm jumps; flatten: guard the jump, fall through inline.
+            self.line(f"if not ({cond}):")
+            self._suite(lambda: self.emit_edge(src, iffalse, stop, cfalse))
+            for text in ctrue or ():
+                self.line(text)
+            self.emit_phi_moves(src, iftrue)
+            return iftrue
+        if ka == "stop":
+            self.line(f"if {cond}:")
+            self._suite(lambda: self.emit_edge(src, iftrue, stop, ctrue))
+            self.line("else:")
+            self._suite(lambda: self.emit_edge(src, iffalse, stop, cfalse))
+            return None
+        # True arm jumps; flatten.
+        self.line(f"if {cond}:")
+        self._suite(lambda: self.emit_edge(src, iftrue, stop, ctrue))
+        for text in cfalse or ():
+            self.line(text)
+        self.emit_phi_moves(src, iffalse)
+        return iffalse
+
+    # -- entry -------------------------------------------------------------------
+
+    def emit(self) -> Tuple[str, Dict[str, object]]:
+        fn = self.fn
+        size = sum(len(b.instructions) for b in fn.blocks)
+        if size > MAX_CODEGEN_INSTRS:
+            raise CodegenBailout("function-too-large")
+        self.emit_from(fn.entry, None)
+        body = self.lines
+        head: List[str] = []
+        if fn.args:
+            names = ", ".join(self.names[a] for a in fn.args)
+            head.append(f"    {names}{',' if len(fn.args) == 1 else ''} = _args")
+        head.append("    _L = _interp.max_instructions")
+        head.append("    _mk = _mem._brk")
+        if fn.attrs.get("batched"):
+            head.append("    _act = {}")
+            head.append("    _pend = {}")
+        head.append("    try:")
+        tail = ["    finally:", "        _mem._brk = _mk"]
+        params = ", ".join(f"{k}={k}" for k in self.hoisted)
+        source = (
+            f"def _kfn(_args, depth, {params}):\n"
+            + "\n".join(head + body + tail)
+        )
+        return source, self.hoisted
+
+
+def _fixed_bindings(interp, function: Function) -> Dict[str, object]:
+    return {
+        "_s": interp.stats,
+        "_c": interp.stats.counts,
+        "_interp": interp,
+        "_mem": interp.memory,
+        "_fname": function.name,
+        "_trap": _budget_trap,
+        "_exec": interp._exec_function,
+        "_gac": gang_activity_count,
+        "_VMTrap": VMTrap,
+    }
+
+
+def _emit_cache_key(function: Function):
+    """Cache key stable across ``clone_module`` copies of one function.
+
+    The driver's compile cache hands out a fresh clone per compile call,
+    so object identity never repeats across runs; canonical modules are
+    stamped with a process-unique ``emit_key`` attr that clones inherit.
+    Block/instruction counts ride along as a structural guard: a pass
+    mutating a clone *after* compilation (extra DCE, a test rewriting
+    IR) changes the counts and misses rather than replaying stale code.
+    Unstamped functions (hand-built IR, fault-injected compiles) fall
+    back to object identity.
+    """
+    stamp = function.attrs.get("emit_key")
+    if stamp is None:
+        return function
+    nblocks = len(function.blocks)
+    ninstrs = sum(len(b.instructions) for b in function.blocks)
+    return (stamp, nblocks, ninstrs)
+
+
+def emit_function(interp, function: Function) -> Tuple[str, Dict[str, object]]:
+    """Linearize ``function`` against ``interp``'s machine/cost bindings.
+
+    Returns ``(source, bindings)``; raises :class:`CodegenBailout` when
+    the function cannot be linearized.  Emissions (and bailouts) are
+    cached per function/machine/cost-model — keyed structurally (see
+    :func:`_emit_cache_key`), so a fresh interpreter over a fresh
+    compile-cache clone of the same kernel reuses the cached source and
+    only rebinds the prologue names plus the impl closures that capture
+    interpreter memory.
+    """
+    key = _emit_cache_key(function)
+    cache = _EMIT_CACHE if isinstance(key, tuple) else _EMIT_CACHE_BY_FN
+    if cache is _EMIT_CACHE and len(cache) >= _EMIT_CACHE_CAPACITY:
+        # Stamps of compile-cache-evicted modules accumulate; a blunt
+        # reset only costs re-emission, never correctness.
+        cache.clear()
+    entries = cache.get(key)
+    if entries is not None:
+        for machine, cost_model, source, recipe, reason in entries:
+            if machine is interp.machine and cost_model is interp.cost_model:
+                if reason is not None:
+                    raise CodegenBailout(reason)
+                bindings = _fixed_bindings(interp, function)
+                for name, ins, obj in recipe:
+                    bindings[name] = (
+                        obj if ins is None else interp._value_impl(ins)
+                    )
+                return source, bindings
+    emitter = _Emitter(interp, function)
+    try:
+        source, bindings = emitter.emit()
+    except CodegenBailout as exc:
+        cache.setdefault(key, []).append(
+            (interp.machine, interp.cost_model, None, None, exc.reason)
+        )
+        raise
+    # Impl-closure entries store only the Instruction (the closure itself
+    # captures the emitting interpreter's memory and must not be pinned).
+    recipe = tuple(
+        (name, ins, None if ins is not None else obj)
+        for name, obj in bindings.items()
+        if name not in _FIXED_BINDINGS
+        for ins in (emitter.impl_instrs.get(name),)
+    )
+    cache.setdefault(key, []).append(
+        (interp.machine, interp.cost_model, source, recipe, None)
+    )
+    return source, bindings
+
+
+def compiled_code(source: str) -> Tuple[object, str]:
+    """Code object for a generated source: process cache → disk → compile.
+
+    Returns ``(code, origin)`` with origin in ``{"cache", "disk",
+    "compiled"}`` for the ``vm.codegen.*`` counters.
+    """
+    code = _CODE_CACHE.get(source)
+    if code is not None:
+        return code, "cache"
+    code = diskcache.load_code(source)
+    if code is not None:
+        _CODE_CACHE[source] = code
+        return code, "disk"
+    code = compile(source, "<repro-vm-codegen>", "exec")
+    _CODE_CACHE[source] = code
+    diskcache.store_code(source, code)
+    return code, "compiled"
+
+
+def bind_code(code, bindings: Dict[str, object]):
+    """Bind a compiled code object to one interpreter's live payloads."""
+    g = dict(bindings)
+    # Empty-ish builtins keep emitted code honest (every name must be a
+    # hoisted binding), but numpy's lazy C-level imports resolve
+    # __import__ through the *calling* frame's builtins — leave it in or
+    # the first .sum()/.any() ever run inside generated code dies with
+    # KeyError('__import__').
+    g["__builtins__"] = {"__import__": __import__}
+    exec(code, g)
+    return g["_kfn"]

@@ -1,13 +1,21 @@
 """Seeded random SPMD kernel generator for differential fuzzing.
 
 Generates small PsimC kernels — straight-line arithmetic, ``if``/``else``
-divergence, bounded ``while`` loops, gathers over indexed/varying shapes —
-whose semantics are engine-independent: no cross-lane communication, no
-read-after-write aliasing between lanes, loop bounds that provably
-terminate.  Any two correct execution strategies (full vectorization,
-region-granular partial fallback, whole-function scalarization) must
+divergence, bounded ``while`` loops, gathers over indexed/varying shapes,
+lane-private arrays (SoA-swizzled, §4.2.3), and convergent gang
+reductions — whose semantics are engine-independent: no read-after-write
+aliasing between lanes, loop bounds that provably terminate.  Any two
+correct execution strategies (full vectorization, region-granular partial
+fallback, whole-function scalarization, whole-kernel codegen) must
 therefore produce bit-identical outputs, which is exactly what
 ``tests/fuzz/test_differential_kernels.py`` checks.
+
+One carve-out: a kernel containing a ``psim_reduce_*_sync`` intrinsic has
+**no scalar execution strategy** — cross-lane communication cannot be
+scalarized, so degraded compiles raise ``CompileError`` instead of
+falling back (``has_reduction`` flags this for the test harness).  The
+vector-engine strategies (decoded, fused, batched, codegen) still all
+apply and must still agree bitwise.
 
 Everything is derived from one integer seed via ``random.Random``, so a
 failing kernel reproduces from its seed alone.
@@ -39,6 +47,19 @@ class FuzzKernel:
     seed: int
     gang_size: int
     source: str
+    #: Kernel calls a ``psim_reduce_*_sync`` intrinsic: no scalar strategy
+    #: exists, so degraded compiles must raise instead of falling back.
+    has_reduction: bool = False
+    #: Kernel declares a lane-private array (exercises the SoA-swizzled
+    #: blocked layout and, under gang batching, its legality rejection).
+    has_private: bool = False
+
+
+_REDUCTIONS = ("psim_reduce_add_sync", "psim_reduce_min_sync",
+               "psim_reduce_max_sync")
+
+#: Lane-private array length; every generated index is reduced mod this.
+_PRIVATE_LEN = 4
 
 
 class _Gen:
@@ -46,6 +67,10 @@ class _Gen:
         self.rng = random.Random(seed)
         self.seed = seed
         self.gang = self.rng.choice(_GANGS)
+        # Feature draws happen up front so the rest of the stream — and
+        # therefore the body shared by featureless kernels — stays stable.
+        self.private = self.rng.random() < 0.35
+        self.reduction = self.rng.random() < 0.20
         self.counter = 0
         self.lines: List[str] = []
         self.indent = 2
@@ -61,16 +86,22 @@ class _Gen:
 
     def f_leaf(self) -> str:
         r = self.rng
-        choice = r.randrange(7)
+        choice = r.randrange(8)
         if choice == 0:
             return f"{r.uniform(-2.0, 2.0):.5f}f"
         if choice == 1:
             return "sv"
         if choice == 2:
             # Gather: varying index derived from per-lane integer state.
-            return f"A[(u64)(abs({self.i_leaf()}) % {N_THREADS})]"
+            # Remainder *before* abs: ``abs(INT_MIN)`` wraps negative, so
+            # ``abs(x) % n`` can go out of bounds while ``abs(x % n)``
+            # is total (|x % n| < n for every i32 x).
+            return f"A[(u64)abs({self.i_leaf()} % {N_THREADS})]"
         if choice == 3:
             return f"(f32){self.i_leaf()}"
+        if choice == 4 and self.private:
+            # Lane-private array read through a varying in-bounds index.
+            return f"t[(u64)abs({self.i_leaf()} % {_PRIVATE_LEN})]"
         return r.choice(("x", "y", "va", "vb"))
 
     def i_leaf(self) -> str:
@@ -152,7 +183,10 @@ class _Gen:
 
     def assign(self) -> None:
         r = self.rng
-        if r.random() < 0.5:
+        if self.private and r.random() < 0.15:
+            idx = f"(u64)abs(({self.i_expr(1)}) % {_PRIVATE_LEN})"
+            self.emit(f"t[{idx}] = {self.f_expr(r.randrange(1, 3))};")
+        elif r.random() < 0.5:
             var = r.choice(("x", "y"))
             self.emit(f"{var} = {self.f_expr(r.randrange(1, 3))};")
         else:
@@ -202,6 +236,19 @@ class _Gen:
     def generate(self) -> FuzzKernel:
         self.block(2, self.rng.randrange(3, 7))
         body = "\n".join(self.lines)
+        decls = ""
+        if self.private:
+            decls = (f"        f32 t[{_PRIVATE_LEN}];\n"
+                     "        t[0] = va; t[1] = vb; t[2] = sv;"
+                     " t[3] = va - vb;\n")
+        # Reductions sit at top level, after the divergent body: every
+        # lane of the gang reaches the sync point together (convergent by
+        # construction), the only masking being the tail gang's.
+        reduce_line = ""
+        if self.reduction:
+            fn = self.rng.choice(_REDUCTIONS)
+            reduce_line = (f"        f32 red = {fn}(x);\n"
+                           "        y = y + red;\n")
         source = f"""
 void kernel(f32* A, f32* B, i32* C, f32* OUT, i32* IOUT,
             f32 sv, i32 si, u64 n) {{
@@ -213,13 +260,15 @@ void kernel(f32* A, f32* B, i32* C, f32* OUT, i32* IOUT,
         f32 x = va * 0.5f;
         f32 y = sv - vb;
         i32 q = si + p;
-{body}
-        OUT[i] = x + y;
+{decls}{body}
+{reduce_line}        OUT[i] = x + y;
         IOUT[i] = p + q * 3;
     }}
 }}
 """
-        return FuzzKernel(seed=self.seed, gang_size=self.gang, source=source)
+        return FuzzKernel(seed=self.seed, gang_size=self.gang,
+                          source=source, has_reduction=self.reduction,
+                          has_private=self.private)
 
 
 def generate_kernel(seed: int) -> FuzzKernel:

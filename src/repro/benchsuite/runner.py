@@ -90,14 +90,16 @@ def _effective_factor(module: Module) -> int:
 
 
 def _timed_run(module: Module, machine: Machine, workload: Workload,
-               predecode: bool, superinstructions: Optional[bool]) -> float:
+               predecode: bool, superinstructions: Optional[bool],
+               codegen: Optional[bool] = None) -> float:
     """One untelemetered wall-clock sample of ``kernel`` on ``workload``.
 
     A fresh interpreter per sample; ``alloc_array`` copies the workload
     into VM memory, so the caller's arrays stay pristine for the real run.
     """
     interp = Interpreter(module, machine=machine, predecode=predecode,
-                         superinstructions=superinstructions)
+                         superinstructions=superinstructions,
+                         codegen=codegen)
     addrs = []
     for array in workload.arrays:
         addrs.append(interp.memory.alloc_array(array))
@@ -110,15 +112,20 @@ def _timed_run(module: Module, machine: Machine, workload: Workload,
 
 def _autotune_parsimony(spec: KernelSpec, machine: Machine,
                         workload: Workload, predecode: bool,
-                        superinstructions: Optional[bool]):
+                        superinstructions: Optional[bool],
+                        codegen: Optional[bool] = None):
     """Profile-guided module selection for the parsimony implementation.
 
     Consults the persisted profile for this kernel's content fingerprint:
     a pinned winner compiles straight to its batch request; an unpinned
     kernel triggers a measurement sweep over the candidate requests
-    (deduped by the effective factor each one compiles to), pins the
-    fastest, and runs that.  Returns ``(module, info)`` where ``info`` is
-    the ``autotune`` record attached to the run's telemetry entry.
+    (deduped by the effective factor each one compiles to) crossed with
+    the execution engine — decoded vs whole-kernel codegen — pins the
+    winning ``(factor, codegen)`` pair, and runs that.  An explicit
+    ``codegen`` argument freezes that axis: only the requested leg is
+    measured and pinned.  Returns ``(module, info, use_codegen)`` where
+    ``info`` is the ``autotune`` record attached to the run's telemetry
+    entry and ``use_codegen`` is the engine leg the real run should use.
     """
     fp = autotune.fingerprint(spec.psim_src)
     engine = autotune.engine_config(superinstructions, machine)
@@ -127,11 +134,12 @@ def _autotune_parsimony(spec: KernelSpec, machine: Machine,
     if dec["state"] == "pinned":
         module = compile_parsimony(spec.psim_src, module_name=name,
                                    batch_request=dec["request"])
+        use_cg = dec["codegen"] if codegen is None else bool(codegen)
         return module, {
             "state": "pinned", "fingerprint": fp, "engine": engine,
             "factor": dec["factor"], "request": dec["request"],
-            "reason": dec["reason"],
-        }
+            "codegen": use_cg, "reason": dec["reason"],
+        }, use_cg
     reps = autotune.measure_reps()
     # Candidate requests dedupe by the *effective* factor each compiles to
     # (an 8-gang kernel's auto suggestion may be 2, collapsing with the
@@ -144,58 +152,75 @@ def _autotune_parsimony(spec: KernelSpec, machine: Machine,
                                       batch_request=request)
         candidates.setdefault(_effective_factor(candidate),
                               (request, candidate))
+    legs = (False, True) if codegen is None else (bool(codegen),)
     # Interleave the candidates round-robin rather than timing each one's
     # repetitions back-to-back: a slow machine phase (CPU throttling, a
     # noisy neighbor) then lands on every candidate instead of sinking
     # whichever one it coincided with.
-    walls: Dict[int, list] = {factor: [] for factor in candidates}
+    walls: Dict[tuple, list] = {
+        (factor, cg): [] for factor in candidates for cg in legs}
     for _ in range(reps):
         for factor, (_, candidate) in sorted(candidates.items()):
-            walls[factor].append(
-                _timed_run(candidate, machine, workload, predecode,
-                           superinstructions))
-    measured: Dict[int, float] = {}
-    for factor in sorted(walls):
-        wall = min(walls[factor])
-        autotune.record_measurement(fp, engine, factor, wall)
-        measured[factor] = wall
-    # Smallest factor within PIN_MARGIN of the fastest sample: batching
-    # must win decisively, else noise pins a config that merely tied.
-    best = autotune.choose_factor(measured)
+            for cg in legs:
+                walls[(factor, cg)].append(
+                    _timed_run(candidate, machine, workload, predecode,
+                               superinstructions, codegen=cg))
+    measured: Dict[tuple, float] = {}
+    for key in sorted(walls):
+        wall = min(walls[key])
+        autotune.record_measurement(fp, engine, key[0], wall, codegen=key[1])
+        measured[key] = wall
+    # Smallest factor within PIN_MARGIN of the fastest leg, then codegen
+    # within that factor only past CODEGEN_MARGIN: each axis must win
+    # decisively, else noise pins a config that merely tied.
+    if codegen is None:
+        best, best_cg = autotune.choose_config(measured)
+    else:
+        best = autotune.choose_factor(
+            {f: w for (f, _), w in measured.items()})
+        best_cg = legs[0]
     best_request, best_module = candidates[best]
-    reason = autotune.pin(fp, engine, best, measured[best], measured,
-                          request=best_request)
+    reason = autotune.pin(fp, engine, best, measured[(best, best_cg)],
+                          measured, request=best_request, codegen=best_cg)
     return best_module, {
         "state": "measured", "fingerprint": fp, "engine": engine,
-        "factor": best, "request": best_request, "reason": reason,
-        "measured": {str(f): w for f, w in measured.items()},
-    }
+        "factor": best, "request": best_request, "codegen": best_cg,
+        "reason": reason,
+        "measured": {autotune.sample_key(f, cg): w
+                     for (f, cg), w in measured.items()},
+    }, best_cg
 
 
 def run_impl(spec: KernelSpec, impl: str, machine: Machine = AVX512,
              module: Optional[Module] = None,
              workload: Optional[Workload] = None,
              predecode: bool = True,
-             superinstructions: Optional[bool] = None) -> KernelResult:
+             superinstructions: Optional[bool] = None,
+             codegen: Optional[bool] = None) -> KernelResult:
     """Execute one implementation on the kernel's seeded workload.
 
     ``superinstructions`` forwards to the interpreter's decode-level
-    fusion toggle (``None`` → default on, ``REPRO_NO_FUSE`` honored).
+    fusion toggle (``None`` → default on, ``REPRO_NO_FUSE`` honored);
+    ``codegen`` forwards to the whole-kernel codegen engine toggle
+    (``None`` → ``REPRO_CODEGEN``/``REPRO_NO_CODEGEN`` honored).
 
     With ``REPRO_AUTOTUNE=1`` (and no explicit ``REPRO_BATCH`` /
     ``REPRO_NO_BATCH`` override, which always wins), the parsimony
     implementation is selected by the profile-guided tuner instead of the
-    static cost model: see :mod:`repro.autotune`.
+    static cost model — including which engine leg (decoded vs codegen)
+    the kernel runs on, unless ``codegen`` is passed explicitly: see
+    :mod:`repro.autotune`.
     """
     workload = workload or spec.workload()
     autotune_info = None
     if (module is None and impl == "parsimony" and autotune.enabled()
             and batching_request() is None and not faultinject.active()):
-        module, autotune_info = _autotune_parsimony(
-            spec, machine, workload, predecode, superinstructions)
+        module, autotune_info, codegen = _autotune_parsimony(
+            spec, machine, workload, predecode, superinstructions, codegen)
     module = module or build_impl(spec, impl, machine)
     interp = Interpreter(module, machine=machine, predecode=predecode,
-                         superinstructions=superinstructions)
+                         superinstructions=superinstructions,
+                         codegen=codegen)
     addrs = []
     for array in workload.arrays:
         addrs.append(interp.memory.alloc_array(array))
@@ -240,12 +265,16 @@ def run_impl(spec: KernelSpec, impl: str, machine: Machine = AVX512,
         # and the next run re-measures.
         if autotune.observe(autotune_info["fingerprint"],
                             autotune_info["engine"],
-                            autotune_info["factor"], wall) == "deopt":
+                            autotune_info["factor"], wall,
+                            codegen=autotune_info["codegen"]) == "deopt":
             autotune_info["deopt"] = True
+    codegen_report = None
+    if getattr(engine, "codegen", False):
+        codegen_report = engine.codegen_report()
     telemetry.record_vm_run(
         f"{spec.name}/{impl}", engine.stats, engine.hotspots(),
         fusion=engine.fusion_report(), wall_seconds=wall, batch=batch,
-        autotune=autotune_info, shard=shard_report,
+        autotune=autotune_info, shard=shard_report, codegen=codegen_report,
     )
     outputs = [
         interp.memory.read_array(addrs[idx], workload.arrays[idx].dtype,

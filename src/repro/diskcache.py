@@ -49,6 +49,9 @@ __all__ = [
     "loads_module",
     "load",
     "store",
+    "load_code",
+    "store_code",
+    "code_stats",
     "clear",
     "stats",
     "reset_stats",
@@ -57,7 +60,10 @@ __all__ = [
 #: Bump on any incompatible change to the IR pickle layout or cache format.
 #: v2: gang-batched modules — ``Module.attrs`` carries the unbatched
 #: fallback twin and instructions carry batch-charge prototypes.
-CACHE_VERSION = 2
+#: v3: whole-kernel codegen — generated-source code objects share the
+#: cache directory (``.code`` entries), keyed per interpreter bytecode
+#: magic; module digests move with them.
+CACHE_VERSION = 3
 
 _PID_PREFIX = "repro-ext:"
 
@@ -102,11 +108,12 @@ def reset_stats() -> None:
 def clear() -> None:
     """Drop every on-disk entry (best effort)."""
     try:
-        for path in cache_dir().glob("*.pkl"):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        for pattern in ("*.pkl", "*.code"):
+            for path in cache_dir().glob(pattern):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
     except OSError:
         pass
 
@@ -257,6 +264,90 @@ def store(key: tuple, module: Module) -> None:
         _STATS["writes"] += 1
     except Exception:
         _STATS["errors"] += 1
+        if tmp is not None:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+# -- generated-code entries (whole-kernel codegen) ------------------------------
+#
+# ``repro.backend.codegen`` emits deterministic Python source per
+# (function shape, cost bindings), so identical sources across processes
+# share one ``compile()``.  Code objects are marshal-serialized with the
+# interpreter's bytecode magic prefixed — a different CPython silently
+# misses instead of unmarshalling garbage.  Counters are kept separate
+# from the module-entry ``_STATS`` so existing telemetry and tests keep
+# their meaning.
+
+_CODE_STATS = {"hits": 0, "misses": 0, "writes": 0, "errors": 0}
+
+
+def code_stats() -> Dict[str, int]:
+    """Hit/miss/write/error counters for generated-code entries."""
+    return dict(_CODE_STATS)
+
+
+def _code_path(source: str) -> Path:
+    import importlib.util
+
+    text = f"v{CACHE_VERSION}|code|{importlib.util.MAGIC_NUMBER!r}|{source}"
+    return cache_dir() / f"{hashlib.sha256(text.encode()).hexdigest()}.code"
+
+
+def load_code(source: str):
+    """Best-effort load of a compiled code object for a generated source."""
+    if not enabled():
+        return None
+    import marshal
+    import importlib.util
+
+    path = _code_path(source)
+    try:
+        data = path.read_bytes()
+    except OSError:
+        _CODE_STATS["misses"] += 1
+        return None
+    magic = importlib.util.MAGIC_NUMBER
+    try:
+        if data[: len(magic)] != magic:
+            raise ValueError("bytecode magic mismatch")
+        code = marshal.loads(data[len(magic):])
+        if not hasattr(code, "co_code"):
+            raise ValueError("not a code object")
+    except Exception:
+        _CODE_STATS["errors"] += 1
+        _CODE_STATS["misses"] += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+    _CODE_STATS["hits"] += 1
+    return code
+
+
+def store_code(source: str, code) -> None:
+    """Best-effort atomic write of a compiled code object."""
+    if not enabled():
+        return
+    import marshal
+    import importlib.util
+
+    tmp = None
+    try:
+        data = importlib.util.MAGIC_NUMBER + marshal.dumps(code)
+        directory = cache_dir()
+        directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        with os.fdopen(fd, "wb") as f:
+            f.write(data)
+        os.replace(tmp, _code_path(source))
+        tmp = None
+        _CODE_STATS["writes"] += 1
+    except Exception:
+        _CODE_STATS["errors"] += 1
         if tmp is not None:
             try:
                 os.unlink(tmp)

@@ -17,6 +17,8 @@ plus :class:`~repro.backend.machine.ExecStats` (the measurement harness).
 from __future__ import annotations
 
 import dataclasses
+import itertools
+import uuid
 from collections import OrderedDict
 from typing import Callable, Dict, Optional, Tuple
 
@@ -59,6 +61,22 @@ _COMPILE_CACHE: "OrderedDict[tuple, Module]" = OrderedDict()
 _COMPILE_CACHE_CAPACITY = 64
 _COMPILE_CACHE_ENABLED = True
 _COMPILE_CACHE_STATS = {"hits": 0, "misses": 0}
+
+# Every hand-out is a ``clone_module`` copy, so object identity cannot key
+# anything across runs.  Canonical functions get a process-unique
+# ``emit_key`` attr at insertion (clones copy attrs), giving downstream
+# structural caches — the whole-kernel codegen emission cache — a stable
+# key that survives cloning.  The uuid namespace keeps keys from ever
+# colliding with a key another process persisted inside a module.
+_EMIT_KEY_NS = uuid.uuid4().hex[:12]
+_EMIT_KEY_SEQ = itertools.count()
+
+
+def _stamp_emit_keys(module: Module) -> None:
+    for function in module.functions.values():
+        function.attrs.setdefault(
+            "emit_key", f"{_EMIT_KEY_NS}:{next(_EMIT_KEY_SEQ)}"
+        )
 
 
 def set_compile_cache(enabled: bool) -> None:
@@ -114,6 +132,9 @@ def _cached_compile(key: tuple, build: Callable[[], Module]) -> Module:
         if cached is None:
             cached = build()
             diskcache.store(key, cached)
+        # Stamp after the disk store: emit keys are process-local, and a
+        # persisted copy must rehydrate unstamped in other processes.
+        _stamp_emit_keys(cached)
         _COMPILE_CACHE[key] = cached
         _COMPILE_CACHE.move_to_end(key)
         if len(_COMPILE_CACHE) > _COMPILE_CACHE_CAPACITY:

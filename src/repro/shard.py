@@ -74,7 +74,13 @@ Limitations (documented contract):
 * serial code must not *read* memory written by gang iterations (the
   SPMD contract already forbids it; every benchsuite kernel complies);
 * a launch that would trip the instruction budget in-process may not
-  trip it sharded (each shard gets its own budget).
+  trip it sharded (each shard gets its own budget);
+* the whole-kernel codegen engine (:mod:`repro.backend.codegen`) is
+  disarmed under a shard controller: codegen only arms inside the
+  replayable wrapper, which sharded runs bypass, so workers execute the
+  decoded engine — the controller's per-dispatch interception has no
+  seam in a compiled kernel body.  ``REPRO_CODEGEN`` is therefore a
+  no-op for the sharded portion of a launch, by design.
 """
 
 from __future__ import annotations
@@ -91,6 +97,7 @@ import numpy as np
 from . import diskcache, faultinject
 from .backend.machine import AVX512, ExecStats, Machine
 from .diagnostics import ExecutionError, ReproError, emit_warning
+from .envflags import env_flag
 from .ir.cfg import DominatorTree, Loop, find_loops
 from .ir.instructions import Instruction
 from .ir.module import Function, Module
@@ -1137,7 +1144,7 @@ class _Supervisor:
     def _superinstructions_flag(self) -> bool:
         if self.superinstructions is not None:
             return bool(self.superinstructions)
-        return os.environ.get("REPRO_NO_FUSE", "") not in ("1", "true")
+        return not env_flag("REPRO_NO_FUSE")
 
     def report(self, mode: str, **extra) -> Dict[str, object]:
         rep: Dict[str, object] = {

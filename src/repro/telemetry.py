@@ -46,7 +46,10 @@ __all__ = [
 #: configuration on each VM run.
 #: v4: sharded-execution evidence — a per-run ``shard`` record (mode,
 #: shard/worker counts, retries, degradations) and ``vm.shard.*`` totals.
-SCHEMA = "repro-telemetry/4"
+#: v5: whole-kernel codegen evidence — a per-run ``codegen`` record
+#: (compiles, cache/disk hits, calls, trap replays, bailouts) and
+#: ``vm.codegen.*`` totals.
+SCHEMA = "repro-telemetry/5"
 DIFF_SCHEMA = "repro-telemetry-diff/2"
 
 
@@ -165,6 +168,7 @@ class Telemetry:
         batch: Optional[Dict[str, object]] = None,
         autotune: Optional[Dict[str, object]] = None,
         shard: Optional[Dict[str, object]] = None,
+        codegen: Optional[Dict[str, object]] = None,
     ) -> None:
         entry: Dict[str, object] = {
             "label": label,
@@ -188,6 +192,11 @@ class Telemetry:
             # (sharded / rejected / degraded variants), shard and worker
             # counts, retries, and per-shard degradations.
             entry["shard"] = dict(shard)
+        if codegen is not None:
+            # The whole-kernel codegen engine's report for this run:
+            # compiles vs in-memory/disk cache hits, compiled-function
+            # calls, trap replays on the predecoded twin, and bailouts.
+            entry["codegen"] = dict(codegen)
         self.vm_runs.append(entry)
 
     def record_autotune(self, event: str, info: Dict[str, object]) -> None:
@@ -284,6 +293,26 @@ class Telemetry:
             totals["vm.shard.degraded"] += int(shard.get("degraded", 0))
         return totals
 
+    def vm_codegen_totals(self) -> Dict[str, int]:
+        """Whole-kernel codegen counters summed over runs, flattened to the
+        ``vm.codegen.*`` keys the perf-smoke CI job and diff mode read:
+        fresh compiles, in-memory and disk source-cache hits, compiled
+        calls, trap replays on the predecoded twin, and bailouts."""
+        totals = {"vm.codegen.compiles": 0, "vm.codegen.cache_hits": 0,
+                  "vm.codegen.disk_hits": 0, "vm.codegen.calls": 0,
+                  "vm.codegen.replays": 0, "vm.codegen.bailouts": 0}
+        for run in self.vm_runs:
+            report = run.get("codegen")
+            if not report:
+                continue
+            for key in ("compiles", "cache_hits", "disk_hits", "calls",
+                        "replays"):
+                totals[f"vm.codegen.{key}"] += int(report.get(key, 0))
+            bailouts = report.get("bailouts") or {}
+            totals["vm.codegen.bailouts"] += sum(
+                int(n) for n in bailouts.values())
+        return totals
+
     def vm_fuse_totals(self) -> Dict[str, int]:
         """Superinstruction hit counters summed over runs, flattened to the
         ``vm.fuse.<pattern>`` keys the perf-smoke CI job asserts on."""
@@ -318,6 +347,7 @@ class Telemetry:
                 "autotune": self.autotune_events,
                 "autotune_totals": self.vm_autotune_totals(),
                 "shard_totals": self.vm_shard_totals(),
+                "codegen_totals": self.vm_codegen_totals(),
             },
             "compile_cache": driver.compile_cache_stats(),
             "disk_cache": driver.disk_cache_stats(),
@@ -372,10 +402,10 @@ def record_vectorization(function_name, gang_size, shapes, memory_forms,
 
 
 def record_vm_run(label, stats, hotspots, fusion=None, wall_seconds=None,
-                  batch=None, autotune=None, shard=None):
+                  batch=None, autotune=None, shard=None, codegen=None):
     if _current is not None:
         _current.record_vm_run(label, stats, hotspots, fusion, wall_seconds,
-                               batch, autotune, shard)
+                               batch, autotune, shard, codegen)
 
 
 def record_autotune(event, info):
@@ -417,6 +447,8 @@ def _flat_counters(doc: Dict) -> Dict[str, float]:
         flat[key] = n  # already vm.autotune.<counter>
     for key, n in doc.get("vm", {}).get("shard_totals", {}).items():
         flat[key] = n  # already vm.shard.<counter>
+    for key, n in doc.get("vm", {}).get("codegen_totals", {}).items():
+        flat[key] = n  # already vm.codegen.<counter>
     for section in ("compile_cache", "disk_cache"):
         for key, n in doc.get(section, {}).items():
             if isinstance(n, (int, float)):

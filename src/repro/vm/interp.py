@@ -90,6 +90,7 @@ import numpy as np
 
 from .. import faultinject
 from ..backend.costmodel import DEFAULT_COST_MODEL, CostModel
+from ..envflags import env_flag
 from ..backend.machine import AVX512, ExecStats, Machine
 from ..ir.instructions import (
     ATOMIC_RMW_OPS,
@@ -134,6 +135,10 @@ class ExecutionLimitExceeded(VMTrap):
 
 
 _MAX_CALL_DEPTH = 256
+
+#: Sentinel distinguishing "never attempted" from a sticky ``None``
+#: bailout in the per-function codegen memo.
+_CODEGEN_UNCOMPILED = object()
 
 # Terminator kinds in decoded form.
 _T_BR = 0
@@ -337,6 +342,7 @@ class Interpreter:
         max_instructions: int = 500_000_000,
         predecode: bool = True,
         superinstructions: Optional[bool] = None,
+        codegen: Optional[bool] = None,
     ):
         self.module = module
         self.machine = machine
@@ -345,8 +351,19 @@ class Interpreter:
         self.max_instructions = max_instructions
         self.predecode = predecode
         if superinstructions is None:
-            superinstructions = os.environ.get("REPRO_NO_FUSE", "") not in ("1", "true")
+            superinstructions = not env_flag("REPRO_NO_FUSE")
         self.superinstructions = superinstructions
+        if codegen is None:
+            codegen = env_flag("REPRO_CODEGEN")
+        if env_flag("REPRO_NO_CODEGEN"):
+            # The escape hatch beats everything, including an explicit
+            # ``codegen=True`` — it must restore the prior engine exactly.
+            codegen = False
+        #: Whole-kernel codegen engine (see :mod:`repro.backend.codegen`):
+        #: linearized functions bypass the dispatch loop entirely.  Rides
+        #: on top of predecode (the decoded engine stays the bailout and
+        #: trap-replay fallback).
+        self.codegen = bool(codegen) and predecode
         self.stats = ExecStats()
         #: Exclusive (self-only) cycles per function name, for hot-spot telemetry.
         self.func_cycles: Dict[str, float] = {}
@@ -368,6 +385,23 @@ class Interpreter:
         self.batch_replays = 0
         self._fallback_interp: Optional["Interpreter"] = None
         self._batch_cache: Dict[Instruction, tuple] = {}
+        #: Linearized function cache: Function -> generated callable, or
+        #: ``None`` (sticky) when emission bailed out.
+        self._codegen_fns: Dict[Function, object] = {}
+        #: ``vm.codegen.*`` counters.  compiles/cache_hits/disk_hits are
+        #: decode artifacts; calls/replays are run counters
+        #: (:meth:`reset_stats` zeroes only the latter).
+        self.codegen_stats: Dict[str, int] = {
+            "compiles": 0, "cache_hits": 0, "disk_hits": 0,
+            "calls": 0, "replays": 0,
+        }
+        #: Bailout reason -> count (decode artifact).
+        self.codegen_bailouts: Dict[str, int] = {}
+        #: True only while executing under :meth:`_run_replayable`: the
+        #: generated code's block-merged charges are exact for completed
+        #: runs but approximate at trap points, so the codegen engine
+        #: requires the replay umbrella.
+        self._codegen_armed = False
         #: When set (a ``repro.shard._ShardRun``), the top-level decoded
         #: dispatch loop executes only this shard's slice of every matched
         #: gang loop and rolls serial charges back on shards > 0 — see
@@ -387,27 +421,38 @@ class Interpreter:
         argvals = [
             _coerce_arg(a.type, v) for a, v in zip(function.args, args)
         ]
-        if (
-            self.module.attrs.get("batch_fallback") is not None
-            and not faultinject.active()
-            and self.shard is None
-        ):
+        if not faultinject.active() and self.shard is None:
             # Sharded runs bypass trap replay: a shard that traps fails the
             # whole launch over to the supervisor's full in-process rerun,
             # which takes this path and is authoritative.
-            return self._run_replayable(function, argvals, args)
+            batch_twin = self.module.attrs.get("batch_fallback")
+            if batch_twin is not None:
+                return self._run_replayable(function, argvals, args, batch_twin)
+            if self.codegen:
+                # Codegen traps replay on the predecoded twin of the same
+                # module, so trap identity / trap-point stats / memory
+                # effects are authoritative even across emission seams.
+                return self._run_replayable(
+                    function, argvals, args, self.module
+                )
         return self._exec_function(function, argvals, depth=0)
 
-    def _run_replayable(self, function: Function, argvals: List, args):
+    def _run_replayable(
+        self, function: Function, argvals: List, args,
+        fallback_module: Module,
+    ):
         """Top-level run with the gang-batching trap-replay contract.
 
         Any :class:`ExecutionError` raised while running a batched module
         (a genuine kernel trap, a budget trap, or a spurious batched-only
         trap from a finished gang's unmasked lanes) rolls the VM back to
-        the pre-run state and replays the call wholesale on the unbatched
-        twin stashed in ``module.attrs["batch_fallback"]``.  The replay's
+        the pre-run state and replays the call wholesale on
+        ``fallback_module`` — the unbatched twin stashed in
+        ``module.attrs["batch_fallback"]``, or the module itself under
+        the codegen engine (the fallback interpreter always runs with
+        ``codegen=False``, i.e. the predecoded twin).  The replay's
         outcome — result or trap — is authoritative, so trap identity,
-        trap-point ``ExecStats``, and attribution all match the unbatched
+        trap-point ``ExecStats``, and attribution all match the fallback
         engine bit-for-bit.  Skipped under active fault injection: the
         driver never batches then, and replaying would double-fire
         one-shot fault plans.
@@ -422,6 +467,7 @@ class Interpreter:
             dict(self.edge_cycles), dict(self.edge_calls),
             dict(self.fuse_hits), self._child_cycles,
         )
+        self._codegen_armed = self.codegen
         try:
             return self._exec_function(function, argvals, depth=0)
         except (VMTrap, MemoryError_):
@@ -438,17 +484,21 @@ class Interpreter:
                 live.clear()
                 live.update(saved)
             self._child_cycles = snap[8]
-            self.batch_replays += 1
+            if fallback_module is self.module:
+                self.codegen_stats["replays"] += 1
+            else:
+                self.batch_replays += 1
             fb = self._fallback_interp
             if fb is None:
                 fb = self._fallback_interp = Interpreter(
-                    self.module.attrs["batch_fallback"],
+                    fallback_module,
                     machine=self.machine,
                     cost_model=self.cost_model,
                     memory=memory,
                     max_instructions=self.max_instructions,
                     predecode=self.predecode,
                     superinstructions=self.superinstructions,
+                    codegen=False,
                 )
             fb.reset_stats()
             try:
@@ -471,6 +521,8 @@ class Interpreter:
                     for k, v in other.items():
                         live[k] = live.get(k, 0) + v
                 self._child_cycles += fb._child_cycles
+        finally:
+            self._codegen_armed = False
 
     def reset_stats(self) -> ExecStats:
         """Zero all counters in place (``self.stats`` stays the same object).
@@ -490,6 +542,8 @@ class Interpreter:
         self.fuse_hits.clear()
         self._child_cycles = 0.0
         self.batch_replays = 0
+        self.codegen_stats["calls"] = 0
+        self.codegen_stats["replays"] = 0
         return stats
 
     def clear_decode_cache(self) -> None:
@@ -503,6 +557,10 @@ class Interpreter:
         self._cost_cache.clear()
         self._batch_cache.clear()
         self.fuse_static.clear()
+        self._codegen_fns.clear()
+        self.codegen_bailouts.clear()
+        for key in ("compiles", "cache_hits", "disk_hits"):
+            self.codegen_stats[key] = 0
 
     def hotspots(self) -> List[Dict[str, object]]:
         """Per-function cycle attribution, hottest first (for telemetry).
@@ -579,6 +637,21 @@ class Interpreter:
         caller = stack[-1] if stack else "<root>"
         stack.append(name)
         try:
+            if self._codegen_armed:
+                # Armed only inside _run_replayable: the generated code
+                # bulk-charges per block, so its trap-point stats are
+                # approximate and a replay on the predecoded twin must be
+                # standing by.  Sharded and fault-injected runs skip the
+                # wrapper and therefore transparently use the decoded
+                # engine.
+                kfn = self._codegen_fns.get(
+                    function, _CODEGEN_UNCOMPILED
+                )
+                if kfn is _CODEGEN_UNCOMPILED:
+                    kfn = self._codegen_compile(function)
+                if kfn is not None:
+                    self.codegen_stats["calls"] += 1
+                    return kfn(argvals, depth)
             if self.predecode:
                 return self._exec_decoded(function, argvals, depth)
             return self._exec_reference(function, argvals, depth)
@@ -596,6 +669,53 @@ class Interpreter:
             en = self.edge_calls
             en[edge] = en.get(edge, 0) + 1
             self._child_cycles = saved_child_cycles + inclusive
+
+    # -- whole-kernel codegen engine -------------------------------------------------
+
+    def _codegen_compile(self, function: Function):
+        """Linearize ``function`` into one generated callable (or ``None``).
+
+        Bailouts are sticky per function (the reason lands in
+        ``codegen_bailouts``); successful compiles report their source
+        origin in ``codegen_stats`` (``compiles`` / ``cache_hits`` /
+        ``disk_hits``).  Emission failures of *any* kind degrade to the
+        decoded engine — codegen is an accelerator, never a requirement.
+        """
+        from ..backend import codegen as _cg
+
+        bailouts = self.codegen_bailouts
+        kfn = None
+        try:
+            faultinject.maybe_fail("codegen", function.name)
+            source, bindings = _cg.emit_function(self, function)
+            code, origin = _cg.compiled_code(source)
+            kfn = _cg.bind_code(code, bindings)
+        except _cg.CodegenBailout as exc:
+            bailouts[exc.reason] = bailouts.get(exc.reason, 0) + 1
+        except faultinject.InjectedFault:
+            bailouts["injected-fault"] = bailouts.get("injected-fault", 0) + 1
+        except Exception as exc:  # defensive: an emitter bug must not trap
+            reason = f"error:{type(exc).__name__}"
+            bailouts[reason] = bailouts.get(reason, 0) + 1
+        else:
+            key = {"cache": "cache_hits", "disk": "disk_hits"}.get(
+                origin, "compiles"
+            )
+            self.codegen_stats[key] += 1
+        self._codegen_fns[function] = kfn
+        return kfn
+
+    def codegen_report(self) -> Dict[str, object]:
+        """Whole-kernel codegen summary (``vm.codegen.*`` in telemetry)."""
+        return {
+            "enabled": self.codegen,
+            "compiles": self.codegen_stats["compiles"],
+            "cache_hits": self.codegen_stats["cache_hits"],
+            "disk_hits": self.codegen_stats["disk_hits"],
+            "calls": self.codegen_stats["calls"],
+            "replays": self.codegen_stats["replays"],
+            "bailouts": dict(self.codegen_bailouts),
+        }
 
     # -- pre-decoded engine ---------------------------------------------------------
 
@@ -1283,6 +1403,17 @@ class Interpreter:
         t = instr.type
         if isinstance(t, VectorType):
             return None
+        # Mask reductions: scalar-typed with one vector operand; they gate
+        # every divergent-loop backedge, so skipping the closure layer
+        # matters.  Same truthiness as the _value_impl lambdas.
+        if op == "mask_any":
+            return f"(1 if {argrefs[0]}.any() else 0)"
+        if op == "mask_all":
+            return f"(1 if {argrefs[0]}.all() else 0)"
+        if op == "mask_popcnt":
+            # Hoisted: window code objects exec with empty __builtins__.
+            i = hoist(int, key=("b", "int"))
+            return f"{i}({argrefs[0]}.sum())"
         sym = self._INLINE_FBIN.get(op)
         if sym is not None and isinstance(t, FloatType):
             a, b = argrefs
@@ -1489,7 +1620,11 @@ class Interpreter:
                 src, "<repro-vm-window>", "exec"
             )
         g = dict(hoisted)
-        g["__builtins__"] = {}
+        # Hygiene-empty builtins (every name must be hoisted), except
+        # __import__: numpy's lazy C-level imports resolve it through the
+        # calling frame's builtins, so the first .sum()/.any() ever run
+        # inside a window would raise KeyError('__import__') without it.
+        g["__builtins__"] = {"__import__": __import__}
         exec(code, g)
         return g["_win"], idioms
 

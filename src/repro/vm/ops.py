@@ -327,8 +327,14 @@ def eval_vector_binop(opcode: str, elem: Type, a: np.ndarray, b: np.ndarray) -> 
         sa, sb = signed_view(a), signed_view(b)
         if (sb == 0).any():
             raise VMTrap("vector signed division by zero")
-        q = np.abs(sa.astype(np.int64)) // np.abs(sb.astype(np.int64))
-        q = np.where((sa < 0) != (sb < 0), -q, q)
+        # Truncated division as floor + sign correction, entirely in the
+        # native signed dtype: abs() would wrap INT_MIN negative and turn
+        # e.g. 1 / INT64_MIN into 1 instead of 0.  The wrapped q*sb below
+        # is still exact because the true remainder fits the dtype.
+        with np.errstate(all="ignore"):
+            q = sa // sb
+            r = sa - q * sb
+            q = q + ((r != 0) & ((sa < 0) != (sb < 0)))
         return q.astype(signed_dtype(elem)).view(dtype)
     if opcode == "srem":
         q = eval_vector_binop("sdiv", elem, a, b)
@@ -386,12 +392,52 @@ def eval_vector_binop(opcode: str, elem: Type, a: np.ndarray, b: np.ndarray) -> 
     raise NotImplementedError(f"vector int binop {opcode}")
 
 
+def _errstate_binop(sym_impl):
+    def _impl(a, b):
+        with np.errstate(all="ignore"):
+            return sym_impl(a, b)
+    return _impl
+
+
+#: Pre-resolved hot vector binops (the decode/emit-time fast path of
+#: :func:`vector_binop_impl`).  Each entry must be bit-identical to the
+#: corresponding :func:`eval_vector_binop` branch.
+_VECTOR_FLOAT_IMPLS = {
+    "fadd": _errstate_binop(lambda a, b: a + b),
+    "fsub": _errstate_binop(lambda a, b: a - b),
+    "fmul": _errstate_binop(lambda a, b: a * b),
+    "fmin": np.minimum,
+    "fmax": np.maximum,
+}
+_VECTOR_INT_IMPLS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "umin": np.minimum,
+    "umax": np.maximum,
+}
+
+
 def vector_binop_impl(opcode: str, elem: Type):
     """Resolve ``(opcode, elem)`` once, returning a 2-arg callable.
 
-    The superinstruction decoder uses this for fused binop constituents;
-    results are exactly those of :func:`eval_vector_binop`.
+    The superinstruction decoder and the whole-kernel codegen emitter use
+    this for binop constituents bound at decode/emit time; the hot
+    opcodes skip :func:`eval_vector_binop`'s per-call dispatch chain
+    entirely (each fast-path impl is the same expression that branch
+    evaluates), everything else falls back to it.
     """
+    if isinstance(elem, FloatType):
+        impl = _VECTOR_FLOAT_IMPLS.get(opcode)
+        if impl is not None:
+            return impl
+    elif elem.bits != 1:
+        impl = _VECTOR_INT_IMPLS.get(opcode)
+        if impl is not None:
+            return impl
     return lambda a, b: eval_vector_binop(opcode, elem, a, b)
 
 

@@ -14,6 +14,19 @@ All three executions over the same seeded inputs must agree **bitwise**
 on every output array.  ``N_THREADS`` is coprime to all gang sizes, so
 the tail gang is exercised on every kernel.
 
+Kernels containing a gang reduction (``psim_reduce_*_sync``) have no
+scalar execution strategy — cross-lane communication cannot be
+scalarized — so for those the degraded legs must raise ``CompileError``
+instead of falling back (tallied as the ``sync`` corpus bucket); the
+vector-engine differentials below still apply to them.
+
+Every fifth seed additionally runs the plain module through the
+**whole-kernel codegen** engine (``Interpreter(codegen=True)``, see
+``repro.backend.codegen``) and compares outputs *and* ``ExecStats``
+bitwise against the decoded engine: codegen is accounting-transparent by
+contract.  Bailouts are legal (the kernel silently runs decoded) but
+tallied, so a corpus where codegen never compiles fails the suite.
+
 Every third seed additionally pits a **gang-batched** build (forced
 ``REPRO_BATCH=2`` — auto selection would pick a batch too wide for 37
 threads and route everything through the remainder loop) against an
@@ -40,6 +53,7 @@ import pytest
 
 from repro import diskcache, shard
 from repro.benchsuite.fuzzgen import N_THREADS, generate_kernel, workload_arrays
+from repro.diagnostics import CompileError
 from repro.driver import clear_compile_cache, compile_parsimony
 from repro.faultinject import FaultPlan, inject
 from repro.vm import Interpreter
@@ -49,7 +63,9 @@ FUZZ_N = int(os.environ.get("REPRO_FUZZ_N", "200"))
 #: Corpus-wide tally of how each degraded compile landed, so the suite can
 #: assert the fuzzer actually exercises the region path (not just the
 #: whole-function one) instead of silently fuzzing a dead feature.
-_CORPUS = {"partial": 0, "whole": 0, "clean": 0}
+#: ``sync`` counts reduction kernels whose degraded legs correctly raised
+#: (no scalar strategy exists for cross-lane communication).
+_CORPUS = {"partial": 0, "whole": 0, "clean": 0, "sync": 0}
 
 #: Every Nth seed also runs the forced-batch differential below.
 _BATCH_EVERY = 3
@@ -57,6 +73,14 @@ _BATCH_EVERY = 3
 #: Tally of how those forced-batch compiles landed, so the suite can
 #: assert the batching layer actually engages on the fuzz corpus.
 _BATCH_CORPUS = {"batched": 0, "rejected": 0}
+
+#: Every Nth seed also runs the forced-codegen differential below.
+_CODEGEN_EVERY = 5
+
+#: Tally of how the codegen compiles landed, so the suite can assert the
+#: whole-kernel engine actually compiles fuzz kernels (bailouts are legal
+#: but a corpus that only bails fuzzes a dead engine).
+_CODEGEN_CORPUS = {"compiled": 0, "bailed": 0}
 
 #: Every ~25th seed additionally runs the cross-process differential:
 #: compile + persist in a *subprocess* (disk cache), rehydrate in the
@@ -115,25 +139,57 @@ def test_differential_fuzz_kernel(seed):
     context = f"seed={seed} gang={kernel.gang_size}\n{kernel.source}"
 
     plain = compile_parsimony(kernel.source)
-    plain_out, _ = _run(plain, seed)
+    plain_out, plain_stats = _run(plain, seed)
 
-    with inject(FaultPlan(site="vectorize")):
-        whole = compile_parsimony(kernel.source)
-    assert _classify(whole) == "whole", context
-    _assert_same(_run(whole, seed)[0], plain_out, f"whole vs plain: {context}")
+    if kernel.has_reduction:
+        # Cross-lane communication has no scalar strategy: the degraded
+        # legs must refuse loudly (CompileError), never fall back to a
+        # semantically different kernel.
+        with pytest.raises(CompileError):
+            with inject(FaultPlan(site="vectorize")):
+                compile_parsimony(kernel.source)
+        try:
+            with inject(FaultPlan(site="vectorize_block", after=seed % 6,
+                                  times=1)):
+                degraded = compile_parsimony(kernel.source)
+        except CompileError:
+            # The faulted region contained the sync point: correctly
+            # refused rather than scalarized.
+            pass
+        else:
+            # The fault missed every emitted block (clean) or landed on a
+            # sync-free region (partial, with the reduction kept in vector
+            # code) — either way the build must agree with plain.  A
+            # whole-function fallback here would be a bug: it cannot
+            # represent the reduction.
+            assert _classify(degraded) in ("clean", "partial"), context
+            _assert_same(_run(degraded, seed)[0], plain_out,
+                         f"degraded-sync vs plain: {context}")
+        _CORPUS["sync"] += 1
+    else:
+        with inject(FaultPlan(site="vectorize")):
+            whole = compile_parsimony(kernel.source)
+        assert _classify(whole) == "whole", context
+        _assert_same(_run(whole, seed)[0], plain_out,
+                     f"whole vs plain: {context}")
 
-    # Fault the (seed%6)-th emitted block: depending on the kernel's shape
-    # this lands on a valid region (partial fallback), the entry block
-    # (whole-function fallback), or past the last emission (clean build) —
-    # all three must still be bit-identical to the plain build.
-    with inject(FaultPlan(site="vectorize_block", after=seed % 6, times=1)):
-        degraded = compile_parsimony(kernel.source)
-    _CORPUS[_classify(degraded)] += 1
-    _assert_same(_run(degraded, seed)[0], plain_out,
-                 f"degraded vs plain: {context}")
+        # Fault the (seed%6)-th emitted block: depending on the kernel's
+        # shape this lands on a valid region (partial fallback), the entry
+        # block (whole-function fallback), or past the last emission
+        # (clean build) — all three must still be bit-identical to the
+        # plain build.
+        with inject(FaultPlan(site="vectorize_block", after=seed % 6,
+                              times=1)):
+            degraded = compile_parsimony(kernel.source)
+        _CORPUS[_classify(degraded)] += 1
+        _assert_same(_run(degraded, seed)[0], plain_out,
+                     f"degraded vs plain: {context}")
 
     if seed % _BATCH_EVERY == 0:
         _batched_differential(kernel, seed, plain_out, context)
+
+    if seed % _CODEGEN_EVERY == 2:
+        _codegen_differential(plain, seed, plain_out, plain_stats, context)
 
     if seed % _XPROC_EVERY == 1:
         _cross_process_differential(kernel, seed, plain_out, context)
@@ -170,6 +226,31 @@ def _batched_differential(kernel, seed, plain_out, context):
         f"batched instruction count diverges: {context}")
     assert dict(got_stats.counts) == dict(ref_stats.counts), (
         f"batched per-opcode counts diverge: {context}")
+
+
+def _codegen_differential(plain, seed, plain_out, plain_stats, context):
+    """Whole-kernel codegen engine vs decoded engine on the same module:
+    outputs and ExecStats must agree bitwise (accounting transparency is
+    the codegen contract — block-merged charges sum to the exact decoded
+    totals because every per-instruction cost is a dyadic rational)."""
+    A, B, C, OUT, IOUT, sv, si = workload_arrays(seed)
+    interp = Interpreter(plain, codegen=True)
+    addrs = [interp.memory.alloc_array(a) for a in (A, B, C, OUT, IOUT)]
+    interp.run("kernel", *addrs, sv, si, N_THREADS)
+    got_out = (
+        interp.memory.read_array(addrs[3], np.float32, N_THREADS),
+        interp.memory.read_array(addrs[4], np.int32, N_THREADS),
+    )
+    report = interp.codegen_report()
+    _CODEGEN_CORPUS["bailed" if report["bailouts"] else "compiled"] += 1
+    _assert_same(got_out, plain_out, f"codegen vs decoded: {context}")
+    got_stats = interp.stats
+    assert got_stats.cycles == plain_stats.cycles, (
+        f"codegen cycles diverge: {context}")
+    assert got_stats.instructions == plain_stats.instructions, (
+        f"codegen instruction count diverges: {context}")
+    assert dict(got_stats.counts) == dict(plain_stats.counts), (
+        f"codegen per-opcode counts diverge: {context}")
 
 
 def _run_sharded(module, seed, shards=3):
@@ -243,9 +324,11 @@ def _cross_process_differential(kernel, seed, plain_out, context):
 
 def test_zz_corpus_exercised_partial_fallback():
     """Runs after the matrix above (pytest preserves file order): the corpus
-    must have engaged the region-granular path, not just whole-function."""
+    must have engaged the region-granular path, not just whole-function,
+    and must have generated reduction kernels (the ``sync`` bucket)."""
     assert sum(_CORPUS.values()) == FUZZ_N
     assert _CORPUS["partial"] > 0, _CORPUS
+    assert _CORPUS["sync"] > 0, _CORPUS
 
 
 def test_zz_corpus_exercised_batching():
@@ -254,6 +337,17 @@ def test_zz_corpus_exercised_batching():
     where batching never applies means the hook fuzzes a dead layer)."""
     assert sum(_BATCH_CORPUS.values()) == len(range(0, FUZZ_N, _BATCH_EVERY))
     assert _BATCH_CORPUS["batched"] > 0, _BATCH_CORPUS
+
+
+def test_zz_corpus_exercised_codegen():
+    """The forced-codegen differential must have run on every Nth seed and
+    actually compiled kernels (bailouts are legal, but a corpus where the
+    whole-kernel engine never engages fuzzes a dead layer)."""
+    expected = len([s for s in range(FUZZ_N) if s % _CODEGEN_EVERY == 2])
+    if expected == 0:
+        pytest.skip("FUZZ_N too small for the codegen cadence")
+    assert sum(_CODEGEN_CORPUS.values()) == expected
+    assert _CODEGEN_CORPUS["compiled"] > 0, _CODEGEN_CORPUS
 
 
 def test_zz_corpus_exercised_cross_process_sharding():

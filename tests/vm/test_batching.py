@@ -394,7 +394,7 @@ def test_pin_margin_prefers_smaller_factor_reason(tuner_store):
     assert best == 1
     reason = autotune.pin(fp, engine, best, measured[best], measured,
                           request=0)
-    assert "preferring smaller B" in reason
+    assert "preferring simpler B" in reason
     assert autotune.pinned_request(fp, engine) == 0
 
 

@@ -1,0 +1,451 @@
+"""Whole-kernel codegen engine tests (issue 8).
+
+The codegen engine (``repro.backend.codegen``) linearizes a vectorized
+kernel's structurized CFG into ONE generated Python function and retires
+the per-block dispatch loop.  Its contract is accounting transparency:
+bit-identical outputs, memory images, and ``ExecStats`` (cycles,
+instruction counts, per-opcode tallies, per-function attribution) versus
+every prior engine — reference, predecoded, fused, batched — for
+completed runs, and exact trap-point state via wholesale replay on the
+predecoded twin for trapped runs.
+
+Covered here:
+
+- fig4-wide bitwise matrix: codegen vs reference / predecoded / fused;
+- mid-kernel budget-trap replay (trap identity, trap-point stats, and
+  memory bitwise vs the decoded engine, plus the replay counter);
+- mask-seam kernels: nested divergent loops, break/continue lowering,
+  masked early exit, and an IR-level early ``ret`` under a branch;
+- fault injection at the ``codegen`` site (bails to the decoded engine);
+- ``REPRO_NO_CODEGEN=1`` escape hatch restores the prior engine exactly;
+- disk-cache rehydration of the generated source in a child process;
+- unparsable engine env flags emit a structured ``ReproWarning``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import autotune, diskcache
+from repro.backend import codegen as cg
+from repro.benchsuite.ispc_suite import BENCHMARKS
+from repro.benchsuite.runner import _GUARD_BYTES, build_impl
+from repro.diagnostics import ReproWarning
+from repro.driver import compile_parsimony
+from repro.faultinject import FaultPlan, inject
+from repro.ir import (
+    I32,
+    Constant,
+    Function,
+    FunctionType,
+    IRBuilder,
+    Module,
+    verify_function,
+)
+from repro.vm import ExecutionLimitExceeded, Interpreter
+
+
+def _run_workload(module, workload, **kw):
+    """Run ``kernel`` on a benchsuite workload; returns (interp, snapshot)."""
+    interp = Interpreter(module, **kw)
+    addrs = []
+    for array in workload.arrays:
+        addrs.append(interp.memory.alloc_array(array))
+        interp.memory.alloc(_GUARD_BYTES)
+    interp.reset_stats()
+    ret = interp.run("kernel", *addrs, *workload.scalars)
+    return interp, _snapshot(interp, ret)
+
+
+def _snapshot(interp, ret):
+    s = interp.stats
+    return {
+        "mem": interp.memory.data.copy(),
+        "ret": None if ret is None else np.asarray(ret).copy(),
+        "cycles": s.cycles,
+        "instructions": s.instructions,
+        "counts": dict(s.counts),
+        "func_cycles": dict(interp.func_cycles),
+        "func_calls": dict(interp.func_calls),
+        "edge_cycles": dict(interp.edge_cycles),
+        "edge_calls": dict(interp.edge_calls),
+    }
+
+
+def _assert_bitwise(got, want, context):
+    for key in ("cycles", "instructions", "counts", "func_cycles",
+                "func_calls", "edge_cycles", "edge_calls"):
+        assert got[key] == want[key], f"{context}: {key} diverges"
+    np.testing.assert_array_equal(got["mem"], want["mem"],
+                                  err_msg=f"{context}: memory image")
+    assert (got["ret"] is None) == (want["ret"] is None), context
+    if got["ret"] is not None:
+        np.testing.assert_array_equal(got["ret"], want["ret"],
+                                      err_msg=f"{context}: return value")
+
+
+# -- fig4-wide bitwise matrix -------------------------------------------------
+
+ORACLES = {
+    "reference": dict(predecode=False),
+    "predecoded": dict(predecode=True, superinstructions=False),
+    "fused": dict(predecode=True, superinstructions=True),
+}
+
+
+@pytest.mark.parametrize("spec", BENCHMARKS, ids=lambda s: s.name)
+def test_codegen_matches_every_engine_on_fig4(spec):
+    """Outputs, memory, ExecStats, and attribution bitwise vs all prior
+    engines; the codegen engine must actually compile (no bailouts)."""
+    workload = spec.workload()
+    module = build_impl(spec, "parsimony")
+    _, want = _run_workload(module, workload, codegen=False,
+                            **ORACLES["reference"])
+    for label, kw in list(ORACLES.items())[1:]:
+        _, got = _run_workload(module, workload, codegen=False, **kw)
+        _assert_bitwise(got, want, f"{spec.name}: {label} vs reference")
+    interp, got = _run_workload(module, workload, codegen=True)
+    report = interp.codegen_report()
+    assert not report["bailouts"], f"{spec.name}: {report['bailouts']}"
+    assert report["calls"] > 0, f"{spec.name}: codegen never engaged"
+    _assert_bitwise(got, want, f"{spec.name}: codegen vs reference")
+
+
+# -- mid-kernel budget-trap replay --------------------------------------------
+
+TRAP_SRC = """
+void kernel(f32* OUT, u64 n) {
+    psim (gang_size=8, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        f32 x = 0.0f;
+        i32 k = 0;
+        while (k < 200) {
+            x = x + 1.0f + (f32)k;
+            k = k + 1;
+        }
+        OUT[i] = x;
+    }
+}
+"""
+
+
+def test_budget_trap_replays_on_predecoded_twin():
+    """A mid-kernel budget trap under codegen must replay wholesale on the
+    predecoded twin: trap identity, trap-point stats, and memory all match
+    the decoded engine bit-for-bit (the block-merged charges alone would
+    only be approximate at the trap point)."""
+    module = compile_parsimony(TRAP_SRC)
+    out = np.zeros(37, np.float32)
+
+    def trap_run(codegen):
+        interp = Interpreter(module, max_instructions=500, codegen=codegen)
+        addr = interp.memory.alloc_array(out)
+        with pytest.raises(ExecutionLimitExceeded):
+            interp.run("kernel", addr, 37)
+        return interp
+
+    decoded = trap_run(False)
+    compiled = trap_run(True)
+    assert compiled.codegen_stats["replays"] == 1
+    # Trap fires on exactly the first instruction past the budget, and the
+    # replayed trap point matches the decoded engine's bitwise.
+    assert decoded.stats.instructions == 501
+    assert compiled.stats.instructions == decoded.stats.instructions
+    assert compiled.stats.cycles == decoded.stats.cycles
+    assert dict(compiled.stats.counts) == dict(decoded.stats.counts)
+    np.testing.assert_array_equal(compiled.memory.data, decoded.memory.data)
+
+
+def test_completed_run_does_not_replay():
+    module = compile_parsimony(TRAP_SRC)
+    interp = Interpreter(module, codegen=True)
+    addr = interp.memory.alloc_array(np.zeros(37, np.float32))
+    interp.run("kernel", addr, 37)
+    report = interp.codegen_report()
+    assert report["replays"] == 0
+    assert report["calls"] > 0 and not report["bailouts"]
+
+
+# -- mask-seam kernels --------------------------------------------------------
+
+NESTED_DIVERGENT_SRC = """
+void kernel(i32* A, i32* OUT, u64 n) {
+    psim (gang_size=8, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        i32 v = A[i];
+        i32 acc = 0;
+        i32 j = 0;
+        while (j < abs(v % 5) + 1) {
+            i32 k = 0;
+            while (k < abs((v + j) % 3) + 1) {
+                acc = acc + k * j + 1;
+                k = k + 1;
+            }
+            j = j + 1;
+        }
+        OUT[i] = acc;
+    }
+}
+"""
+
+BREAK_CONTINUE_SRC = """
+void kernel(i32* A, i32* OUT, u64 n) {
+    psim (gang_size=8, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        i32 v = A[i];
+        i32 acc = 0;
+        i32 j = 0;
+        while (j < 16) {
+            j = j + 1;
+            if ((v + j) % 3 == 0) {
+                continue;
+            }
+            if (j > abs(v % 7) + 2) {
+                break;
+            }
+            acc = acc + j;
+        }
+        OUT[i] = acc + j * 100;
+    }
+}
+"""
+
+MASKED_EARLY_EXIT_SRC = """
+void kernel(i32* A, i32* OUT, u64 n) {
+    psim (gang_size=8, num_threads=n) {
+        u64 i = psim_get_thread_num();
+        i32 v = A[i];
+        if (v < 0) {
+            OUT[i] = -1;
+        } else {
+            i32 acc = 0;
+            i32 k = 0;
+            while (k < v % 9 + 1) {
+                acc = acc + k * k;
+                k = k + 1;
+            }
+            OUT[i] = acc;
+        }
+    }
+}
+"""
+
+_SEAM_IDS = ["nested-divergent-loops", "break-continue", "masked-early-exit"]
+
+
+@pytest.mark.parametrize(
+    "source", [NESTED_DIVERGENT_SRC, BREAK_CONTINUE_SRC,
+               MASKED_EARLY_EXIT_SRC], ids=_SEAM_IDS)
+def test_mask_seam_kernels_bitwise(source):
+    """Divergence seams — nested divergent loops, continue/break lowering,
+    masked early exit — must not perturb outputs or accounting."""
+    module = compile_parsimony(source)
+    rng = np.random.default_rng(7)
+    A = rng.integers(-40, 41, 37).astype(np.int32)
+
+    def run(codegen):
+        interp = Interpreter(module, codegen=codegen)
+        a = interp.memory.alloc_array(A)
+        o = interp.memory.alloc_array(np.zeros(37, np.int32))
+        interp.run("kernel", a, o, 37)
+        return (interp, interp.memory.read_array(o, np.int32, 37))
+
+    ref, ref_out = run(False)
+    got, got_out = run(True)
+    assert not got.codegen_report()["bailouts"], got.codegen_report()
+    np.testing.assert_array_equal(got_out, ref_out)
+    assert got.stats.cycles == ref.stats.cycles
+    assert got.stats.instructions == ref.stats.instructions
+    assert dict(got.stats.counts) == dict(ref.stats.counts)
+
+
+def _early_ret_module():
+    """IR-level early return under a branch: ret in one arm, fallthrough
+    work in the other — exercises the emitter's ret-under-conditional path
+    (no postdominator join to linearize past)."""
+    module = Module("t")
+    f = Function("f", FunctionType(I32, (I32,)), ["x"])
+    module.add_function(f)
+    entry = f.add_block("entry")
+    early = f.add_block("early")
+    work = f.add_block("work")
+    b = IRBuilder(f, entry)
+    cond = b.icmp("slt", f.args[0], Constant(I32, 0))
+    b.condbr(cond, early, work)
+    b.position_at_end(early)
+    b.ret(Constant(I32, -1))
+    b.position_at_end(work)
+    b.ret(b.binop("mul", f.args[0], Constant(I32, 3)))
+    verify_function(f)
+    return module, f
+
+
+@pytest.mark.parametrize("x,expect", [(-5, -1 & 0xFFFFFFFF), (7, 21)],
+                         ids=["early-ret", "fallthrough"])
+def test_ir_early_return_under_branch(x, expect):
+    module, f = _early_ret_module()
+    ref = Interpreter(module, codegen=False)
+    got = Interpreter(module, codegen=True)
+    assert ref.run(f, x) == got.run(f, x) == expect
+    assert not got.codegen_report()["bailouts"]
+    assert got.stats.cycles == ref.stats.cycles
+    assert got.stats.instructions == ref.stats.instructions
+    assert dict(got.stats.counts) == dict(ref.stats.counts)
+
+
+# -- fault injection at the codegen site --------------------------------------
+
+def test_codegen_fault_site_bails_to_decoded():
+    """An injected fault at the ``codegen`` site must land in the bailout
+    table and degrade to the decoded engine — never trap the run."""
+    module = compile_parsimony(TRAP_SRC)
+    interp = Interpreter(module, codegen=True)
+    function = module.get("kernel")
+    with inject(FaultPlan(site="codegen")):
+        kfn = interp._codegen_compile(function)
+    assert kfn is None
+    assert interp.codegen_bailouts == {"injected-fault": 1}
+    # The bailout is sticky: the armed engine now runs decoded, with
+    # results identical to a codegen=False interpreter.
+    addr = interp.memory.alloc_array(np.zeros(37, np.float32))
+    interp.run("kernel", addr, 37)
+    assert interp.codegen_report()["calls"] == 0
+    ref = Interpreter(module, codegen=False)
+    ref_addr = ref.memory.alloc_array(np.zeros(37, np.float32))
+    ref.run("kernel", ref_addr, 37)
+    np.testing.assert_array_equal(
+        interp.memory.read_array(addr, np.float32, 37),
+        ref.memory.read_array(ref_addr, np.float32, 37),
+    )
+    assert interp.stats.cycles == ref.stats.cycles
+
+
+def test_active_fault_plan_disarms_codegen():
+    """While any fault plan is armed, run() skips the replay umbrella and
+    codegen stays disarmed — replaying would double-fire one-shot plans."""
+    module = compile_parsimony(TRAP_SRC)
+    interp = Interpreter(module, codegen=True)
+    addr = interp.memory.alloc_array(np.zeros(37, np.float32))
+    with inject(FaultPlan(site="worker_crash")):  # unrelated site, armed
+        interp.run("kernel", addr, 37)
+    assert interp.codegen_report()["calls"] == 0
+
+
+# -- escape hatch -------------------------------------------------------------
+
+def test_no_codegen_escape_hatch(monkeypatch):
+    """``REPRO_NO_CODEGEN=1`` beats even an explicit ``codegen=True`` and
+    restores the prior engine exactly."""
+    monkeypatch.setenv("REPRO_NO_CODEGEN", "1")
+    module = compile_parsimony(TRAP_SRC)
+    interp = Interpreter(module, codegen=True)
+    assert interp.codegen is False
+    addr = interp.memory.alloc_array(np.zeros(37, np.float32))
+    interp.run("kernel", addr, 37)
+    report = interp.codegen_report()
+    assert report["enabled"] is False
+    assert report["calls"] == 0 and report["compiles"] == 0
+
+    monkeypatch.delenv("REPRO_NO_CODEGEN")
+    ref = Interpreter(module, codegen=False)
+    ref_addr = ref.memory.alloc_array(np.zeros(37, np.float32))
+    ref.run("kernel", ref_addr, 37)
+    assert interp.stats.cycles == ref.stats.cycles
+    assert interp.stats.instructions == ref.stats.instructions
+    assert dict(interp.stats.counts) == dict(ref.stats.counts)
+
+
+def test_unparsable_engine_flags_warn(monkeypatch):
+    """Garbage in an engine env flag is a visible misconfiguration, not a
+    silent request for the default (the historical ``in ("1", "true")``
+    parse ignored it)."""
+    module = compile_parsimony(TRAP_SRC)
+    monkeypatch.setenv("REPRO_NO_CODEGEN", "yes-please")
+    with pytest.warns(ReproWarning, match="REPRO_NO_CODEGEN"):
+        interp = Interpreter(module)
+    assert interp.codegen is False  # default kept
+    monkeypatch.delenv("REPRO_NO_CODEGEN")
+
+    monkeypatch.setenv("REPRO_NO_FUSE", "nope")
+    with pytest.warns(ReproWarning, match="REPRO_NO_FUSE"):
+        engine = autotune.engine_config(None, None)
+    assert engine.endswith("/fused")  # default (fusion on) kept
+
+
+# -- disk-cache rehydration in a child process --------------------------------
+
+REHYDRATE_SRC = NESTED_DIVERGENT_SRC
+
+_CHILD = """
+import json, sys
+import numpy as np
+from repro.driver import compile_parsimony
+from repro.vm import Interpreter
+
+module = compile_parsimony(sys.stdin.read())
+interp = Interpreter(module, codegen=True)
+A = np.arange(-18, 19, dtype=np.int32)
+a = interp.memory.alloc_array(A)
+o = interp.memory.alloc_array(np.zeros(37, np.int32))
+interp.run("kernel", a, o, 37)
+print(json.dumps({
+    "out": interp.memory.read_array(o, np.int32, 37).tolist(),
+    "cycles": interp.stats.cycles,
+    "instructions": interp.stats.instructions,
+    "report": interp.codegen_report(),
+}))
+"""
+
+
+def test_generated_source_rehydrates_from_disk_in_child(tmp_path):
+    """A child process with a cold in-memory cache must rehydrate the
+    generated code object from the disk cache (``disk_hits``), and its run
+    must agree bitwise with the parent's."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+    env["REPRO_CACHE_DIR"] = str(tmp_path)
+    env["REPRO_DISK_CACHE"] = "1"
+    env.pop("REPRO_NO_CODEGEN", None)
+
+    # Parent leg: same kernel through the codegen engine with the disk
+    # layer on, which persists the compiled code object.
+    saved_dir = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path)
+    diskcache.set_enabled(True)
+    diskcache.reset_stats()
+    cg._CODE_CACHE.clear()
+    try:
+        module = compile_parsimony(REHYDRATE_SRC)
+        interp = Interpreter(module, codegen=True)
+        A = np.arange(-18, 19, dtype=np.int32)
+        a = interp.memory.alloc_array(A)
+        o = interp.memory.alloc_array(np.zeros(37, np.int32))
+        interp.run("kernel", a, o, 37)
+        parent_out = interp.memory.read_array(o, np.int32, 37)
+        assert diskcache.code_stats()["writes"] >= 1, diskcache.code_stats()
+    finally:
+        diskcache.set_enabled(None)
+        if saved_dir is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = saved_dir
+
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD], input=REHYDRATE_SRC.encode(),
+        env=env, capture_output=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr.decode()[-800:]
+    child = json.loads(proc.stdout)
+    report = child["report"]
+    assert report["disk_hits"] >= 1, report
+    assert report["compiles"] == 0, report  # rehydrated, not re-compiled
+    assert not report["bailouts"], report
+    np.testing.assert_array_equal(np.array(child["out"], np.int32),
+                                  parent_out)
+    assert child["cycles"] == interp.stats.cycles
+    assert child["instructions"] == interp.stats.instructions
