@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Record the engine's wall-clock trajectory as a benchmark artifact.
 
-    python examples/bench_record.py [--out BENCH_8.json] [--kernels a,b]
+    python examples/bench_record.py [--out BENCH_10.json] [--kernels a,b]
                                     [--reps 2] [--min-geomean 1.0]
                                     [--min-codegen-geomean 1.0]
                                     [--autotune]
@@ -16,7 +16,10 @@ that successive PRs stacked on the interpreter —
 * ``batched``     — gang batching on top of fusion (the PR 5 engine);
 * ``codegen``     — whole-kernel codegen on top of batching: the whole
                     kernel compiled to one generated Python function,
-                    the dispatch loop retired (the PR 8 engine);
+                    the dispatch loop retired (the PR 8 engine, deepened
+                    in PR 10 with localized accounting, batch-factor
+                    specialization, superinstruction folding, and the
+                    dispatch-variable exit merge);
 * ``autotuned``   — profile-guided engine/batch/codegen selection
                     (``--autotune``: the PR 6 engine, ``REPRO_AUTOTUNE=1``)
 
@@ -31,8 +34,10 @@ geomean falls below its floor (``--min-geomean``,
 ``--min-codegen-geomean``).
 
 The artifact is the PR-over-PR trajectory record: CI uploads one per
-run, and the checked-in ``BENCH_8.json`` snapshots the machine that
-validated this PR's ≥1.5× codegen-vs-batched acceptance bar.
+run, and the checked-in ``BENCH_10.json`` snapshots the machine that
+validated this PR's ≥1.70× codegen-vs-batched acceptance bar.  The
+codegen configuration must additionally record **zero bailouts** on
+every fig4 kernel (the coverage floor).
 """
 
 import argparse
@@ -85,8 +90,8 @@ def _run_once(session, spec, config):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_8.json", metavar="PATH",
-                        help="artifact path (default: BENCH_8.json)")
+    parser.add_argument("--out", default="BENCH_10.json", metavar="PATH",
+                        help="artifact path (default: BENCH_10.json)")
     parser.add_argument("--kernels", metavar="NAMES",
                         help="comma-separated subset of fig4 kernels")
     parser.add_argument("--reps", type=int, default=2,
@@ -120,6 +125,7 @@ def main():
         for spec in specs:
             results, tuned = {}, None
             samples = {config: [] for config in configs}
+            cg_bailouts = {}
             for _ in range(args.reps):
                 for config in configs:
                     results[config], wall, info = _run_once(
@@ -127,7 +133,15 @@ def main():
                     samples[config].append(wall)
                     if config == "autotuned":
                         tuned = info
+                    elif config == "codegen":
+                        report = session.vm_runs[-1].get("codegen") or {}
+                        cg_bailouts = dict(report.get("bailouts") or {})
             walls = {config: min(s) for config, s in samples.items()}
+            if cg_bailouts:
+                # Coverage floor: every fig4 kernel must compile — a
+                # bailout silently runs decoded and poisons the ratio.
+                failures.append(
+                    f"{spec.name}: codegen bailed out: {cg_bailouts}")
 
             base = results["predecoded"]
             for config in configs[1:]:
@@ -171,7 +185,7 @@ def main():
 
     doc = {
         "schema": "repro-bench/1",
-        "pr": 8,
+        "pr": 10,
         "configs": list(configs),
         "kernels": kernels,
         "geomean_batched_speedup": gm,

@@ -198,6 +198,20 @@ def telemetry_diff(old_path, new_path, diff_out=None, per_function=False):
     _print_table_diff("vm runs", diff["vm_runs"], ("cycles", "wall_seconds"))
     print()
     _print_table_diff("counters", diff["counters"], ("value",))
+    # Codegen coverage regressions deserve a headline: a bailout reason
+    # that was absent (or rarer) in the old document means kernels fell
+    # back to per-instruction dispatch that previously compiled.
+    regressed = {
+        name: row["value"] for name, row in diff["counters"].items()
+        if name.startswith("vm.codegen.bailout.") and row["value"]["delta"] > 0
+    }
+    if regressed:
+        print()
+        print("codegen coverage regressions (bailout reasons up vs old)")
+        for name, d in regressed.items():
+            reason = name[len("vm.codegen.bailout."):]
+            print(f"  {reason:28s}{d['old']:>10.6g}{d['new']:>10.6g}"
+                  f"{d['delta']:>+10.6g}")
     if diff_out:
         with open(diff_out, "w") as fh:
             json.dump(diff, fh, indent=2, sort_keys=True)

@@ -21,7 +21,13 @@ top of the engine ladder) — and **fails (exit 1)** if:
 * the codegen engine never compiles a kernel across the sweep
   (``vm.codegen.calls`` stays zero — every kernel bailed out), or a
   kernel where codegen *did* engage runs slower than the codegen floor
-  (default 0.9× the batched engine, measured interleaved).
+  (default 0.9× the batched engine, measured interleaved),
+* any parsimony kernel records a codegen bailout at all (the coverage
+  floor: every fig4 kernel must compile — a new bailout reason is a
+  coverage regression, not an acceptable fallback).
+
+``--bailout-out`` writes the per-kernel codegen bailout histogram as a
+JSON artifact so a coverage regression names the reason in CI.
 
 ``--autotune`` adds a fourth configuration for the parsimony
 implementation: profile-guided selection (``REPRO_AUTOTUNE=1``).  It
@@ -51,6 +57,7 @@ ratios land in ``meta.perf_smoke``.
 """
 
 import argparse
+import json
 import os
 import sys
 
@@ -109,6 +116,9 @@ def main():
                         metavar="RATIO",
                         help="minimum batched/codegen wall-clock ratio for "
                              "kernels where codegen engaged (default: 0.9)")
+    parser.add_argument("--bailout-out", metavar="PATH",
+                        help="write the per-kernel codegen bailout "
+                             "histogram JSON (CI artifact)")
     parser.add_argument("--shards", type=int, default=0, metavar="N",
                         help="also sweep the sharded multi-process executor "
                              "(REPRO_SHARDS=N) and fail on any divergence "
@@ -126,6 +136,7 @@ def main():
     failures = []
     rows = {}
     faults_fired = 0
+    bailouts_by_kernel = {}
     saved_no_batch = os.environ.get("REPRO_NO_BATCH")
     saved_autotune = os.environ.get("REPRO_AUTOTUNE")
     saved_shards = os.environ.get("REPRO_SHARDS")
@@ -170,6 +181,16 @@ def main():
                     walls_cg.append(cg_run.get("wall_seconds") or 0.0)
                 wall_cgb, wall_cg = min(walls_cgb), min(walls_cg)
                 cg_report = cg_run.get("codegen") or {}
+                cg_bailouts = dict(cg_report.get("bailouts") or {})
+                bailouts_by_kernel[name] = cg_bailouts
+                if impl == "parsimony" and cg_bailouts:
+                    # The coverage floor: every fig4 kernel must compile.
+                    # A bailout silently runs the kernel decoded — legal
+                    # for correctness, but a coverage regression CI must
+                    # name and fail.
+                    failures.append(
+                        f"{name}: codegen bailed out on a fig4 kernel "
+                        f"(coverage floor is zero bailouts): {cg_bailouts}")
 
                 tuned = tuned_run = wall_at = wall_nbi = None
                 if args.autotune and impl == "parsimony":
@@ -398,6 +419,19 @@ def main():
     if args.out:
         session.write(args.out)
         print(f"telemetry written to {args.out}")
+    if args.bailout_out:
+        histogram = {}
+        for per_kernel in bailouts_by_kernel.values():
+            for reason, n in per_kernel.items():
+                histogram[reason] = histogram.get(reason, 0) + int(n)
+        with open(args.bailout_out, "w") as fh:
+            json.dump({
+                "schema": "repro-codegen-bailouts/1",
+                "histogram": histogram,
+                "per_kernel": bailouts_by_kernel,
+            }, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"codegen bailout histogram written to {args.bailout_out}")
 
     if failures:
         print("\nPERF-SMOKE FAILURES:", file=sys.stderr)

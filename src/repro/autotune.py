@@ -128,6 +128,10 @@ PIN_MARGIN = 1.25
 #: both legs run the *same* module (no compile-shape risk) and codegen is
 #: bit-identical by contract — the hysteresis only has to absorb timing
 #: noise, not protect against a structurally different configuration.
+#: Note the measurement is honest per configuration: generated code is
+#: batch-factor specialized (emission keyed by batch fingerprint), so
+#: each factor's codegen leg times code emitted *for that factor*, never
+#: a stale emission from another candidate.
 CODEGEN_MARGIN = 1.05
 
 #: A pinned choice deopts when the *best* of the last ``DEOPT_WINDOW``

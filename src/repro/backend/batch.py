@@ -359,6 +359,17 @@ def _scalar_proto(opcode: str, rtype: Type, operand_types=(), attrs=None) -> Ins
 
 
 def _annotate(instr: Instruction, charges: Tuple[Instruction, ...], mult) -> None:
+    """Attach the accounting contract both downstream engines consume.
+
+    The decoded engine reads these attrs per visit; the whole-kernel
+    codegen emitter instead *specializes on them at emission time* —
+    ``batch_mult`` ints become literal constants in the generated
+    source and lid-tuple multiplicities become per-loop activity
+    locals.  Because the generated code bakes these values in, the
+    emission cache is keyed by a batch fingerprint (the ``batched``
+    attr plus the annotated-instruction count): re-annotating a
+    function with different values must re-emit, not reuse.
+    """
     instr.attrs["batch_charges"] = charges
     instr.attrs["batch_mult"] = mult
 

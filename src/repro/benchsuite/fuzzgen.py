@@ -10,12 +10,15 @@ fallback, whole-function scalarization, whole-kernel codegen) must
 therefore produce bit-identical outputs, which is exactly what
 ``tests/fuzz/test_differential_kernels.py`` checks.
 
-One carve-out: a kernel containing a ``psim_reduce_*_sync`` intrinsic has
-**no scalar execution strategy** — cross-lane communication cannot be
-scalarized, so degraded compiles raise ``CompileError`` instead of
-falling back (``has_reduction`` flags this for the test harness).  The
-vector-engine strategies (decoded, fused, batched, codegen) still all
-apply and must still agree bitwise.
+One carve-out: a kernel containing a cross-lane intrinsic
+(``psim_reduce_*_sync``, or the ``psim_shuffle_sync`` lane exchanges)
+has **no scalar execution strategy** — cross-lane communication cannot
+be scalarized, so degraded compiles raise ``CompileError`` instead of
+falling back (``has_reduction``/``has_shuffle`` flag this for the test
+harness).  The vector-engine strategies (decoded, fused, batched,
+codegen) still all apply and must still agree bitwise; reductions may
+additionally sit inside a uniform-trip-count loop *after* the divergent
+body, so the sync point executes repeatedly under loop control flow.
 
 Everything is derived from one integer seed via ``random.Random``, so a
 failing kernel reproduces from its seed alone.
@@ -53,6 +56,9 @@ class FuzzKernel:
     #: Kernel declares a lane-private array (exercises the SoA-swizzled
     #: blocked layout and, under gang batching, its legality rejection).
     has_private: bool = False
+    #: Kernel calls ``psim_shuffle_sync`` (cross-lane exchange): like
+    #: reductions, no scalar strategy exists.
+    has_shuffle: bool = False
 
 
 _REDUCTIONS = ("psim_reduce_add_sync", "psim_reduce_min_sync",
@@ -71,6 +77,7 @@ class _Gen:
         # therefore the body shared by featureless kernels — stays stable.
         self.private = self.rng.random() < 0.35
         self.reduction = self.rng.random() < 0.20
+        self.shuffle = self.rng.random() < 0.30
         self.counter = 0
         self.lines: List[str] = []
         self.indent = 2
@@ -241,14 +248,40 @@ class _Gen:
             decls = (f"        f32 t[{_PRIVATE_LEN}];\n"
                      "        t[0] = va; t[1] = vb; t[2] = sv;"
                      " t[3] = va - vb;\n")
-        # Reductions sit at top level, after the divergent body: every
-        # lane of the gang reaches the sync point together (convergent by
-        # construction), the only masking being the tail gang's.
+        # Cross-lane exchanges sit at top level, after the divergent
+        # body: a butterfly/rotation pattern mixes the per-lane f32 and
+        # i32 state across the gang (the lane index wraps mod gang size
+        # by the shuffle contract, so any pattern is in-bounds).
+        shuffle_line = ""
+        if self.shuffle:
+            rot = self.rng.choice(("^ 1", "+ 1", "^ 3",
+                                   f"+ {self.gang - 1}"))
+            shuffle_line = (
+                f"        f32 ex = psim_shuffle_sync(x,"
+                f" psim_get_lane_num() {rot});\n"
+                "        x = (x + ex) * 0.5f;\n"
+                f"        q = q + psim_shuffle_sync(q,"
+                f" psim_get_lane_num() {rot});\n")
+        # Reductions also sit after the divergent body: every lane of the
+        # gang reaches the sync point together (convergent by
+        # construction), the only masking being the tail gang's.  Half of
+        # them additionally run inside a uniform-trip-count loop, so the
+        # sync point repeats under loop control flow.
         reduce_line = ""
         if self.reduction:
             fn = self.rng.choice(_REDUCTIONS)
-            reduce_line = (f"        f32 red = {fn}(x);\n"
-                           "        y = y + red;\n")
+            if self.rng.random() < 0.5:
+                reduce_line = (
+                    "        i32 rk = 0;\n"
+                    "        while (rk < 2) {\n"
+                    f"            f32 red = {fn}(min(max(x, -8.0f),"
+                    " 8.0f));\n"
+                    "            y = y + red * 0.125f;\n"
+                    "            rk = rk + 1;\n"
+                    "        }\n")
+            else:
+                reduce_line = (f"        f32 red = {fn}(x);\n"
+                               "        y = y + red;\n")
         source = f"""
 void kernel(f32* A, f32* B, i32* C, f32* OUT, i32* IOUT,
             f32 sv, i32 si, u64 n) {{
@@ -261,14 +294,15 @@ void kernel(f32* A, f32* B, i32* C, f32* OUT, i32* IOUT,
         f32 y = sv - vb;
         i32 q = si + p;
 {decls}{body}
-{reduce_line}        OUT[i] = x + y;
+{shuffle_line}{reduce_line}        OUT[i] = x + y;
         IOUT[i] = p + q * 3;
     }}
 }}
 """
         return FuzzKernel(seed=self.seed, gang_size=self.gang,
                           source=source, has_reduction=self.reduction,
-                          has_private=self.private)
+                          has_private=self.private,
+                          has_shuffle=self.shuffle)
 
 
 def generate_kernel(seed: int) -> FuzzKernel:

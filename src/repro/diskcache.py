@@ -63,7 +63,11 @@ __all__ = [
 #: v3: whole-kernel codegen — generated-source code objects share the
 #: cache directory (``.code`` entries), keyed per interpreter bytecode
 #: magic; module digests move with them.
-CACHE_VERSION = 3
+#: v4: batch-specialized emission — generated sources inline batch
+#: factors, localized accounting, and folded superinstruction forms, so
+#: v3 code objects describe a different accounting protocol and must not
+#: rehydrate.
+CACHE_VERSION = 4
 
 _PID_PREFIX = "repro-ext:"
 

@@ -49,7 +49,10 @@ __all__ = [
 #: v5: whole-kernel codegen evidence — a per-run ``codegen`` record
 #: (compiles, cache/disk hits, calls, trap replays, bailouts) and
 #: ``vm.codegen.*`` totals.
-SCHEMA = "repro-telemetry/5"
+#: v6: per-reason bailout counters — ``vm.codegen.bailout.<reason>``
+#: alongside the aggregate, so coverage regressions name the reason in
+#: telemetry diffs.
+SCHEMA = "repro-telemetry/6"
 DIFF_SCHEMA = "repro-telemetry-diff/2"
 
 
@@ -297,7 +300,10 @@ class Telemetry:
         """Whole-kernel codegen counters summed over runs, flattened to the
         ``vm.codegen.*`` keys the perf-smoke CI job and diff mode read:
         fresh compiles, in-memory and disk source-cache hits, compiled
-        calls, trap replays on the predecoded twin, and bailouts."""
+        calls, trap replays on the predecoded twin, and bailouts — the
+        latter both as an aggregate and per reason
+        (``vm.codegen.bailout.<reason>``), so a coverage regression (a
+        new bailout reason appearing) is visible in the telemetry diff."""
         totals = {"vm.codegen.compiles": 0, "vm.codegen.cache_hits": 0,
                   "vm.codegen.disk_hits": 0, "vm.codegen.calls": 0,
                   "vm.codegen.replays": 0, "vm.codegen.bailouts": 0}
@@ -309,8 +315,10 @@ class Telemetry:
                         "replays"):
                 totals[f"vm.codegen.{key}"] += int(report.get(key, 0))
             bailouts = report.get("bailouts") or {}
-            totals["vm.codegen.bailouts"] += sum(
-                int(n) for n in bailouts.values())
+            for reason, n in bailouts.items():
+                totals["vm.codegen.bailouts"] += int(n)
+                key = f"vm.codegen.bailout.{reason}"
+                totals[key] = totals.get(key, 0) + int(n)
         return totals
 
     def vm_fuse_totals(self) -> Dict[str, int]:

@@ -689,7 +689,13 @@ def gang_activity_count(mask, batch: int) -> int:
     divergent-loop iteration once per gang that would still be looping in
     the unbatched engine.  That multiplicity is exactly the number of
     per-gang blocks of the loop's continue-mask with any active lane,
-    which both execution engines obtain from this helper.
+    which the decoded engines obtain from this helper.
+
+    The whole-kernel codegen emitter is batch-factor specialized and
+    inlines this computation with a **literal** ``batch`` instead of
+    calling here (``int(mask.reshape(B, -1).any(axis=1).sum())``) —
+    keep the two forms in lockstep if the multiplicity definition
+    ever changes.
     """
     m = np.asarray(mask)
     return int(m.reshape(batch, -1).any(axis=1).sum())

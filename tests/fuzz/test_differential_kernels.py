@@ -14,8 +14,10 @@ All three executions over the same seeded inputs must agree **bitwise**
 on every output array.  ``N_THREADS`` is coprime to all gang sizes, so
 the tail gang is exercised on every kernel.
 
-Kernels containing a gang reduction (``psim_reduce_*_sync``) have no
-scalar execution strategy — cross-lane communication cannot be
+Kernels containing a cross-lane intrinsic — a gang reduction
+(``psim_reduce_*_sync``, possibly repeated inside a uniform-trip loop)
+or a lane exchange (``psim_shuffle_sync`` butterflies/rotations) — have
+no scalar execution strategy — cross-lane communication cannot be
 scalarized — so for those the degraded legs must raise ``CompileError``
 instead of falling back (tallied as the ``sync`` corpus bucket); the
 vector-engine differentials below still apply to them.
@@ -79,8 +81,10 @@ _CODEGEN_EVERY = 5
 
 #: Tally of how the codegen compiles landed, so the suite can assert the
 #: whole-kernel engine actually compiles fuzz kernels (bailouts are legal
-#: but a corpus that only bails fuzzes a dead engine).
-_CODEGEN_CORPUS = {"compiled": 0, "bailed": 0}
+#: but a corpus that only bails fuzzes a dead engine).  ``shuffle``
+#: counts codegen-leg kernels carrying cross-lane exchanges, so the leg
+#: provably exercises them.
+_CODEGEN_CORPUS = {"compiled": 0, "bailed": 0, "shuffle": 0}
 
 #: Every ~25th seed additionally runs the cross-process differential:
 #: compile + persist in a *subprocess* (disk cache), rehydrate in the
@@ -141,10 +145,11 @@ def test_differential_fuzz_kernel(seed):
     plain = compile_parsimony(kernel.source)
     plain_out, plain_stats = _run(plain, seed)
 
-    if kernel.has_reduction:
-        # Cross-lane communication has no scalar strategy: the degraded
-        # legs must refuse loudly (CompileError), never fall back to a
-        # semantically different kernel.
+    if kernel.has_reduction or kernel.has_shuffle:
+        # Cross-lane communication (reductions, lane exchanges) has no
+        # scalar strategy: the degraded legs must refuse loudly
+        # (CompileError), never fall back to a semantically different
+        # kernel.
         with pytest.raises(CompileError):
             with inject(FaultPlan(site="vectorize")):
                 compile_parsimony(kernel.source)
@@ -189,7 +194,8 @@ def test_differential_fuzz_kernel(seed):
         _batched_differential(kernel, seed, plain_out, context)
 
     if seed % _CODEGEN_EVERY == 2:
-        _codegen_differential(plain, seed, plain_out, plain_stats, context)
+        _codegen_differential(kernel, plain, seed, plain_out, plain_stats,
+                              context)
 
     if seed % _XPROC_EVERY == 1:
         _cross_process_differential(kernel, seed, plain_out, context)
@@ -228,7 +234,8 @@ def _batched_differential(kernel, seed, plain_out, context):
         f"batched per-opcode counts diverge: {context}")
 
 
-def _codegen_differential(plain, seed, plain_out, plain_stats, context):
+def _codegen_differential(kernel, plain, seed, plain_out, plain_stats,
+                          context):
     """Whole-kernel codegen engine vs decoded engine on the same module:
     outputs and ExecStats must agree bitwise (accounting transparency is
     the codegen contract — block-merged charges sum to the exact decoded
@@ -243,6 +250,8 @@ def _codegen_differential(plain, seed, plain_out, plain_stats, context):
     )
     report = interp.codegen_report()
     _CODEGEN_CORPUS["bailed" if report["bailouts"] else "compiled"] += 1
+    if kernel.has_shuffle:
+        _CODEGEN_CORPUS["shuffle"] += 1
     _assert_same(got_out, plain_out, f"codegen vs decoded: {context}")
     got_stats = interp.stats
     assert got_stats.cycles == plain_stats.cycles, (
@@ -346,8 +355,12 @@ def test_zz_corpus_exercised_codegen():
     expected = len([s for s in range(FUZZ_N) if s % _CODEGEN_EVERY == 2])
     if expected == 0:
         pytest.skip("FUZZ_N too small for the codegen cadence")
-    assert sum(_CODEGEN_CORPUS.values()) == expected
+    assert _CODEGEN_CORPUS["compiled"] + _CODEGEN_CORPUS["bailed"] == expected
     assert _CODEGEN_CORPUS["compiled"] > 0, _CODEGEN_CORPUS
+    if expected >= 20:
+        # Cross-lane exchange kernels must flow through the codegen leg
+        # (p≈0.3 per seed: 20 draws miss with probability < 0.1%).
+        assert _CODEGEN_CORPUS["shuffle"] > 0, _CODEGEN_CORPUS
 
 
 def test_zz_corpus_exercised_cross_process_sharding():

@@ -40,11 +40,14 @@ from repro.driver import compile_parsimony
 from repro.faultinject import FaultPlan, inject
 from repro.ir import (
     I32,
+    BasicBlock,
     Constant,
     Function,
     FunctionType,
+    Instruction,
     IRBuilder,
     Module,
+    UndefValue,
     verify_function,
 )
 from repro.vm import ExecutionLimitExceeded, Interpreter
@@ -296,6 +299,259 @@ def test_ir_early_return_under_branch(x, expect):
     assert got.stats.cycles == ref.stats.cycles
     assert got.stats.instructions == ref.stats.instructions
     assert dict(got.stats.counts) == dict(ref.stats.counts)
+
+
+# -- bailout burn-down matrix -------------------------------------------------
+#
+# Shapes behind the retired bailout reasons (multi-exit-loop,
+# multi-level-break/continue, batched-terminator:ret, mixed-batch-body)
+# must now compile AND run bitwise-identical to the reference engine;
+# reasons kept deliberately (function-too-large, batched-internal-call)
+# get pinning tests so retirements stay intentional.
+
+
+def _run_scalar_pair(module, f, args_list):
+    """Run ``f`` through the reference and codegen engines over each arg
+    tuple; asserts bitwise-equal results and ExecStats, zero bailouts."""
+    ref = Interpreter(module, predecode=False, codegen=False)
+    got = Interpreter(module, codegen=True)
+    for args in args_list:
+        assert ref.run(f, *args) == got.run(f, *args), args
+    report = got.codegen_report()
+    assert not report["bailouts"], report
+    assert report["calls"] > 0, report
+    assert got.stats.cycles == ref.stats.cycles
+    assert got.stats.instructions == ref.stats.instructions
+    assert dict(got.stats.counts) == dict(ref.stats.counts)
+
+
+def _multi_exit_module():
+    """Serial loop with two *distinct* exit blocks — the normal trip-count
+    exit plus an early return out of the body — the shape behind the
+    retired ``multi-exit-loop`` bailout (now a dispatch-variable merge)."""
+    module = Module("t")
+    f = Function("f", FunctionType(I32, (I32,)), ["x"])
+    module.add_function(f)
+    entry = f.add_block("entry")
+    header = f.add_block("header")
+    body = f.add_block("body")
+    latch = f.add_block("latch")
+    exit_a = f.add_block("exit_a")
+    exit_b = f.add_block("exit_b")
+    b = IRBuilder(f, entry)
+    b.br(header)
+    b.position_at_end(header)
+    i = b.phi(I32, "i")
+    i.append_operand(Constant(I32, 0))
+    i.append_operand(entry)
+    b.condbr(b.icmp("ult", i, f.args[0]), body, exit_a)
+    b.position_at_end(body)
+    b.condbr(b.icmp("eq", i, Constant(I32, 3)), exit_b, latch)
+    b.position_at_end(latch)
+    nxt = b.binop("add", i, Constant(I32, 1))
+    i.append_operand(nxt)
+    i.append_operand(latch)
+    b.br(header)
+    b.position_at_end(exit_a)
+    b.ret(b.binop("mul", i, Constant(I32, 2)))
+    b.position_at_end(exit_b)
+    b.ret(Constant(I32, 777))
+    verify_function(f)
+    return module, f
+
+
+def test_multi_exit_loop_retired():
+    module, f = _multi_exit_module()
+    _run_scalar_pair(module, f, [(0,), (2,), (3,), (9,)])
+
+
+def _multi_level_module(kind):
+    """Nested serial loops where the inner body jumps straight past the
+    inner loop — to the function exit (``break``) or back to the *outer*
+    header (``continue``) — the shapes behind the retired
+    ``multi-level-break``/``multi-level-continue`` bailouts."""
+    module = Module("t")
+    f = Function("f", FunctionType(I32, (I32,)), ["x"])
+    module.add_function(f)
+    entry = f.add_block("entry")
+    oh = f.add_block("outer_header")
+    ih = f.add_block("inner_header")
+    ibody = f.add_block("inner_body")
+    ilatch = f.add_block("inner_latch")
+    olatch = f.add_block("outer_latch")
+    done = f.add_block("done")
+    b = IRBuilder(f, entry)
+    b.br(oh)
+    b.position_at_end(oh)
+    j = b.phi(I32, "j")
+    acc = b.phi(I32, "acc")
+    j.append_operand(Constant(I32, 0))
+    j.append_operand(entry)
+    acc.append_operand(Constant(I32, 0))
+    acc.append_operand(entry)
+    b.condbr(b.icmp("ult", j, f.args[0]), ih, done)
+    b.position_at_end(ih)
+    k = b.phi(I32, "k")
+    acc2 = b.phi(I32, "acc2")
+    k.append_operand(Constant(I32, 0))
+    k.append_operand(oh)
+    acc2.append_operand(acc)
+    acc2.append_operand(oh)
+    b.condbr(b.icmp("ult", k, j), ibody, olatch)
+    b.position_at_end(ibody)
+    acc3 = b.binop("add", acc2, Constant(I32, 1))
+    escape = b.icmp("eq", b.binop("add", j, k), Constant(I32, 5))
+    if kind == "break":
+        b.condbr(escape, done, ilatch)
+    else:
+        j_skip = b.binop("add", j, Constant(I32, 2))
+        b.condbr(escape, oh, ilatch)
+        j.append_operand(j_skip)
+        j.append_operand(ibody)
+        acc.append_operand(acc3)
+        acc.append_operand(ibody)
+    b.position_at_end(ilatch)
+    k2 = b.binop("add", k, Constant(I32, 1))
+    k.append_operand(k2)
+    k.append_operand(ilatch)
+    acc2.append_operand(acc3)
+    acc2.append_operand(ilatch)
+    b.br(ih)
+    b.position_at_end(olatch)
+    j2 = b.binop("add", j, Constant(I32, 1))
+    j.append_operand(j2)
+    j.append_operand(olatch)
+    acc.append_operand(acc2)
+    acc.append_operand(olatch)
+    b.br(oh)
+    b.position_at_end(done)
+    if kind == "break":
+        r = b.phi(I32, "r")
+        r.append_operand(acc)
+        r.append_operand(oh)
+        r.append_operand(acc3)
+        r.append_operand(ibody)
+        b.ret(r)
+    else:
+        b.ret(acc)
+    verify_function(f)
+    return module, f
+
+
+@pytest.mark.parametrize("kind", ["break", "continue"])
+def test_multi_level_transfer_retired(kind):
+    module, f = _multi_level_module(kind)
+    _run_scalar_pair(module, f, [(0,), (1,), (4,), (8,)])
+
+
+def _annotate(instr, mult):
+    """Narrow charge prototype + multiplicity, the way ``backend.batch``
+    annotates widened instructions (operand types preserved as undefs)."""
+    proto = Instruction(
+        instr.opcode, instr.type,
+        [UndefValue(op.type) for op in instr.operands
+         if not isinstance(op, (BasicBlock, Function))],
+    )
+    instr.attrs["batch_charges"] = (proto,)
+    instr.attrs["batch_mult"] = mult
+
+
+def _mixed_batched_module():
+    """Hand-built batched function whose body mixes annotated and plain
+    instructions and ends in an annotated ``ret`` — the shapes behind the
+    retired ``mixed-batch-body`` and ``batched-terminator:ret`` bailouts.
+    The decoded engine cannot run mixed blocks at all (its batch decode
+    requires annotations on every instruction), so the oracle is the
+    reference engine, which gates per instruction."""
+    module = Module("t")
+    f = Function("f", FunctionType(I32, (I32,)), ["x"])
+    module.add_function(f)
+    f.attrs["batched"] = 2
+    entry = f.add_block("entry")
+    b = IRBuilder(f, entry)
+    a = b.binop("add", f.args[0], Constant(I32, 7))
+    _annotate(a, 2)
+    m = b.binop("mul", a, Constant(I32, 3))  # plain: the mixed body
+    r = b.ret(m)
+    _annotate(r, 2)
+    verify_function(f)
+    return module, f
+
+
+def test_mixed_batch_body_and_batched_ret_retired():
+    module, f = _mixed_batched_module()
+    _run_scalar_pair(module, f, [(0,), (5,), (41,)])
+
+
+def test_function_too_large_bailout_pinned(monkeypatch):
+    """The size guard stays: an oversized function must bail (not emit a
+    pathological source) and still run bitwise via the decoded engine."""
+    monkeypatch.setattr(cg, "MAX_CODEGEN_INSTRS", 4)
+    module, f = _early_ret_module()
+    ref = Interpreter(module, codegen=False)
+    got = Interpreter(module, codegen=True)
+    assert ref.run(f, 7) == got.run(f, 7)
+    assert got.codegen_bailouts == {"function-too-large": 1}
+    assert got.codegen_report()["calls"] == 0
+    assert got.stats.cycles == ref.stats.cycles
+    assert dict(got.stats.counts) == dict(ref.stats.counts)
+
+
+def _batched_internal_call_module():
+    module = Module("t")
+    g = Function("g", FunctionType(I32, (I32,)), ["y"])
+    module.add_function(g)
+    bg = IRBuilder(g, g.add_block("entry"))
+    bg.ret(bg.binop("add", g.args[0], Constant(I32, 1)))
+    verify_function(g)
+    f = Function("f", FunctionType(I32, (I32,)), ["x"])
+    module.add_function(f)
+    f.attrs["batched"] = 2
+    b = IRBuilder(f, f.add_block("entry"))
+    c = b.call(g, [f.args[0]])
+    c.attrs["batch_mult"] = 2
+    c.attrs["batch_charges"] = ()
+    r = b.ret(c)
+    _annotate(r, 2)
+    verify_function(f)
+    return module, f
+
+
+def test_batched_internal_call_bailout_pinned():
+    """An *annotated* internal call has no narrow-prototype emission: the
+    bailout is deliberate (unannotated internal calls in batched bodies
+    do compile)."""
+    module, f = _batched_internal_call_module()
+    interp = Interpreter(module)
+    with pytest.raises(cg.CodegenBailout) as exc:
+        cg.emit_function(interp, f)
+    assert exc.value.reason == "batched-internal-call"
+
+
+def test_bailout_memo_keyed_by_batch_fingerprint():
+    """Satellite bugfix: a bailout memoized against one batching
+    configuration must not suppress emission for another.  Stripping the
+    batch annotations mutates only attrs — block/instruction counts (and
+    object identity) are unchanged, so only the batch fingerprint in the
+    memo separates the two configurations."""
+    module, f = _batched_internal_call_module()
+    interp = Interpreter(module)
+    with pytest.raises(cg.CodegenBailout):
+        cg.emit_function(interp, f)
+    with pytest.raises(cg.CodegenBailout):
+        cg.emit_function(interp, f)  # memoized replay, still a bailout
+
+    # Unbatched re-run of the same Function object: attrs-only mutation.
+    del f.attrs["batched"]
+    for block in f.blocks:
+        for ins in block.instructions:
+            ins.attrs.pop("batch_mult", None)
+            ins.attrs.pop("batch_charges", None)
+    source, bindings = cg.emit_function(interp, f)  # must NOT replay
+    assert "_kfn" in source
+
+    # And the plain configuration actually runs, bitwise.
+    _run_scalar_pair(module, f, [(3,), (12,)])
 
 
 # -- fault injection at the codegen site --------------------------------------
